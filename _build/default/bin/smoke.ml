@@ -1,0 +1,55 @@
+(* Developer smoke check: run the full Sweeper defense process against each
+   of the four exploits and print the Table 2 / Table 3 style results. *)
+
+let run_app key =
+  Printf.printf "\n########## %s ##########\n" key;
+  let entry = Apps.Registry.find key in
+  let proc = Osim.Process.load ~aslr:true ~seed:42 (entry.r_compile ()) in
+  let server = Osim.Server.create proc in
+  ignore (Osim.Server.run server);
+  (* Benign traffic first so there is state and log history. *)
+  let benign = Apps.Registry.workload key 20 in
+  List.iter (fun m -> ignore (Osim.Server.handle server m)) benign;
+  let before_outputs = List.length (Osim.Process.committed_outputs proc) in
+  (* Attack. *)
+  let exploit = Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 key in
+  let reports = ref [] in
+  List.iter
+    (fun m ->
+      match Sweeper.Orchestrator.protected_handle ~app:key server m with
+      | `Served _ -> Printf.printf "  (exploit message served: state buildup)\n"
+      | `Attack r ->
+        reports := r :: !reports;
+        Sweeper.Report.print_table2 proc r;
+        Sweeper.Report.print_table3_header ();
+        Sweeper.Report.print_table3_row r
+      | `Filtered f -> Printf.printf "  filtered by %s\n" f
+      | `Blocked_by_vsef d ->
+        Printf.printf "  VSEF blocked: %s\n" (Sweeper.Detection.to_string d)
+      | `Stopped -> Printf.printf "  stopped?!\n"
+      | `Compromised -> Printf.printf "  COMPROMISED?!\n")
+    exploit.Apps.Exploits.x_messages;
+  (* Post-recovery: the server must still answer benign traffic. *)
+  let after = Apps.Registry.workload ~seed:9 key 5 in
+  List.iter
+    (fun m ->
+      match Osim.Server.handle server m with
+      | `Served _ -> ()
+      | _ -> Printf.printf "  POST-RECOVERY FAILURE on benign input\n")
+    after;
+  Printf.printf "  post-recovery: %d served; outputs %d -> %d\n"
+    (List.length after) before_outputs
+    (List.length (Osim.Process.committed_outputs proc));
+  (* Re-send the exploit: the antibody must stop it now. *)
+  List.iter
+    (fun m ->
+      match Sweeper.Orchestrator.protected_handle ~app:key server m with
+      | `Filtered f -> Printf.printf "  re-attack: filtered by %s\n" f
+      | `Blocked_by_vsef d ->
+        Printf.printf "  re-attack: VSEF blocked (%s)\n" (Sweeper.Detection.to_string d)
+      | `Served _ -> Printf.printf "  re-attack: served (stateful buildup)\n"
+      | `Attack _ -> Printf.printf "  re-attack: CRASHED AGAIN (antibody failed)\n"
+      | `Stopped | `Compromised -> Printf.printf "  re-attack: bad status\n")
+    exploit.Apps.Exploits.x_messages
+
+let () = List.iter run_app [ "apache1"; "apache2"; "cvs"; "squid" ]

@@ -1,0 +1,231 @@
+(* sweeperctl: command-line front end to the Sweeper reproduction.
+
+   Subcommands:
+     list      - the evaluated applications (Table 1)
+     attack    - run the full attack/defense pipeline against one app
+     serve     - run a benign workload and report checkpointing stats
+     epidemic  - query the community-defense model
+     outbreak  - mechanical multi-host worm outbreak with antibody sharing *)
+
+open Cmdliner
+
+let app_names = List.map (fun e -> e.Apps.Registry.r_key) Apps.Registry.all
+
+let app_arg =
+  let doc =
+    Printf.sprintf "Application to target: %s." (String.concat ", " app_names)
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun k -> (k, k)) app_names))) None
+    & info [] ~docv:"APP" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let aslr_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "aslr" ] ~docv:"BOOL" ~doc:"Address-space randomization.")
+
+let benign_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "benign" ] ~docv:"N" ~doc:"Benign requests to serve first.")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-8s %-14s %-22s %-14s %s\n" "KEY" "PROGRAM" "DESCRIPTION"
+      "CVE" "BUG";
+    List.iter
+      (fun (e : Apps.Registry.entry) ->
+        Printf.printf "%-8s %-14s %-22s %-14s %s\n" e.r_key e.r_program
+          e.r_description e.r_cve e.r_bug_type)
+      Apps.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the evaluated applications (Table 1)")
+    Term.(const run $ const ())
+
+let attack_cmd =
+  let run app seed aslr benign =
+    let entry = Apps.Registry.find app in
+    let proc = Osim.Process.load ~aslr ~seed (entry.r_compile ()) in
+    let server = Osim.Server.create proc in
+    ignore (Osim.Server.run server);
+    List.iter
+      (fun m -> ignore (Osim.Server.handle server m))
+      (Apps.Registry.workload ~seed app benign);
+    let exploit =
+      Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 app
+    in
+    List.iter
+      (fun m ->
+        match Sweeper.Orchestrator.protected_handle ~app server m with
+        | `Attack r ->
+          Sweeper.Report.print_table2 proc r;
+          print_newline ();
+          Sweeper.Report.print_table3_header ();
+          Sweeper.Report.print_table3_row r
+        | `Served _ -> print_endline "(message served: state buildup)"
+
+        | _ -> ())
+      exploit.Apps.Exploits.x_messages
+  in
+  let run app seed aslr benign =
+    try run app seed aslr benign
+    with e -> Printf.eprintf "error: %s\n" (Printexc.to_string e)
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Fire the canonical exploit and run the defense pipeline")
+    Term.(const run $ app_arg $ seed_arg $ aslr_arg $ benign_arg)
+
+let serve_cmd =
+  let requests =
+    Arg.(
+      value & opt int 500
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve.")
+  in
+  let interval =
+    Arg.(
+      value & opt int 200
+      & info [ "interval" ] ~docv:"MS"
+          ~doc:"Checkpoint interval in simulated milliseconds (0 = off).")
+  in
+  let run app seed interval n =
+    let entry = Apps.Registry.find app in
+    let proc = Osim.Process.load ~seed (entry.r_compile ()) in
+    let config =
+      { Osim.Server.checkpoint_interval_ms = interval; keep_checkpoints = 20 }
+    in
+    let server = Osim.Server.create ~config proc in
+    ignore (Osim.Server.run server);
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun m -> ignore (Osim.Server.handle server m))
+      (Apps.Registry.workload ~seed app n);
+    let dt = Unix.gettimeofday () -. t0 in
+    let cow, mapped = Vm.Memory.stats proc.Osim.Process.mem in
+    Printf.printf
+      "%d requests in %.3f s; %d instructions; %d checkpoints; %d COW page \
+       copies; %d pages mapped\n"
+      n dt proc.Osim.Process.cpu.Vm.Cpu.icount server.Osim.Server.checkpoints_taken
+      cow mapped
+  in
+  Cmd.v (Cmd.info "serve" ~doc:"Serve a benign workload, report stats")
+    Term.(const run $ app_arg $ seed_arg $ interval $ requests)
+
+let epidemic_cmd =
+  let beta =
+    Arg.(value & opt float 0.1 & info [ "beta" ] ~docv:"B" ~doc:"Contact rate.")
+  in
+  let rho =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rho" ] ~docv:"R" ~doc:"Attempt success probability.")
+  in
+  let alpha =
+    Arg.(
+      value & opt float 0.001
+      & info [ "alpha" ] ~docv:"A" ~doc:"Producer deployment ratio.")
+  in
+  let gamma =
+    Arg.(
+      value & opt float 5.0
+      & info [ "gamma" ] ~docv:"G" ~doc:"Community response time (s).")
+  in
+  let run beta rho alpha gamma =
+    let p = { Epidemic.Si.beta; rho; alpha; n = 100_000.; i0 = 1. } in
+    (match Epidemic.Si.t0 p with
+    | Some t -> Printf.printf "first producer probed at T0 = %.3f s\n" t
+    | None -> print_endline "the worm never probes a producer");
+    Printf.printf "infection ratio at T0 + %.1f s: %.4f\n" gamma
+      (Epidemic.Si.infection_ratio p ~gamma);
+    match Epidemic.Si.max_gamma_for_ratio p ~target:0.05 with
+    | Some g -> Printf.printf "response budget for <5%%: gamma <= %.2f s\n" g
+    | None -> print_endline "cannot be contained below 5% at any gamma"
+  in
+  Cmd.v
+    (Cmd.info "epidemic" ~doc:"Query the Section 6 community-defense model")
+    Term.(const run $ beta $ rho $ alpha $ gamma)
+
+let outbreak_cmd =
+  let hosts =
+    Arg.(value & opt int 16 & info [ "hosts" ] ~docv:"N" ~doc:"Community size.")
+  in
+  let producers =
+    Arg.(
+      value & opt int 2
+      & info [ "producers" ] ~docv:"K" ~doc:"Hosts running full Sweeper.")
+  in
+  let run n_hosts n_producers seed =
+    let app = Apps.Registry.find "apache1" in
+    let compiled = app.r_compile () in
+    let rng = Random.State.make [| seed |] in
+    let shared = ref None in
+    let infected = ref 0 and blocked = ref 0 and crashes = ref 0 in
+    let hosts =
+      List.init n_hosts (fun id ->
+          let proc = Osim.Process.load ~aslr:true ~seed:(seed + id) compiled in
+          let server = Osim.Server.create proc in
+          ignore (Osim.Server.run server);
+          (id, id < n_producers, proc, server, ref false, ref false))
+    in
+    for _round = 1 to 3 do
+      List.iter
+        (fun (id, producer, proc, server, infected_flag, has_ab) ->
+          if not !infected_flag then begin
+            (match (!shared, !has_ab) with
+            | Some ab, false ->
+              ignore (Sweeper.Antibody.deploy proc ab);
+              has_ab := true
+            | _ -> ());
+            let guess =
+              0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0
+            in
+            let exploit =
+              Apps.Exploits.apache1_against ~system_guess:guess
+                ~reqbuf_addr:0x08100000 ()
+            in
+            List.iter
+              (fun m ->
+                match
+                  Sweeper.Orchestrator.protected_handle ~app:"apache1" server m
+                with
+                | `Compromised ->
+                  infected_flag := true;
+                  incr infected;
+                  Printf.printf "host %d infected\n" id
+                | `Attack r ->
+                  incr crashes;
+                  if producer && !shared = None then begin
+                    shared := Some r.Sweeper.Orchestrator.a_antibody;
+                    Printf.printf
+                      "host %d (producer) generated the antibody in %.1f ms\n"
+                      id r.Sweeper.Orchestrator.a_total_ms
+                  end
+                | `Filtered _ | `Blocked_by_vsef _ -> incr blocked
+                | `Served _ | `Stopped -> ()
+                | exception Sweeper.Detection.Detected _ -> incr blocked)
+              exploit.Apps.Exploits.x_messages
+          end)
+        hosts
+    done;
+    Printf.printf
+      "outbreak over: %d/%d infected, %d crashes absorbed, %d attempts \
+       blocked by antibodies\n"
+      !infected n_hosts !crashes !blocked
+  in
+  Cmd.v
+    (Cmd.info "outbreak" ~doc:"Mechanical worm outbreak across real hosts")
+    Term.(const run $ hosts $ producers $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "sweeperctl" ~version:"1.0.0"
+       ~doc:"Sweeper: lightweight end-to-end defense against fast worms")
+    [ list_cmd; attack_cmd; serve_cmd; epidemic_cmd; outbreak_cmd ]
+
+let () = exit (Cmd.eval main)

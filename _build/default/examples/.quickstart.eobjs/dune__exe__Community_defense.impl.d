@@ -1,0 +1,1 @@
+examples/community_defense.ml: Epidemic List Printf

@@ -1,0 +1,1 @@
+examples/forensics.ml: Apps Int List Option Osim Printf Set String Sweeper Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps List Osim Printf Sweeper Vm

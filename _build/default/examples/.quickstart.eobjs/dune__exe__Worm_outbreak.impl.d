@@ -1,0 +1,1 @@
+examples/worm_outbreak.ml: Apps Epidemic Printf Random Sweeper

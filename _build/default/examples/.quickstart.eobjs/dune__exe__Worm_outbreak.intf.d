@@ -1,0 +1,1 @@
+examples/worm_outbreak.mli:

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Exploits Httpd List Minic Proxyd Vcsd Workload

@@ -1,0 +1,1 @@
+lib/apps/vcsd.ml: Minic

@@ -1,0 +1,138 @@
+(** The web server, in two builds mirroring the paper's two Apache targets.
+
+    - {!v1_source} ("Apache1", analogue of CVE-2003-0542): the alias
+      matcher copies the request URI into a 64-byte stack buffer with no
+      bounds check. A long URI smashes the caller's saved frame pointer and
+      return address — a classic stack-smashing vulnerability. The
+      overflowing store is in [lmatcher]; the corrupted return is taken in
+      [try_alias_list].
+    - {!v2_source} ("Apache2", analogue of CVE-2003-1054): Referer-header
+      bookkeeping takes the host to start after "://"; when the header has
+      no scheme the host pointer stays NULL and [is_ip] dereferences it —
+      a remotely triggerable denial of service. *)
+
+(** Size of the request buffer; also the max message size the server reads. *)
+let reqbuf_size = 4096
+
+let common_helpers = {|
+char reqbuf[4096];
+
+void send_str(char *s) {
+  _send(s, strlen(s));
+}
+|}
+
+let main_loop = {|
+int main() {
+  _log("httpd: ready");
+  while (1) {
+    int n = _recv(reqbuf, 4096);
+    if (n < 0) { _exit(1); }
+    handle_request(reqbuf);
+  }
+  return 0;
+}
+|}
+
+let v1_source =
+  common_helpers
+  ^ {|
+// mod_alias-style prefix matcher. Copies the URI into the caller's
+// buffer while scanning — with no idea how big that buffer is.
+int lmatcher(char *uri, char *out) {
+  int i = 0;
+  while (uri[i] != 0 && uri[i] != '\n') {
+    out[i] = uri[i];            // the overflowing store
+    i = i + 1;
+  }
+  out[i] = 0;
+  return i;
+}
+
+int try_alias_list(char *uri) {
+  char fakename[64];
+  int n = lmatcher(uri, fakename);
+  if (n >= 7 && strncmp(fakename, "/alias/", 7) == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+void handle_request(char *req) {
+  char uri[4096];
+  int i;
+  int j;
+  if (strncmp(req, "GET ", 4) != 0) {
+    send_str("HTTP/1.0 400 Bad Request\n");
+    return;
+  }
+  i = 4;
+  j = 0;
+  while (req[i] != 0 && req[i] != '\n') {
+    uri[j] = req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  uri[j] = 0;
+  if (try_alias_list(uri)) {
+    send_str("HTTP/1.0 302 Found (alias)\n");
+    return;
+  }
+  if (strncmp(uri, "/status", 7) == 0) {
+    send_str("HTTP/1.0 200 OK\nserver: httpd/1.3.27 up\n");
+    return;
+  }
+  send_str("HTTP/1.0 200 OK\nhello\n");
+}
+|}
+  ^ main_loop
+
+let v2_source =
+  common_helpers
+  ^ {|
+int referral_count;
+
+// Is the referring host a raw IP address? Dereferences its argument
+// without a NULL check: the faulting load lives here.
+int is_ip(char *host) {
+  int i = 0;
+  int digits = 1;
+  while (host[i] != 0 && host[i] != '/' && host[i] != '\n') {
+    if ((host[i] < '0' || host[i] > '9') && host[i] != '.') {
+      digits = 0;
+    }
+    i = i + 1;
+  }
+  if (i == 0) { return 0; }
+  return digits;
+}
+
+void log_referer(char *req) {
+  char *ref = strstr(req, "Referer: ");
+  char *host = (char*)0;
+  char *scheme;
+  if (ref == 0) { return; }
+  ref = ref + 9;
+  scheme = strstr(ref, "://");
+  if (scheme != 0) {
+    host = scheme + 3;
+  }
+  // BUG: when the Referer value has no "://", host is still NULL here.
+  if (is_ip(host)) {
+    referral_count = referral_count + 1;
+  }
+}
+
+void handle_request(char *req) {
+  if (strncmp(req, "GET ", 4) != 0) {
+    send_str("HTTP/1.0 400 Bad Request\n");
+    return;
+  }
+  log_referer(req);
+  send_str("HTTP/1.0 200 OK\nhello\n");
+}
+|}
+  ^ main_loop
+
+let compile_v1 () = Minic.Driver.compile_app ~name:"httpd-1.3.27" v1_source
+let compile_v2 () = Minic.Driver.compile_app ~name:"httpd-1.3.12" v2_source

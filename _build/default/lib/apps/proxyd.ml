@@ -1,0 +1,96 @@
+(** The FTP proxy cache — the Squid analogue carrying CVE-2002-0068.
+
+    [ftp_build_title_url] sizes its buffer from the {e unescaped} user
+    string but then appends the rfc1738-escaped version, which can be up to
+    three times longer; [strcat] does the rest (see the paper's Figure 2).
+    With a long, escape-heavy user part the append runs off the end of the
+    mapped heap and faults inside library [strcat] — after having silently
+    corrupted the neighbouring chunk header, which is why the core-dump
+    analyzer finds the heap inconsistent. *)
+
+let reqbuf_size = 4096
+
+let source = {|
+char reqbuf[4096];
+
+void send_str(char *s) {
+  _send(s, strlen(s));
+}
+
+char *ftp_build_title_url(char *user, char *host) {
+  char *esc = rfc1738_escape_part(user);
+  int len = 64 + strlen(user);       // BUG: sized from the unescaped string
+  char *t = xcalloc(len, 1);
+  char *meta = xcalloc(192, 1);      // request bookkeeping; sized above the
+                                     // free-list leftovers so it is carved
+                                     // fresh right after t — its header is
+                                     // what the overflow tramples first
+  if (t == 0 || esc == 0 || meta == 0) { return (char*)0; }
+  strcat(t, "ftp://");
+  strcat(t, esc);                    // CVE-2002-0068: unbounded append
+  strcat(t, "@");
+  strcat(t, host);
+  free(esc);
+  // meta is leaked (as request bookkeeping was, in the era) — which also
+  // keeps every meta allocation fresh off the top of the heap
+  return t;
+}
+
+void handle_request(char *req) {
+  char user[3600];
+  char host[256];
+  int i;
+  int j;
+  char *title;
+  if (strncmp(req, "GET ftp://", 10) != 0) {
+    if (strncmp(req, "GET http://", 11) == 0) {
+      send_str("HTTP/1.0 200 OK (cached)\n");
+      return;
+    }
+    send_str("HTTP/1.0 400 Bad Request\n");
+    return;
+  }
+  // ftp://user@host/path — split out user and host
+  i = 10;
+  j = 0;
+  while (req[i] != 0 && req[i] != '@' && req[i] != '\n' && j < 3599) {
+    user[j] = req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  user[j] = 0;
+  if (req[i] != '@') {
+    send_str("HTTP/1.0 400 Bad ftp URL\n");
+    return;
+  }
+  i = i + 1;
+  j = 0;
+  while (req[i] != 0 && req[i] != '/' && req[i] != '\n' && j < 255) {
+    host[j] = req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  host[j] = 0;
+  title = ftp_build_title_url(user, host);
+  if (title == 0) {
+    send_str("HTTP/1.0 500 oom\n");
+    return;
+  }
+  send_str("HTTP/1.0 200 OK title=");
+  send_str(title);
+  send_str("\n");
+  free(title);
+}
+
+int main() {
+  _log("proxyd: ready");
+  while (1) {
+    int n = _recv(reqbuf, 4096);
+    if (n < 0) { _exit(1); }
+    handle_request(reqbuf);
+  }
+  return 0;
+}
+|}
+
+let compile () = Minic.Driver.compile_app ~name:"proxyd-2.3" source

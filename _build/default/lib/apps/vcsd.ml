@@ -1,0 +1,76 @@
+(** The version-control server — the CVS analogue carrying CVE-2003-0015.
+
+    A "Directory" request with an empty argument makes [dirswitch] free the
+    current directory string twice. The second [free] trips libc's heap
+    consistency check and aborts inside the library — the paper's "crash at
+    0x4f0eaaa0 (lib. free); heap inconsistent", attributed by memory-bug
+    detection to the double-freeing call in [dirswitch]. *)
+
+let reqbuf_size = 1024
+
+let source = {|
+char reqbuf[1024];
+char *cur_dir;
+int entry_count;
+
+void send_str(char *s) {
+  _send(s, strlen(s));
+}
+
+void dirswitch(char *arg) {
+  if (cur_dir != 0) {
+    free(cur_dir);
+  }
+  if (strlen(arg) == 0) {
+    free(cur_dir);          // BUG: already freed just above
+    cur_dir = (char*)0;
+    return;
+  }
+  cur_dir = malloc(strlen(arg) + 1);
+  if (cur_dir != 0) {
+    strcpy(cur_dir, arg);
+  }
+}
+
+void handle_request(char *req) {
+  if (strncmp(req, "Directory ", 10) == 0) {
+    dirswitch(req + 10);
+    send_str("ok Directory\n");
+    return;
+  }
+  if (strncmp(req, "Directory", 9) == 0) {
+    // "Directory" with no argument at all: same switch, empty arg
+    dirswitch(req + 9);
+    send_str("ok Directory\n");
+    return;
+  }
+  if (strncmp(req, "Entry ", 6) == 0) {
+    entry_count = entry_count + 1;
+    send_str("ok Entry\n");
+    return;
+  }
+  if (strncmp(req, "noop", 4) == 0) {
+    send_str("ok\n");
+    return;
+  }
+  if (strncmp(req, "version", 7) == 0) {
+    send_str("cvsd 1.11.4\n");
+    return;
+  }
+  send_str("error unrecognized request\n");
+}
+
+int main() {
+  _log("vcsd: ready");
+  cur_dir = (char*)0;
+  entry_count = 0;
+  while (1) {
+    int n = _recv(reqbuf, 1024);
+    if (n < 0) { _exit(1); }
+    handle_request(reqbuf);
+  }
+  return 0;
+}
+|}
+
+let compile () = Minic.Driver.compile_app ~name:"cvsd-1.11.4" source

@@ -1,0 +1,45 @@
+(** Benign traffic generators, one per server — deterministic streams used
+    for overhead measurements (Figure 4), recovery timelines (Figure 5),
+    and false-positive checks on antibodies. *)
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let paths =
+  [| "/"; "/index.html"; "/status"; "/img/logo.png"; "/docs/readme";
+     "/alias/ok"; "/news"; "/about"; "/contact"; "/search?q=ocaml" |]
+
+let referers =
+  [| "http://www.example.com/"; "http://news.site/page"; "ftp://mirror.org/x";
+     "http://10.0.0.8/a"; "http://blog.example.net/post/7" |]
+
+(** HTTP requests with short URIs and well-formed Referer headers. *)
+let httpd ~seed n =
+  let rng = Random.State.make [| seed; 0xBE19 |] in
+  List.init n (fun _ ->
+      Printf.sprintf "GET %s\nReferer: %s\nHost: www\n" (pick rng paths)
+        (pick rng referers))
+
+let ftp_users = [| "anonymous"; "mirror"; "backup"; "w3cache"; "fetch" |]
+let ftp_hosts = [| "ftp.kernel.org"; "ftp.gnu.org"; "mirror.example.net" |]
+
+(** Proxy requests: mostly http hits, some small well-formed ftp URLs
+    (these exercise the vulnerable [ftp_build_title_url] path safely). *)
+let proxyd ~seed n =
+  let rng = Random.State.make [| seed; 0xF7B |] in
+  List.init n (fun _ ->
+      if Random.State.int rng 4 = 0 then
+        Printf.sprintf "GET ftp://%s@%s/pub/file\n" (pick rng ftp_users)
+          (pick rng ftp_hosts)
+      else Printf.sprintf "GET http://www.example.com%s\n" (pick rng paths))
+
+let dirs = [| "src"; "src/lib"; "doc"; "tests"; "tools/ci" |]
+
+(** CVS-protocol sessions: directory switches, entries, noops. *)
+let vcsd ~seed n =
+  let rng = Random.State.make [| seed; 0xCB5 |] in
+  List.init n (fun _ ->
+      match Random.State.int rng 4 with
+      | 0 -> "Directory " ^ pick rng dirs
+      | 1 -> Printf.sprintf "Entry /%s/file%d.c" (pick rng dirs) (Random.State.int rng 100)
+      | 2 -> "noop"
+      | _ -> "version")

@@ -1,0 +1,1 @@
+lib/core/antibody.ml: List Minic Option Osim Signature Vm Vsef

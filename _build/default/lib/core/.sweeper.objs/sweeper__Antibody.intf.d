@@ -1,0 +1,1 @@
+lib/core/antibody.mli: Minic Osim Signature Vsef

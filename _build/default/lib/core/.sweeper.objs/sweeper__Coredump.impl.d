@@ -1,0 +1,1 @@
+lib/core/coredump.ml: Hashtbl List Option Osim Printf String Vm Vsef

@@ -1,0 +1,1 @@
+lib/core/coredump.mli: Osim Vm Vsef

@@ -1,0 +1,1 @@
+lib/core/defense.ml: Antibody Detection List Minic Option Orchestrator Osim Recovery Signature Vsef

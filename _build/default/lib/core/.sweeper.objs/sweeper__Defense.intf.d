@@ -1,0 +1,1 @@
+lib/core/defense.mli: Antibody Minic Osim Vsef

@@ -1,0 +1,1 @@
+lib/core/membug.ml: Hashtbl List Osim Printf Vm Vsef

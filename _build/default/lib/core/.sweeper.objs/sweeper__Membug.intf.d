@@ -1,0 +1,1 @@
+lib/core/membug.mli: Osim Vm Vsef

@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Antibody Coredump Detection Int List Membug Option Osim Recovery Set Signature Slice String Taint Unix Vm Vsef

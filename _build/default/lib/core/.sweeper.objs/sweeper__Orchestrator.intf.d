@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Antibody Coredump Detection Int Membug Osim Set Signature Slice Taint Vm Vsef

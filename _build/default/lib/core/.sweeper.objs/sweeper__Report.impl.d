@@ -1,0 +1,1 @@
+lib/core/report.ml: Coredump List Membug Orchestrator Osim Printf Slice String Taint Vsef

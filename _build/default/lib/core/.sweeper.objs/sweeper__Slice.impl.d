@@ -1,0 +1,1 @@
+lib/core/slice.ml: Array Hashtbl Int List Osim Set Vm

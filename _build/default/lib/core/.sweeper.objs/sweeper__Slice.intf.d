@@ -1,0 +1,1 @@
+lib/core/slice.mli: Int Osim Set Vm

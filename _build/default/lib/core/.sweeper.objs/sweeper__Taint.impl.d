@@ -1,0 +1,1 @@
+lib/core/taint.ml: Array Detection Hashtbl Int List Osim Printf Set String Vm Vsef

@@ -1,0 +1,1 @@
+lib/core/taint.mli: Int Osim Set Vm Vsef

@@ -1,0 +1,1 @@
+lib/core/vsef.ml: Array Detection Hashtbl List Osim Printf Vm

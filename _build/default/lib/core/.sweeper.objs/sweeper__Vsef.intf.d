@@ -1,0 +1,1 @@
+lib/core/vsef.mli: Osim Vm

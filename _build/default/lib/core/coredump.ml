@@ -1,0 +1,203 @@
+(** Memory-state analysis: the first, fastest analysis step.
+
+    Given only the faulted process image (no re-execution), it classifies
+    the crash, checks stack and heap consistency, and derives the initial
+    VSEF — available within milliseconds of detection, which is what lets
+    Sweeper start spreading an antibody while the heavier analyses are
+    still running. *)
+
+type diagnosis =
+  | Stack_smash_suspected   (** corrupted return taken; stack walk broken *)
+  | Null_dereference        (** access inside the NULL guard page *)
+  | Double_free_suspected   (** crash inside [free]; argument already freed *)
+  | Heap_overflow_suspected (** wild store off the heap; chunk headers bad *)
+  | Unclassified
+
+type report = {
+  c_fault : Vm.Event.fault;
+  c_crash_pc : int;
+  c_crash_fn : string option;        (** function containing the faulting pc *)
+  c_caller_fn : string option;       (** caller, when the walk allows it *)
+  c_stack_consistent : bool;
+  c_heap_consistent : bool;
+  c_diagnosis : diagnosis;
+  c_vsef : Vsef.t option;            (** the initial VSEF *)
+  c_summary : string;
+}
+
+let diagnosis_to_string = function
+  | Stack_smash_suspected -> "stack smashing"
+  | Null_dereference -> "NULL pointer dereference"
+  | Double_free_suspected -> "double free"
+  | Heap_overflow_suspected -> "heap buffer overflow"
+  | Unclassified -> "unclassified"
+
+let symbol_at (p : Osim.Process.t) addr =
+  List.find_map
+    (fun (img : Vm.Asm.image) ->
+      if addr >= img.Vm.Asm.base && addr < img.Vm.Asm.limit then
+        Option.map fst (Vm.Asm.symbolize img addr)
+      else None)
+    (Osim.Process.images p)
+
+(* The address range of the function that contains [addr]: [start] of its
+   symbol to the start of the next symbol (or the image limit). *)
+let function_range (p : Osim.Process.t) addr =
+  List.find_map
+    (fun (img : Vm.Asm.image) ->
+      if addr >= img.Vm.Asm.base && addr < img.Vm.Asm.limit then begin
+        match Vm.Asm.symbolize img addr with
+        | None -> None
+        | Some (name, off) ->
+          let start = addr - off in
+          let next = ref img.Vm.Asm.limit in
+          Hashtbl.iter
+            (fun n a ->
+              if a > start && a < !next && String.length n > 0 && n.[0] <> '.'
+              then next := a)
+            img.Vm.Asm.symbols;
+          Some (name, start, !next)
+      end
+      else None)
+    (Osim.Process.images p)
+
+(* Walk the frame-pointer chain, verifying each saved frame pointer stays
+   in the stack and each return address is a code address. *)
+let stack_walk (p : Osim.Process.t) =
+  let layout = p.layout in
+  let in_stack a =
+    a >= layout.Vm.Layout.stack_limit && a < layout.Vm.Layout.stack_top
+  in
+  let rec go frames fp n =
+    if n > 64 then (List.rev frames, true)
+    else if not (in_stack fp) then
+      (* Reaching the initial frame (fp = 0 from _start) is a clean end. *)
+      (List.rev frames, fp = 0 || fp >= layout.Vm.Layout.stack_top - 32)
+    else
+      let saved_fp = Vm.Memory.load_word p.mem fp in
+      let ret = Vm.Memory.load_word p.mem (fp + 4) in
+      if not (Vm.Layout.valid_code layout ret) then (List.rev frames, false)
+      else if in_stack saved_fp && saved_fp <= fp then (List.rev frames, false)
+      else go ((fp, ret) :: frames) saved_fp (n + 1)
+  in
+  go [] (Vm.Cpu.get_reg p.cpu Vm.Isa.FP) 0
+
+(** Analyze a faulted process. Non-destructive: reads machine state only. *)
+let analyze (p : Osim.Process.t) (fault : Vm.Event.fault) : report =
+  let cpu = p.cpu in
+  let pc = cpu.Vm.Cpu.pc in
+  let crash_fn = symbol_at p pc in
+  let frames, stack_consistent = stack_walk p in
+  let heap_ok = Vm.Alloc.heap_consistent p.mem p.layout in
+  let instr = Hashtbl.find_opt cpu.Vm.Cpu.code pc in
+  let describe a = Osim.Process.describe_addr p a in
+  (* The caller of the faulting function, from the first walked frame. *)
+  let caller_fn =
+    match frames with
+    | (_, ret) :: _ -> symbol_at p ret
+    | [] -> None
+  in
+  (* Double-free evidence: crashed inside free and the chunk being freed
+     carries the "already freed" magic. *)
+  let free_arg_already_freed () =
+    match crash_fn with
+    | Some "free" ->
+      let fp = Vm.Cpu.get_reg cpu Vm.Isa.FP in
+      let ptr = Vm.Memory.load_word p.mem (fp + 8) in
+      ptr >= p.layout.Vm.Layout.heap_base
+      && ptr < p.layout.Vm.Layout.heap_max
+      && Vm.Memory.load_word p.mem (ptr - 4) = Vm.Alloc.magic_freed
+    | _ -> false
+  in
+  let loc = Vsef.loc_of_pc p in
+  let diagnosis, vsef =
+    match (fault, instr) with
+    | Vm.Event.Exec_violation _, Some Vm.Isa.Ret ->
+      (* A corrupted return address was taken: stack smashing. Initial
+         VSEF: side stack for the victim function. *)
+      let vsef =
+        match function_range p pc with
+        | Some (fn, entry, _) ->
+          Some
+            {
+              Vsef.v_name = "side-stack-" ^ fn;
+              v_app = "";
+              v_check = Vsef.Side_stack { entry = loc entry; ret = loc pc; fn };
+              v_origin = Vsef.From_coredump;
+            }
+        | None -> None
+      in
+      (Stack_smash_suspected, vsef)
+    | (Vm.Event.Segv_read a | Vm.Event.Segv_write a), _
+      when a < 0x10000 && not stack_consistent
+           && not (free_arg_already_freed ()) ->
+      (* A wild access through a corrupted frame: the smash clobbered the
+         saved frame pointer but not (or not validly) the return address.
+         No precise initial VSEF exists from the image alone; memory-bug
+         detection will pin the overflowing store during replay. *)
+      (Stack_smash_suspected, None)
+    | (Vm.Event.Segv_read a | Vm.Event.Segv_write a), _ when a < 0x10000 && not (free_arg_already_freed ()) ->
+      ( Null_dereference,
+        Some
+          {
+            Vsef.v_name = "null-check";
+            v_app = "";
+            v_check = Vsef.Null_check { at = loc pc };
+            v_origin = Vsef.From_coredump;
+          } )
+    | (Vm.Event.Segv_read _ | Vm.Event.Segv_write _), _
+      when free_arg_already_freed () ->
+      let vsef =
+        match function_range p pc with
+        | Some (_, entry, _) ->
+          Some
+            {
+              Vsef.v_name = "free-guard";
+              v_app = "";
+              v_check = Vsef.Free_guard { free_entry = loc entry };
+              v_origin = Vsef.From_coredump;
+            }
+        | None -> None
+      in
+      (Double_free_suspected, vsef)
+    | Vm.Event.Segv_write a, Some (Vm.Isa.Storeb _ | Vm.Isa.Store _)
+      when a >= p.layout.Vm.Layout.heap_base && a < p.layout.Vm.Layout.heap_max + Vm.Memory.page_size ->
+      (* A store ran off the mapped heap: heap overflow. Qualify the VSEF
+         by the calling context when the store is in a library routine. *)
+      let caller_range =
+        match frames with
+        | (_, ret) :: _ -> (
+          match function_range p ret with
+          | Some (_, lo, hi) -> Some (loc lo, loc hi)
+          | None -> None)
+        | [] -> None
+      in
+      ( Heap_overflow_suspected,
+        Some
+          {
+            Vsef.v_name = "heap-bounds";
+            v_app = "";
+            v_check =
+              Vsef.Heap_bounds { store = loc pc; caller = caller_fn; caller_range };
+            v_origin = Vsef.From_coredump;
+          } )
+    | _ -> (Unclassified, None)
+  in
+  let summary =
+    Printf.sprintf "Crash at %s; stack %s; heap %s -> %s" (describe pc)
+      (if stack_consistent then "consistent" else "inconsistent")
+      (if heap_ok && diagnosis <> Double_free_suspected then "consistent"
+       else "inconsistent")
+      (diagnosis_to_string diagnosis)
+  in
+  {
+    c_fault = fault;
+    c_crash_pc = pc;
+    c_crash_fn = crash_fn;
+    c_caller_fn = caller_fn;
+    c_stack_consistent = stack_consistent;
+    c_heap_consistent = heap_ok && diagnosis <> Double_free_suspected;
+    c_diagnosis = diagnosis;
+    c_vsef = vsef;
+    c_summary = summary;
+  }

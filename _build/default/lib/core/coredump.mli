@@ -1,0 +1,37 @@
+(** Memory-state analysis: the first, fastest analysis step.
+
+    Given only the faulted process image (no re-execution), it classifies
+    the crash, checks stack and heap consistency, and derives the initial
+    VSEF — available within milliseconds of detection, which is what lets
+    Sweeper start spreading an antibody while the heavier analyses are
+    still running. *)
+
+type diagnosis =
+  | Stack_smash_suspected   (** corrupted return taken; stack walk broken *)
+  | Null_dereference        (** access inside the NULL guard page *)
+  | Double_free_suspected   (** crash inside [free]; argument already freed *)
+  | Heap_overflow_suspected (** wild store off the heap; chunk headers bad *)
+  | Unclassified
+
+type report = {
+  c_fault : Vm.Event.fault;
+  c_crash_pc : int;
+  c_crash_fn : string option;   (** function containing the faulting pc *)
+  c_caller_fn : string option;  (** caller, when the walk allows it *)
+  c_stack_consistent : bool;
+  c_heap_consistent : bool;
+  c_diagnosis : diagnosis;
+  c_vsef : Vsef.t option;       (** the initial VSEF *)
+  c_summary : string;
+}
+
+val diagnosis_to_string : diagnosis -> string
+
+val symbol_at : Osim.Process.t -> int -> string option
+
+val stack_walk : Osim.Process.t -> (int * int) list * bool
+(** Walk the frame-pointer chain; returns (frames as (fp, return address),
+    consistent?). *)
+
+val analyze : Osim.Process.t -> Vm.Event.fault -> report
+(** Analyze a faulted process. Non-destructive: reads machine state only. *)

@@ -1,0 +1,213 @@
+(** The community defense, mechanically: a fleet of real (simulated) hosts
+    in the Producer/Consumer arrangement of Section 6.
+
+    Producers run the complete Sweeper stack; when the lightweight monitors
+    on one of them trip, it runs the full analysis, produces an antibody,
+    and publishes it. Consumers run lightweight monitoring only, deploy
+    published antibodies (optionally verifying them first in a sandbox),
+    and are otherwise on their own. This module is the bridge between the
+    per-host machinery of {!Orchestrator} and the population-level claims
+    of {!Epidemic}: the analytic model's parameters (α, ρ, γ) all have a
+    concrete mechanical counterpart here. *)
+
+type role = Producer | Consumer
+
+type host = {
+  h_id : int;
+  h_role : role;
+  h_proc : Osim.Process.t;
+  h_server : Osim.Server.t;
+  mutable h_infected : bool;
+  mutable h_deployed : int;  (** antibody generation number installed *)
+  mutable h_installed : Vsef.installed list;  (** currently-armed VSEFs *)
+}
+
+type stats = {
+  mutable s_attempts : int;
+  mutable s_infections : int;
+  mutable s_crashes : int;       (** detections via lightweight monitoring *)
+  mutable s_blocked : int;       (** stopped by antibodies *)
+  mutable s_analyses : int;      (** producer pipeline runs *)
+  mutable s_first_antibody_ms : float option;
+}
+
+type t = {
+  app : string;
+  compile : unit -> Minic.Codegen.compiled;
+      (** the application build, for consumer-side antibody verification *)
+  hosts : host list;
+  mutable antibody : (int * Antibody.t) option;  (** generation, bundle *)
+  mutable generation : int;
+  mutable corpus : string list;
+      (** every confirmed exploit payload observed community-wide; two or
+          more distinct samples upgrade the exact-match signature to a
+          Polygraph-style token signature *)
+  verify_before_deploy : bool;
+  stats : stats;
+}
+
+(** Build a community of [n] hosts running the application compiled by
+    [compile]; the first [producers] of them run the full Sweeper stack.
+    Every host gets an independent randomized layout derived from [seed]. *)
+let create ?(verify_before_deploy = false) ~app ~(compile : unit -> Minic.Codegen.compiled)
+    ~n ~producers ~seed () =
+  let compiled = compile () in
+  let hosts =
+    List.init n (fun id ->
+        let proc = Osim.Process.load ~aslr:true ~seed:(seed + id) compiled in
+        let server = Osim.Server.create proc in
+        ignore (Osim.Server.run server);
+        {
+          h_id = id;
+          h_role = (if id < producers then Producer else Consumer);
+          h_proc = proc;
+          h_server = server;
+          h_infected = false;
+          h_deployed = 0;
+          h_installed = [];
+        })
+  in
+  {
+    app;
+    compile;
+    hosts;
+    antibody = None;
+    generation = 0;
+    corpus = [];
+    verify_before_deploy;
+    stats =
+      { s_attempts = 0; s_infections = 0; s_crashes = 0; s_blocked = 0;
+        s_analyses = 0; s_first_antibody_ms = None };
+  }
+
+(** Publish an antibody to the community. Consumers that distrust the
+    producer verify it against their own copy of the application first —
+    the deferred-verification option of Section 3.3. *)
+let publish t antibody =
+  let accept =
+    (not t.verify_before_deploy) || Antibody.verify antibody ~compile:t.compile
+  in
+  if accept then begin
+    t.generation <- t.generation + 1;
+    t.antibody <- Some (t.generation, antibody)
+  end;
+  accept
+
+(* Make sure [host] runs the latest antibody generation, replacing any
+   previously installed one. *)
+let sync_antibody t host =
+  match t.antibody with
+  | Some (gen, ab) when host.h_deployed < gen ->
+    List.iter Vsef.uninstall host.h_installed;
+    Osim.Netlog.remove_filter host.h_proc.Osim.Process.net
+      ~name:("antibody-" ^ t.app);
+    host.h_installed <- Antibody.deploy host.h_proc ab;
+    host.h_deployed <- gen
+  | _ -> ()
+
+(** Record a confirmed exploit payload (the original crash input or a
+    VSEF-blocked variant). With two or more distinct samples the signature
+    is refined from exact-match to a token signature that covers the whole
+    family, and the antibody is republished. *)
+let record_exploit_sample t payload =
+  if not (List.mem payload t.corpus) then begin
+    t.corpus <- payload :: t.corpus;
+    match (t.antibody, t.corpus) with
+    | Some (_, ab), (_ :: _ :: _ as corpus) ->
+      let refined = Signature.tokens_of_variants (List.rev corpus) in
+      ignore
+        (publish t { ab with Antibody.ab_signature = Some refined })
+    | _ -> ()
+  end
+
+(* The rollback point for dropping message [cur]: a checkpoint predating
+   its consumption (the latest one may have been taken mid-message). *)
+let safe_ck host cur =
+  match
+    Osim.Checkpoint.before_message host.h_server.Osim.Server.ring
+      ~msg_index:cur
+  with
+  | Some ck -> ck
+  | None -> Option.get (Osim.Checkpoint.oldest host.h_server.Osim.Server.ring)
+
+type delivery =
+  | Served
+  | Blocked of string       (** input filter or VSEF stopped it *)
+  | Detected_and_analyzed   (** producer ran the pipeline; antibody published *)
+  | Crashed_consumer        (** consumer detected the attack but can only recover *)
+  | Infected of string
+
+(** Deliver one message to one host, with the full community behaviour:
+    antibody sync, producer-side analysis on detection, consumer-side
+    recovery. *)
+let deliver t host payload : delivery =
+  if host.h_infected then Infected "already infected"
+  else begin
+    t.stats.s_attempts <- t.stats.s_attempts + 1;
+    sync_antibody t host;
+    match Osim.Server.handle host.h_server payload with
+    | `Served _ -> Served
+    | `Filtered name ->
+      t.stats.s_blocked <- t.stats.s_blocked + 1;
+      Blocked name
+    | `Stopped -> Served
+    | `Infected (_, cmd) ->
+      host.h_infected <- true;
+      t.stats.s_infections <- t.stats.s_infections + 1;
+      Infected cmd
+    | `Crashed (_, fault) ->
+      t.stats.s_crashes <- t.stats.s_crashes + 1;
+      (match host.h_role with
+      | Producer ->
+        t.stats.s_analyses <- t.stats.s_analyses + 1;
+        let report = Orchestrator.handle_attack ~app:t.app host.h_server fault in
+        if t.stats.s_first_antibody_ms = None then
+          t.stats.s_first_antibody_ms <-
+            Some report.Orchestrator.a_total_ms;
+        ignore (publish t report.Orchestrator.a_antibody);
+        host.h_deployed <- t.generation;
+        (match report.Orchestrator.a_antibody.Antibody.ab_exploit_input with
+        | Some inputs -> List.iter (record_exploit_sample t) inputs
+        | None -> ());
+        Detected_and_analyzed
+      | Consumer ->
+        (* A consumer has checkpoints but no analysis stack: roll back to
+           a checkpoint predating the in-flight message and drop it. *)
+        let cur = host.h_proc.Osim.Process.cur_msg in
+        ignore (Recovery.recover host.h_server (safe_ck host cur) ~skip:[ cur ]);
+        Crashed_consumer)
+    | exception Detection.Detected _ ->
+      (* A VSEF vetoed the attack: drop the message, resume — and feed the
+         confirmed exploit variant back into signature refinement, so the
+         proxy filter learns what the VSEF had to catch. *)
+      t.stats.s_blocked <- t.stats.s_blocked + 1;
+      let cur = host.h_proc.Osim.Process.cur_msg in
+      ignore (Recovery.recover host.h_server (safe_ck host cur) ~skip:[ cur ]);
+      record_exploit_sample t payload;
+      Blocked "vsef"
+  end
+
+(** One worm round: the worm attacks every host once, with a fresh address
+    guess per host ([exploit_for] builds the per-host attack stream). *)
+let worm_round t ~(exploit_for : host -> string list) =
+  List.iter
+    (fun host ->
+      if not host.h_infected then
+        List.iter (fun msg -> ignore (deliver t host msg)) (exploit_for host))
+    t.hosts
+
+let infected_count t = List.length (List.filter (fun h -> h.h_infected) t.hosts)
+
+let infection_ratio t =
+  float_of_int (infected_count t) /. float_of_int (List.length t.hosts)
+
+(** Every uninfected host still answers a trivial request. *)
+let all_alive t =
+  List.for_all
+    (fun h ->
+      h.h_infected
+      ||
+      match Osim.Server.handle h.h_server "noop" with
+      | `Served _ | `Stopped -> true
+      | `Filtered _ | `Crashed _ | `Infected _ -> false)
+    t.hosts

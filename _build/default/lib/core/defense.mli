@@ -1,0 +1,86 @@
+(** The community defense, mechanically: a fleet of real (simulated) hosts
+    in the Producer/Consumer arrangement of the paper's Section 6.
+
+    Producers run the complete Sweeper stack; when one is probed it runs
+    the full analysis and publishes an antibody. Consumers run lightweight
+    monitoring only, deploy published antibodies (optionally verifying them
+    first), and recover by rollback when attacked. This is the bridge
+    between the per-host machinery of {!Orchestrator} and the
+    population-level claims of the epidemic model. *)
+
+type role = Producer | Consumer
+
+type host = {
+  h_id : int;
+  h_role : role;
+  h_proc : Osim.Process.t;
+  h_server : Osim.Server.t;
+  mutable h_infected : bool;
+  mutable h_deployed : int;  (** antibody generation installed *)
+  mutable h_installed : Vsef.installed list;  (** currently-armed VSEFs *)
+}
+
+type stats = {
+  mutable s_attempts : int;
+  mutable s_infections : int;
+  mutable s_crashes : int;   (** detections via lightweight monitoring *)
+  mutable s_blocked : int;   (** stopped by antibodies *)
+  mutable s_analyses : int;  (** producer pipeline runs *)
+  mutable s_first_antibody_ms : float option;
+}
+
+type t = {
+  app : string;
+  compile : unit -> Minic.Codegen.compiled;
+  hosts : host list;
+  mutable antibody : (int * Antibody.t) option;  (** generation, bundle *)
+  mutable generation : int;
+  mutable corpus : string list;
+      (** confirmed exploit payloads observed community-wide *)
+  verify_before_deploy : bool;
+  stats : stats;
+}
+
+val create :
+  ?verify_before_deploy:bool ->
+  app:string ->
+  compile:(unit -> Minic.Codegen.compiled) ->
+  n:int ->
+  producers:int ->
+  seed:int ->
+  unit ->
+  t
+(** A community of [n] hosts; the first [producers] run the full stack.
+    Every host gets an independent randomized layout derived from [seed]. *)
+
+val publish : t -> Antibody.t -> bool
+(** Publish an antibody; with [verify_before_deploy] it is sandbox-verified
+    first. Returns acceptance. *)
+
+val record_exploit_sample : t -> string -> unit
+(** Record a confirmed exploit payload (the original crash input or a
+    VSEF-blocked variant). With two or more distinct samples the signature
+    is refined from exact-match to a token signature covering the family,
+    and the antibody is republished. *)
+
+type delivery =
+  | Served
+  | Blocked of string      (** input filter or VSEF stopped it *)
+  | Detected_and_analyzed  (** producer ran the pipeline; antibody published *)
+  | Crashed_consumer       (** consumer detected the attack; recovered only *)
+  | Infected of string
+
+val deliver : t -> host -> string -> delivery
+(** Deliver one message to one host, with the full community behaviour:
+    antibody sync, producer-side analysis on detection, consumer-side
+    rollback recovery. *)
+
+val worm_round : t -> exploit_for:(host -> string list) -> unit
+(** The worm attacks every uninfected host once; [exploit_for] builds the
+    per-host attack stream (fresh address guess per host). *)
+
+val infected_count : t -> int
+val infection_ratio : t -> float
+
+val all_alive : t -> bool
+(** Every uninfected host still answers a trivial request. *)

@@ -1,0 +1,34 @@
+(** Detections: the events Sweeper's monitors and antibodies raise when an
+    attack is recognized, and their classification. *)
+
+(** Why an execution was flagged. *)
+type kind =
+  | Crash_fault of Vm.Event.fault
+      (** lightweight monitoring: ASLR turned the exploit into a fault *)
+  | Vsef_trip of string
+      (** an installed execution filter vetoed an instruction *)
+  | Signature_match of string
+      (** an input filter matched at the network proxy *)
+  | Taint_sink of string
+      (** heavyweight taint analysis saw tainted data misused *)
+
+type t = {
+  d_kind : kind;
+  d_pc : int;        (** instruction at which the detection fired *)
+  d_detail : string;
+}
+
+(** Raised by VSEF hooks from inside the CPU's pre-hook phase, vetoing the
+    instruction before it commits. *)
+exception Detected of t
+
+let detect kind ~pc ~detail = raise (Detected { d_kind = kind; d_pc = pc; d_detail = detail })
+
+let kind_to_string = function
+  | Crash_fault f -> "fault:" ^ Vm.Event.fault_to_string f
+  | Vsef_trip v -> "vsef:" ^ v
+  | Signature_match s -> "signature:" ^ s
+  | Taint_sink s -> "taint:" ^ s
+
+let to_string d =
+  Printf.sprintf "%s at 0x%x (%s)" (kind_to_string d.d_kind) d.d_pc d.d_detail

@@ -1,0 +1,29 @@
+(** Detections: the events Sweeper's monitors and antibodies raise when an
+    attack is recognized. *)
+
+(** Why an execution was flagged. *)
+type kind =
+  | Crash_fault of Vm.Event.fault
+      (** lightweight monitoring: ASLR turned the exploit into a fault *)
+  | Vsef_trip of string
+      (** an installed execution filter vetoed an instruction *)
+  | Signature_match of string
+      (** an input filter matched at the network proxy *)
+  | Taint_sink of string
+      (** taint monitoring saw tainted data about to be misused *)
+
+type t = {
+  d_kind : kind;
+  d_pc : int;  (** instruction at which the detection fired *)
+  d_detail : string;
+}
+
+exception Detected of t
+(** Raised by VSEF/taint hooks from inside the CPU's pre-hook phase,
+    vetoing the instruction before it commits. *)
+
+val detect : kind -> pc:int -> detail:string -> 'a
+(** Raise {!Detected}. *)
+
+val kind_to_string : kind -> string
+val to_string : t -> string

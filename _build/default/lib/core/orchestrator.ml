@@ -1,0 +1,253 @@
+(** The end-to-end Sweeper defense process of the paper's Figure 3:
+    lightweight monitoring trips → rollback → staged heavyweight analysis
+    (memory state → memory bugs → taint → input isolation → slicing) →
+    antibody generation → recovery. Each stage re-executes from the same
+    checkpoint with different instrumentation attached. *)
+
+module Int_set = Set.Make (Int)
+
+type stage_timing = {
+  st_name : string;
+  st_wall_ms : float;      (** measured harness time for the stage *)
+  st_instructions : int;   (** dynamic instructions monitored *)
+}
+
+type report = {
+  a_app : string;
+  a_fault : Vm.Event.fault;
+  a_coredump : Coredump.report;
+  a_membug : Membug.report;
+  a_taint : Taint.result;
+  a_isolation : int list;  (** message ids reproducing the crash *)
+  a_isolation_stream : bool;
+      (** true when only the full suspect stream reproduces it (stateful
+          exploits like the CVS double free) *)
+  a_slice : Slice.summary;
+  a_slice_verifies : bool;  (** every blamed pc is inside the slice *)
+  a_vsefs : Vsef.t list;    (** initial + refined + taint, in order found *)
+  a_signature : Signature.t option;
+  a_antibody : Antibody.t;
+  a_timings : stage_timing list;
+  a_time_to_first_vsef_ms : float;
+  a_time_to_best_vsef_ms : float;
+  a_initial_analysis_ms : float;  (** VSEFs + exploit input isolated *)
+  a_total_ms : float;
+}
+
+let timed _name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (r, ms)
+
+(* Roll back and arm replay of the suspect window. *)
+let rearm proc ck ~upto ~skip =
+  Osim.Checkpoint.rollback proc ck;
+  Osim.Netlog.set_mode proc.Osim.Process.net
+    (Osim.Netlog.Replay { upto; skip });
+  proc.Osim.Process.sandbox <- true
+
+(* Replay the window with no instrumentation; true when the crash recurs. *)
+let replay_crashes proc ck ~upto ~skip =
+  rearm proc ck ~upto ~skip;
+  match Osim.Process.run ~fuel:50_000_000 proc with
+  | Vm.Cpu.Faulted _ -> true
+  | Vm.Cpu.Halted -> proc.Osim.Process.compromised <> None
+  | Vm.Cpu.Blocked | Vm.Cpu.Out_of_fuel -> false
+
+(** Analyze an attack that was just detected on [server] as [fault].
+    Leaves the process rolled back and recovered: live again with the
+    antibody installed (unless [recover] is false). *)
+let handle_attack ?(recover = true) ~app (server : Osim.Server.t)
+    (fault : Vm.Event.fault) =
+  let proc = server.Osim.Server.proc in
+  let net = proc.Osim.Process.net in
+  let t_start = Unix.gettimeofday () in
+  let timings = ref [] in
+  let record name ms instrs =
+    timings := { st_name = name; st_wall_ms = ms; st_instructions = instrs } :: !timings
+  in
+  (* --- Stage 1: memory-state analysis (no rollback needed) ------------- *)
+  let coredump, cd_ms = timed "memory-state" (fun () -> Coredump.analyze proc fault) in
+  record "Memory State Analysis" cd_ms 0;
+  let t_first_vsef = (Unix.gettimeofday () -. t_start) *. 1000. in
+  let initial_vsefs =
+    match coredump.Coredump.c_vsef with
+    | Some v -> [ { v with Vsef.v_app = app } ]
+    | None -> []
+  in
+  (* The rollback point: the newest checkpoint at or before the message
+     being serviced when the monitors tripped. *)
+  let crash_cursor = Osim.Netlog.cursor net in
+  let ck =
+    match
+      Osim.Checkpoint.before_message server.Osim.Server.ring
+        ~msg_index:(max 0 (crash_cursor - 1))
+    with
+    | Some ck -> ck
+    | None -> Option.get (Osim.Checkpoint.oldest server.Osim.Server.ring)
+  in
+  let suspects =
+    List.map (fun m -> m.Osim.Netlog.m_id)
+      (Osim.Netlog.consumed_since net ck.Osim.Checkpoint.ck_net_cursor)
+  in
+  let upto = crash_cursor in
+  (* --- Stage 2: memory-bug detection ----------------------------------- *)
+  let membug, mb_ms =
+    timed "membug" (fun () ->
+        rearm proc ck ~upto ~skip:Int_set.empty;
+        Membug.run proc)
+  in
+  record "Memory Bug Detection" mb_ms membug.Membug.m_instructions;
+  let refined_vsefs =
+    List.filter_map (Membug.vsef_of_finding ~app ~proc)
+      (List.sort_uniq compare membug.Membug.m_findings)
+  in
+  let t_best_vsef = (Unix.gettimeofday () -. t_start) *. 1000. in
+  (* --- Stage 3: dynamic taint analysis ---------------------------------- *)
+  let taint, ta_ms =
+    timed "taint" (fun () ->
+        rearm proc ck ~upto ~skip:Int_set.empty;
+        Taint.run proc)
+  in
+  record "Input/Taint Analysis" ta_ms taint.Taint.t_instructions;
+  let taint_msgs = Taint.verdict_msgs taint.Taint.t_verdict in
+  (* --- Stage 4: input isolation (suspects one at a time) ---------------- *)
+  let (isolation, stream_only), iso_ms =
+    timed "isolation" (fun () ->
+        match taint_msgs with
+        | _ :: _ -> (taint_msgs, false)  (* taint already isolated the input *)
+        | [] ->
+          let all = Int_set.of_list suspects in
+          let alone =
+            List.filter
+              (fun m ->
+                replay_crashes proc ck ~upto ~skip:(Int_set.remove m all))
+              suspects
+          in
+          if alone <> [] then (alone, false)
+          else if not (replay_crashes proc ck ~upto ~skip:Int_set.empty) then
+            ([], false)
+          else begin
+            (* Only a stream reproduces it (stateful exploit). Minimize it
+               greedily: drop each message whose absence keeps the crash. *)
+            let keep = ref all in
+            List.iter
+              (fun m ->
+                let candidate = Int_set.remove m !keep in
+                if
+                  replay_crashes proc ck ~upto
+                    ~skip:(Int_set.diff all candidate)
+                then keep := candidate)
+              suspects;
+            (Int_set.elements !keep, true)
+          end)
+  in
+  record "Input Isolation" iso_ms 0;
+  let t_initial = (Unix.gettimeofday () -. t_start) *. 1000. in
+  (* --- Stage 5: dynamic backward slicing -------------------------------- *)
+  let slice_res, sl_ms =
+    timed "slicing" (fun () ->
+        rearm proc ck ~upto ~skip:Int_set.empty;
+        Slice.run proc)
+  in
+  let slice = slice_res.Slice.sl_summary in
+  record "Dynamic Slicing" sl_ms slice_res.Slice.sl_instructions;
+  (* Cross-check every blamed instruction against the slice. *)
+  let blamed_pcs =
+    List.map Membug.finding_pc membug.Membug.m_findings
+    @ (match coredump.Coredump.c_diagnosis with
+      | Coredump.Null_dereference | Coredump.Stack_smash_suspected
+      | Coredump.Heap_overflow_suspected | Coredump.Double_free_suspected ->
+        [ coredump.Coredump.c_crash_pc ]
+      | Coredump.Unclassified -> [])
+  in
+  let slice_verifies = List.for_all (Slice.verifies slice) blamed_pcs in
+  (* --- Antibody assembly ------------------------------------------------ *)
+  let taint_vsef = Taint.vsef_of_result ~app ~proc taint in
+  let responsible_payloads =
+    List.map (fun id -> (Osim.Netlog.message net id).Osim.Netlog.m_payload)
+      isolation
+  in
+  let signature =
+    match responsible_payloads with
+    | [] -> None
+    | [ one ] when not stream_only -> Some (Signature.exact one)
+    | stream -> Some (Signature.exact (String.concat "" stream))
+  in
+  let antibody =
+    let base =
+      match initial_vsefs with
+      | v :: _ -> Antibody.initial ~app v
+      | [] -> (
+        match refined_vsefs with
+        | v :: _ -> Antibody.initial ~app v
+        | [] ->
+          { Antibody.ab_app = app; ab_stage = Antibody.Initial; ab_vsefs = [];
+            ab_signature = None; ab_exploit_input = None })
+    in
+    let refined = Antibody.refine base refined_vsefs in
+    match signature with
+    | Some s ->
+      Antibody.complete refined ?taint_vsef ~signature:s
+        ~exploit_input:responsible_payloads ()
+    | None -> refined
+  in
+  (* --- Recovery ---------------------------------------------------------- *)
+  let all_vsefs = initial_vsefs @ refined_vsefs @ Option.to_list taint_vsef in
+  if recover then begin
+    (* Install the antibody first, then roll back and re-execute without
+       the malicious input. *)
+    ignore (Antibody.deploy proc antibody);
+    let skip = if isolation <> [] then isolation else suspects in
+    ignore (Recovery.recover server ck ~skip)
+  end;
+  let t_total = (Unix.gettimeofday () -. t_start) *. 1000. in
+  {
+    a_app = app;
+    a_fault = fault;
+    a_coredump = coredump;
+    a_membug = membug;
+    a_taint = taint;
+    a_isolation = isolation;
+    a_isolation_stream = stream_only;
+    a_slice = slice;
+    a_slice_verifies = slice_verifies;
+    a_vsefs = all_vsefs;
+    a_signature = signature;
+    a_antibody = antibody;
+    a_timings = List.rev !timings;
+    a_time_to_first_vsef_ms = t_first_vsef;
+    a_time_to_best_vsef_ms = t_best_vsef;
+    a_initial_analysis_ms = t_initial;
+    a_total_ms = t_total;
+  }
+
+(** Serve messages on a Sweeper-protected server, running the full defense
+    process when the lightweight monitoring trips. Returns the analysis
+    reports of the attacks handled. *)
+let protected_handle ~app (server : Osim.Server.t) payload =
+  match Osim.Server.handle server payload with
+  | `Served id -> `Served id
+  | `Filtered f -> `Filtered f
+  | `Stopped -> `Stopped
+  | `Crashed (_, fault) -> `Attack (handle_attack ~app server fault)
+  | `Infected (_, _cmd) ->
+    (* A compromise slipped past the monitors (correct ASLR guess). On a
+       full-Sweeper host we still roll back and analyze: the infection left
+       a fault-free trail, but the compromise event is the trigger. *)
+    `Compromised
+  | exception Detection.Detected d ->
+    (* A VSEF vetoed the instruction: drop the in-flight message, roll back
+       to a checkpoint predating it (the latest one may sit mid-message)
+       and resume. *)
+    let cur = server.Osim.Server.proc.Osim.Process.cur_msg in
+    let ck =
+      match
+        Osim.Checkpoint.before_message server.Osim.Server.ring ~msg_index:cur
+      with
+      | Some ck -> ck
+      | None -> Option.get (Osim.Checkpoint.oldest server.Osim.Server.ring)
+    in
+    ignore (Recovery.recover server ck ~skip:[ cur ]);
+    `Blocked_by_vsef d

@@ -1,0 +1,55 @@
+(** The end-to-end Sweeper defense process of the paper's Figure 3:
+    lightweight monitoring trips → rollback → staged heavyweight analysis
+    (memory state → memory bugs → taint → input isolation → slicing) →
+    antibody generation → recovery. Each stage re-executes from the same
+    checkpoint with different instrumentation attached. *)
+
+module Int_set : Set.S with type elt = int and type t = Set.Make(Int).t
+
+type stage_timing = {
+  st_name : string;
+  st_wall_ms : float;     (** measured harness time for the stage *)
+  st_instructions : int;  (** dynamic instructions monitored *)
+}
+
+type report = {
+  a_app : string;
+  a_fault : Vm.Event.fault;
+  a_coredump : Coredump.report;
+  a_membug : Membug.report;
+  a_taint : Taint.result;
+  a_isolation : int list;  (** message ids reproducing the crash *)
+  a_isolation_stream : bool;
+      (** true when only the (minimized) suspect stream reproduces it —
+          stateful exploits like the CVS double free *)
+  a_slice : Slice.summary;
+  a_slice_verifies : bool;  (** every blamed pc is inside the slice *)
+  a_vsefs : Vsef.t list;    (** initial + refined + taint, in order found *)
+  a_signature : Signature.t option;
+  a_antibody : Antibody.t;
+  a_timings : stage_timing list;
+  a_time_to_first_vsef_ms : float;
+  a_time_to_best_vsef_ms : float;
+  a_initial_analysis_ms : float;  (** VSEFs + exploit input isolated *)
+  a_total_ms : float;
+}
+
+val handle_attack :
+  ?recover:bool -> app:string -> Osim.Server.t -> Vm.Event.fault -> report
+(** Analyze an attack just detected on the server. With [recover] (the
+    default) the process ends up rolled back and live again, with the
+    antibody installed and the malicious input quarantined. *)
+
+val protected_handle :
+  app:string ->
+  Osim.Server.t ->
+  string ->
+  [ `Served of int
+  | `Filtered of string
+  | `Stopped
+  | `Attack of report
+  | `Compromised
+  | `Blocked_by_vsef of Detection.t ]
+(** Serve one message on a Sweeper-protected server, running the full
+    defense process when the lightweight monitoring trips, and handling
+    VSEF vetoes by dropping the in-flight message and rolling back. *)

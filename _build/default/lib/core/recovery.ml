@@ -1,0 +1,55 @@
+(** Recovery: rollback plus re-execution without the attacker's input.
+
+    After analysis identifies the malicious message(s), the process is
+    rolled back to the checkpoint predating them, the network log is
+    replayed with those messages dropped, and responses already committed
+    to clients are suppressed (the output-commit handling inherited from
+    Rx). When the replay catches up with the log, the server goes back to
+    live service — no restart, no lost in-memory state. *)
+
+type outcome = {
+  rec_status : [ `Recovered | `Crashed_again of Vm.Event.fault | `Stopped ];
+  rec_replayed : int;   (** messages re-executed *)
+  rec_skipped : int;    (** malicious messages dropped *)
+  rec_instructions : int;
+}
+
+(** Roll [server] back to [ck] and re-execute, skipping the messages in
+    [skip]. On success the server is live again (network log back in
+    [Live] mode, blocked on input). *)
+let recover (server : Osim.Server.t) (ck : Osim.Checkpoint.t) ~skip : outcome =
+  let proc = server.Osim.Server.proc in
+  let net = proc.Osim.Process.net in
+  let upto = Osim.Netlog.message_count net in
+  let skip_set =
+    List.fold_left (fun s i -> Osim.Netlog.Int_set.add i s)
+      Osim.Netlog.Int_set.empty skip
+  in
+  (* Malicious messages are dropped now and stay dropped in any future
+     rollback-and-replay (a later VSEF recovery must not resurrect them) —
+     and every checkpoint taken while one of them was in flight is purged:
+     its memory image contains the attack's effects. *)
+  Osim.Netlog.quarantine net skip;
+  (match List.sort compare skip with
+  | first_bad :: _ ->
+    Osim.Checkpoint.purge_after server.Osim.Server.ring ~cursor:first_bad
+  | [] -> ());
+  Osim.Checkpoint.rollback proc ck;
+  Osim.Netlog.set_mode net (Osim.Netlog.Replay { upto; skip = skip_set });
+  proc.Osim.Process.sandbox <- false;  (* output commit handles duplicates *)
+  let before = proc.Osim.Process.cpu.Vm.Cpu.icount in
+  let status =
+    match Osim.Server.run server with
+    | Osim.Server.Idle -> `Recovered
+    | Osim.Server.Crashed f -> `Crashed_again f
+    | Osim.Server.Stopped | Osim.Server.Infected _ -> `Stopped
+  in
+  Osim.Netlog.set_mode net Osim.Netlog.Live;
+  (* Leave a fresh, clean rollback point for the resumed service. *)
+  if status = `Recovered then Osim.Server.take_checkpoint server;
+  {
+    rec_status = status;
+    rec_replayed = upto - ck.Osim.Checkpoint.ck_net_cursor - List.length skip;
+    rec_skipped = List.length skip;
+    rec_instructions = proc.Osim.Process.cpu.Vm.Cpu.icount - before;
+  }

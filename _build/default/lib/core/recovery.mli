@@ -1,0 +1,17 @@
+(** Recovery: rollback plus re-execution without the attacker's input.
+
+    The process is rolled back to a checkpoint predating the malicious
+    message(s); the network log is replayed with those messages dropped
+    (and permanently quarantined); responses already committed to clients
+    are suppressed (the output-commit handling inherited from Rx). When
+    the replay catches up with the log the server is live again — no
+    restart, no lost in-memory state. *)
+
+type outcome = {
+  rec_status : [ `Recovered | `Crashed_again of Vm.Event.fault | `Stopped ];
+  rec_replayed : int;  (** messages re-executed *)
+  rec_skipped : int;   (** malicious messages dropped *)
+  rec_instructions : int;
+}
+
+val recover : Osim.Server.t -> Osim.Checkpoint.t -> skip:int list -> outcome

@@ -1,0 +1,106 @@
+(** Human-readable rendering of analysis reports, in the shape of the
+    paper's Tables 2 and 3. *)
+
+let describe proc addr = Osim.Process.describe_addr proc addr
+
+(* Resolve a relocatable VSEF location against a concrete process. *)
+let describe_loc proc loc =
+  Osim.Process.describe_addr proc (Vsef.pc_of_loc proc loc)
+
+(** The per-stage detail rows of Table 2 for one analyzed attack. *)
+let table2_rows proc (r : Orchestrator.report) =
+  let d = describe_loc proc in
+  let row1 = ("Memory State Analysis", r.a_coredump.Coredump.c_summary) in
+  let row1b =
+    match r.a_coredump.Coredump.c_vsef with
+    | Some v -> [ ("", "VSEF: " ^ Vsef.check_to_string ~describe:d v.Vsef.v_check) ]
+    | None -> []
+  in
+  let row2 =
+    match r.a_membug.Membug.m_findings with
+    | [] -> [ ("Memory Bug Detection", "No memory bug detected") ]
+    | fs ->
+      List.concat_map
+        (fun f ->
+          let vsef_row =
+            match Membug.vsef_of_finding ~app:r.a_app ~proc f with
+            | Some v ->
+              [ ("", "VSEF: " ^ Vsef.check_to_string ~describe:d v.Vsef.v_check) ]
+            | None -> []
+          in
+          ( "Memory Bug Detection",
+            Membug.finding_to_string ~describe:(describe proc) f )
+          :: vsef_row)
+        (List.sort_uniq compare fs)
+  in
+  let row3 =
+    let input =
+      match r.a_isolation with
+      | [] -> "no input isolated"
+      | ids when r.a_isolation_stream ->
+        Printf.sprintf "[request stream: %d messages]" (List.length ids)
+      | [ id ] ->
+        let m = (Osim.Netlog.message proc.Osim.Process.net id).m_payload in
+        let m = if String.length m > 40 then String.sub m 0 37 ^ "..." else m in
+        String.escaped m
+      | ids -> Printf.sprintf "messages %s" (String.concat "," (List.map string_of_int ids))
+    in
+    [ ("Input/Taint Analysis",
+       Printf.sprintf "%s; input: %s"
+         (Taint.verdict_to_string r.a_taint.Taint.t_verdict) input) ]
+  in
+  let row4 =
+    [ ("Slicing",
+       Printf.sprintf "%s (slice: %d dynamic instrs, %d sites, %d msgs)"
+         (if r.a_slice_verifies then "Verifies results" else "CONTRADICTS results")
+         r.a_slice.Slice.s_slice_size
+         (Orchestrator.Int_set.cardinal r.a_slice.Slice.s_pcs)
+         (Orchestrator.Int_set.cardinal r.a_slice.Slice.s_msgs)) ]
+  in
+  (row1 :: row1b) @ row2 @ row3 @ row4
+
+(** A one-line summary in the style of Table 2's "Defense Result Summary". *)
+let summary (r : Orchestrator.report) =
+  Printf.sprintf "%s: %s; %d VSEF(s); input %s; slice %s" r.a_app
+    (Coredump.diagnosis_to_string r.a_coredump.Coredump.c_diagnosis)
+    (List.length r.a_vsefs)
+    (match r.a_isolation with
+    | [] -> "not found"
+    | _ when r.a_isolation_stream -> "found (stream)"
+    | _ -> "found")
+    (if r.a_slice_verifies then "verifies" else "contradicts")
+
+(** The Table 3 timing row for one attack. *)
+let table3_row (r : Orchestrator.report) =
+  let stage name =
+    match List.find_opt (fun s -> s.Orchestrator.st_name = name) r.a_timings with
+    | Some s -> s.Orchestrator.st_wall_ms
+    | None -> 0.
+  in
+  ( r.a_app,
+    r.a_time_to_first_vsef_ms,
+    r.a_time_to_best_vsef_ms,
+    r.a_initial_analysis_ms,
+    r.a_total_ms,
+    stage "Memory State Analysis",
+    stage "Memory Bug Detection",
+    stage "Input/Taint Analysis" +. stage "Input Isolation",
+    stage "Dynamic Slicing" )
+
+let print_table2 proc r =
+  Printf.printf "== %s ==\n" (summary r);
+  List.iter
+    (fun (k, v) ->
+      if k = "" then Printf.printf "    %s\n" v
+      else Printf.printf "  %-24s %s\n" k v)
+    (table2_rows proc r)
+
+let print_table3_header () =
+  Printf.printf "%-10s %12s %12s %12s %12s | %10s %10s %10s %10s\n" "App"
+    "1stVSEF(ms)" "bestVSEF(ms)" "initial(ms)" "total(ms)" "memstate"
+    "membug" "taint" "slicing"
+
+let print_table3_row r =
+  let app, fv, bv, init, tot, ms, mb, ta, sl = table3_row r in
+  Printf.printf "%-10s %12.2f %12.2f %12.2f %12.2f | %10.2f %10.2f %10.2f %10.2f\n"
+    app fv bv init tot ms mb ta sl

@@ -1,0 +1,25 @@
+(** Human-readable rendering of analysis reports, in the shape of the
+    paper's Tables 2 and 3. *)
+
+val describe : Osim.Process.t -> int -> string
+(** Pretty-print an absolute address against a process's symbol tables. *)
+
+val describe_loc : Osim.Process.t -> Vsef.loc -> string
+(** Resolve a relocatable VSEF location against a concrete process. *)
+
+val table2_rows : Osim.Process.t -> Orchestrator.report -> (string * string) list
+(** The per-stage detail rows of Table 2 for one analyzed attack (an empty
+    first component continues the previous row). *)
+
+val summary : Orchestrator.report -> string
+(** A one-line "Defense Result Summary". *)
+
+val table3_row :
+  Orchestrator.report ->
+  string * float * float * float * float * float * float * float * float
+(** (app, first-VSEF ms, best-VSEF ms, initial ms, total ms, memory-state,
+    membug, taint+isolation, slicing). *)
+
+val print_table2 : Osim.Process.t -> Orchestrator.report -> unit
+val print_table3_header : unit -> unit
+val print_table3_row : Orchestrator.report -> unit

@@ -1,0 +1,63 @@
+(** Request sampling (Section 4.2): run heavyweight taint monitoring on a
+    fraction of requests during normal execution.
+
+    Address-space randomization catches memory-corruption exploits with
+    high probability but misses two things: attacks that do not corrupt
+    memory, and the occasional exploit whose address guess is right.
+    Sampling closes that gap probabilistically — every [rate]-th message is
+    serviced under full dynamic taint analysis, whose {!Taint.guard} vetoes
+    a tainted control transfer or a tainted [exec] {e before} it commits,
+    even when no fault would have occurred. Because instrumentation is
+    dynamic, the decision is made per message at runtime; a host can dial
+    the rate with its load ("use heavier-weight detection when idle"). *)
+
+type t = {
+  server : Osim.Server.t;
+  mutable rate : int;  (** sample every [rate]-th message; 0 disables *)
+  mutable counter : int;
+  mutable sampled : int;    (** messages serviced under taint monitoring *)
+  mutable alarms : int;     (** attacks the sampling monitor caught *)
+}
+
+let create ?(rate = 10) server = { server; rate; counter = 0; sampled = 0; alarms = 0 }
+
+(** Should the next message be sampled? Advances the phase counter. *)
+let due t =
+  if t.rate <= 0 then false
+  else begin
+    t.counter <- t.counter + 1;
+    t.counter mod t.rate = 0
+  end
+
+type outcome =
+  | Plain of
+      [ `Served of int | `Filtered of string | `Stopped
+      | `Crashed of int * Vm.Event.fault | `Infected of int * string ]
+      (** the unsampled (or uneventful sampled) result, as {!Osim.Server.handle} *)
+  | Taint_alarm of Detection.t
+      (** the sampling monitor vetoed a tainted operation *)
+
+(** Service one message, sampling it when due. *)
+let handle t payload =
+  let proc = t.server.Osim.Server.proc in
+  if not (due t) then Plain (Osim.Server.handle t.server payload)
+  else begin
+    t.sampled <- t.sampled + 1;
+    let st = Taint.create proc in
+    let post = Vm.Cpu.add_post_hook proc.cpu (Taint.on_effect st) in
+    let pre = Vm.Cpu.add_pre_hook proc.cpu (Taint.guard st) in
+    let result =
+      match Osim.Server.handle t.server payload with
+      | r -> Plain r
+      | exception Detection.Detected d ->
+        t.alarms <- t.alarms + 1;
+        Taint_alarm d
+    in
+    Vm.Cpu.remove_hook proc.cpu post;
+    Vm.Cpu.remove_hook proc.cpu pre;
+    result
+  end
+
+(** Fraction of messages that paid the heavyweight monitoring cost. *)
+let sampled_fraction t =
+  if t.counter = 0 then 0. else float_of_int t.sampled /. float_of_int t.counter

@@ -1,0 +1,33 @@
+(** Request sampling (the paper's Section 4.2): heavyweight taint
+    monitoring on a fraction of requests during normal execution.
+
+    Randomization misses attacks that do not corrupt memory and the
+    occasional exploit whose address guess is right; sampling closes that
+    gap probabilistically. Every [rate]-th message is serviced under full
+    dynamic taint analysis, whose online guard vetoes a tainted control
+    transfer or a tainted [exec] before it commits. *)
+
+type t = {
+  server : Osim.Server.t;
+  mutable rate : int;  (** sample every [rate]-th message; 0 disables *)
+  mutable counter : int;
+  mutable sampled : int;  (** messages serviced under taint monitoring *)
+  mutable alarms : int;   (** attacks the sampling monitor caught *)
+}
+
+val create : ?rate:int -> Osim.Server.t -> t
+
+val due : t -> bool
+(** Should the next message be sampled? Advances the phase counter. *)
+
+type outcome =
+  | Plain of
+      [ `Served of int | `Filtered of string | `Stopped
+      | `Crashed of int * Vm.Event.fault | `Infected of int * string ]
+  | Taint_alarm of Detection.t
+      (** the sampling monitor vetoed a tainted operation *)
+
+val handle : t -> string -> outcome
+(** Service one message, sampling it when due. *)
+
+val sampled_fraction : t -> float

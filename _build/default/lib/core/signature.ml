@@ -1,0 +1,88 @@
+(** Input signatures: the network-level antibody.
+
+    Two flavours, as in Section 3.3: exact-match signatures (zero false
+    positives, impervious to malicious training, but trivially evaded by
+    polymorphism — VSEFs are the safety net) and token signatures built
+    from the invariant substrings of several exploit variants, in the
+    spirit of Polygraph. *)
+
+type t =
+  | Exact of string
+  | Tokens of string list  (** ordered substrings, all required *)
+
+(** Exact-match signature for a captured exploit message. *)
+let exact msg = Exact msg
+
+let contains_from hay pos needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some (i + nl)
+    else at (i + 1)
+  in
+  if nl = 0 then Some pos else at pos
+
+(** [matches sig msg]: does the message match? Tokens must appear in order. *)
+let matches t msg =
+  match t with
+  | Exact s -> String.equal s msg
+  | Tokens toks ->
+    let rec go pos = function
+      | [] -> true
+      | tok :: rest -> (
+        match contains_from msg pos tok with
+        | Some pos' -> go pos' rest
+        | None -> false)
+    in
+    go 0 toks
+
+let to_filter t = fun msg -> matches t msg
+
+(* Longest substring of [s] starting at [i] that occurs in every string of
+   [others] at-or-after the positions in [cursors]. *)
+let common_run s i others =
+  let max_len = String.length s - i in
+  let rec grow len =
+    if len >= max_len then len
+    else
+      let cand = String.sub s i (len + 1) in
+      if List.for_all (fun o -> contains_from o 0 cand <> None) others then
+        grow (len + 1)
+      else len
+  in
+  grow 0
+
+(** Token signature from several variants of the same exploit: the maximal
+    substrings (of at least [min_len] bytes) of the first variant that
+    occur in all of them, taken greedily left to right. *)
+let tokens_of_variants ?(min_len = 4) variants =
+  match variants with
+  | [] -> invalid_arg "Signature.tokens_of_variants: no variants"
+  | [ only ] -> Exact only
+  | first :: others ->
+    let n = String.length first in
+    let toks = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let run = common_run first !i others in
+      if run >= min_len then begin
+        toks := String.sub first !i run :: !toks;
+        i := !i + run
+      end
+      else incr i
+    done;
+    Tokens (List.rev !toks)
+
+let to_string = function
+  | Exact s ->
+    Printf.sprintf "exact[%d bytes]%s" (String.length s)
+      (if String.length s <= 48 then ": " ^ String.escaped s
+       else ": " ^ String.escaped (String.sub s 0 45) ^ "...")
+  | Tokens toks ->
+    "tokens: "
+    ^ String.concat " * "
+        (List.map
+           (fun t ->
+             if String.length t <= 24 then String.escaped t
+             else String.escaped (String.sub t 0 21) ^ "...")
+           toks)

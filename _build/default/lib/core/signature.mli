@@ -1,0 +1,27 @@
+(** Input signatures: the network-level antibody.
+
+    Two flavours, as in the paper's Section 3.3: exact-match signatures
+    (zero false positives, impervious to malicious training, but trivially
+    evaded by polymorphism — VSEFs are the safety net) and token signatures
+    built from the invariant substrings of several exploit variants, in the
+    spirit of Polygraph. *)
+
+type t =
+  | Exact of string
+  | Tokens of string list  (** ordered substrings, all required *)
+
+val exact : string -> t
+(** Exact-match signature for a captured exploit message. *)
+
+val matches : t -> string -> bool
+(** Does the message match? Tokens must appear in order. *)
+
+val to_filter : t -> string -> bool
+
+val tokens_of_variants : ?min_len:int -> string list -> t
+(** Token signature from several variants of the same exploit: the maximal
+    substrings (≥ [min_len] bytes, default 4) of the first variant present
+    in all of them, taken greedily left to right. A single variant yields
+    an exact signature. *)
+
+val to_string : t -> string

@@ -1,0 +1,266 @@
+(** Dynamic backward slicing.
+
+    During replay every executed instruction becomes a node in a dependence
+    graph: data dependences through the last writer of each register and
+    memory byte, flag dependences through the last comparison, and control
+    dependences through the last branch. The backward slice from the
+    faulting instruction is the set of dynamic instructions that influenced
+    it — a superset of what taint analysis sees (it includes pointer and
+    control-flow influence), which is why it can act as a sanity check on
+    every other analysis (Section 3.2). *)
+
+module Int_set = Set.Make (Int)
+
+type node = {
+  n_seq : int;   (** dynamic instruction number (dense, from 0) *)
+  n_pc : int;
+  n_deps : int list;  (** seq numbers this node depends on *)
+  n_src_msg : int option;  (** message id for network-input source nodes *)
+}
+
+type t = {
+  proc : Osim.Process.t;
+  mutable nodes : node array;
+  mutable count : int;
+  last_reg : int array;              (** reg -> seq of last writer *)
+  last_mem : (int, int) Hashtbl.t;   (** byte addr -> seq of last writer *)
+  mutable last_flags : int;
+  mutable last_branch : int;
+}
+
+let create proc =
+  {
+    proc;
+    nodes = Array.make 4096 { n_seq = 0; n_pc = 0; n_deps = []; n_src_msg = None };
+    count = 0;
+    last_reg = Array.make Vm.Isa.num_regs (-1);
+    last_mem = Hashtbl.create 4096;
+    last_flags = -1;
+    last_branch = -1;
+  }
+
+let push st node =
+  if st.count = Array.length st.nodes then begin
+    let bigger = Array.make (2 * st.count) node in
+    Array.blit st.nodes 0 bigger 0 st.count;
+    st.nodes <- bigger
+  end;
+  st.nodes.(st.count) <- node;
+  st.count <- st.count + 1
+
+(* Dependences of an effect against the current last-writer maps. *)
+let deps_of st (eff : Vm.Event.effect_) =
+  let acc = ref [] in
+  let add s = if s >= 0 then acc := s :: !acc in
+  List.iter (fun r -> add st.last_reg.(Vm.Isa.reg_index r)) eff.e_regs_read;
+  List.iter
+    (fun (a : Vm.Event.access) ->
+      for i = 0 to a.a_size - 1 do
+        match Hashtbl.find_opt st.last_mem (a.a_addr + i) with
+        | Some s -> add s
+        | None -> ()
+      done)
+    eff.e_mem_reads;
+  if eff.e_flags_read then add st.last_flags;
+  add st.last_branch;
+  List.sort_uniq compare !acc
+
+let on_effect st (eff : Vm.Event.effect_) =
+  let seq = st.count in
+  let deps = deps_of st eff in
+  let src_msg =
+    match eff.e_sys with
+    | Vm.Event.Io_recv { msg_id; _ } -> Some msg_id
+    | _ -> None
+  in
+  push st { n_seq = seq; n_pc = eff.e_pc; n_deps = deps; n_src_msg = src_msg };
+  (* Update writer maps. *)
+  List.iter
+    (fun (r, _) -> st.last_reg.(Vm.Isa.reg_index r) <- seq)
+    eff.e_regs_written;
+  List.iter
+    (fun (a : Vm.Event.access) ->
+      for i = 0 to a.a_size - 1 do
+        Hashtbl.replace st.last_mem (a.a_addr + i) seq
+      done)
+    eff.e_mem_writes;
+  (match eff.e_sys with
+  | Vm.Event.Io_recv { buf; len; _ } ->
+    for i = 0 to len - 1 do
+      Hashtbl.replace st.last_mem (buf + i) seq
+    done
+  | _ -> ());
+  if eff.e_flags_written then st.last_flags <- seq;
+  match eff.e_ctrl with
+  | Vm.Event.Jump _ -> (
+    (* Conditional jumps (and taken unconditional ones reached through a
+       condition) are control-dependence anchors. *)
+    match eff.e_instr with
+    | Vm.Isa.Jcc _ -> st.last_branch <- seq
+    | _ -> ())
+  | Vm.Event.Ret_to _ | Vm.Event.Call_to _ -> st.last_branch <- seq
+  | Vm.Event.Next -> (
+    match eff.e_instr with
+    | Vm.Isa.Jcc _ -> st.last_branch <- seq  (* not-taken branch still governs *)
+    | _ -> ())
+  | Vm.Event.Sys _ | Vm.Event.Stop -> ()
+
+(* Dependences of the *faulting* instruction, which never became a node
+   because the fault pre-empted execution. Reconstructed from the machine
+   state. *)
+let fault_deps st =
+  let cpu = st.proc.Osim.Process.cpu in
+  let pc = cpu.Vm.Cpu.pc in
+  let acc = ref [] in
+  let add s = if s >= 0 then acc := s :: !acc in
+  let add_reg r = add st.last_reg.(Vm.Isa.reg_index r) in
+  let add_mem addr size =
+    for i = 0 to size - 1 do
+      match Hashtbl.find_opt st.last_mem (addr + i) with
+      | Some s -> add s
+      | None -> ()
+    done
+  in
+  (match Hashtbl.find_opt cpu.Vm.Cpu.code pc with
+  | Some (Vm.Isa.Ret) ->
+    add_reg Vm.Isa.SP;
+    add_mem (Vm.Cpu.get_reg cpu Vm.Isa.SP) 4
+  | Some (Vm.Isa.CallInd r) -> add_reg r
+  | Some (Vm.Isa.Load (_, rs, _) | Vm.Isa.Loadb (_, rs, _)) -> add_reg rs
+  | Some (Vm.Isa.Store (rb, _, rs) | Vm.Isa.Storeb (rb, _, rs)) ->
+    add_reg rb;
+    add_reg rs
+  | Some (Vm.Isa.Bin (_, rd, src)) -> (
+    add_reg rd;
+    match src with Vm.Isa.Reg r -> add_reg r | _ -> ())
+  | _ -> ());
+  add st.last_branch;
+  (pc, List.sort_uniq compare !acc)
+
+type summary = {
+  s_nodes : int;              (** dynamic instructions in the window *)
+  s_slice_size : int;         (** dynamic instructions in the slice *)
+  s_pcs : Int_set.t;          (** static instructions in the slice *)
+  s_msgs : Int_set.t;         (** input messages the fault depends on *)
+  s_fault_pc : int;
+}
+
+(** Walk backward from the given roots. *)
+let backward st ~fault_pc ~roots : summary =
+  let in_slice = Array.make (max 1 st.count) false in
+  let pcs = ref Int_set.empty in
+  let msgs = ref Int_set.empty in
+  let rec visit s =
+    if s >= 0 && s < st.count && not (in_slice.(s)) then begin
+      in_slice.(s) <- true;
+      let n = st.nodes.(s) in
+      pcs := Int_set.add n.n_pc !pcs;
+      (match n.n_src_msg with
+      | Some m -> msgs := Int_set.add m !msgs
+      | None -> ());
+      List.iter visit n.n_deps
+    end
+  in
+  List.iter visit roots;
+  let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in_slice in
+  {
+    s_nodes = st.count;
+    s_slice_size = size;
+    s_pcs = Int_set.add fault_pc !pcs;
+    s_msgs = !msgs;
+    s_fault_pc = fault_pc;
+  }
+
+type result = {
+  sl_summary : summary;
+  sl_instructions : int;
+}
+
+(** Attach the graph collector, run the replay, slice backward from the
+    fault (or from the final instruction if the replay ended cleanly). *)
+let run ?(fuel = 20_000_000) (proc : Osim.Process.t) : result =
+  let st = create proc in
+  let hook = Vm.Cpu.add_post_hook proc.cpu (on_effect st) in
+  let outcome = Vm.Cpu.run ~fuel proc.cpu in
+  Vm.Cpu.remove_hook proc.cpu hook;
+  let fault_pc, roots =
+    match outcome with
+    | Vm.Cpu.Faulted _ -> fault_deps st
+    | _ ->
+      let pc = proc.Osim.Process.cpu.Vm.Cpu.pc in
+      (pc, if st.count = 0 then [] else [ st.count - 1 ])
+  in
+  { sl_summary = backward st ~fault_pc ~roots; sl_instructions = st.count }
+
+(** Does the slice contain (verify) an instruction another analysis
+    blamed? The slice is the ground truth: a claim outside it is wrong. *)
+let verifies (s : summary) pc = Int_set.mem pc s.s_pcs
+
+(* ------------------------------------------------------------------ *)
+(* Forward slicing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A forward slice: every dynamic instruction influenced by a starting
+    set — e.g. everything a particular network input could have touched
+    ("a forward slice from the exploit input would reveal all instructions
+    and memory potentially tainted by it", Section 3.2). Computed from the
+    same dependence graph, walked in the other direction. *)
+type forward = {
+  fw_size : int;          (** dynamic instructions influenced *)
+  fw_pcs : Int_set.t;     (** static instructions influenced *)
+}
+
+(* Walk the graph forward from the given seeds. The graph stores backward
+   edges, so build the successor relation once. *)
+let forward_from st ~seeds : forward =
+  let n = st.count in
+  let succs = Array.make (max 1 n) [] in
+  for s = 0 to n - 1 do
+    List.iter
+      (fun d -> if d >= 0 && d < n then succs.(d) <- s :: succs.(d))
+      st.nodes.(s).n_deps
+  done;
+  let influenced = Array.make (max 1 n) false in
+  let pcs = ref Int_set.empty in
+  let rec visit s =
+    if s >= 0 && s < n && not influenced.(s) then begin
+      influenced.(s) <- true;
+      pcs := Int_set.add st.nodes.(s).n_pc !pcs;
+      List.iter visit succs.(s)
+    end
+  in
+  List.iter visit seeds;
+  let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 influenced in
+  { fw_size = size; fw_pcs = !pcs }
+
+(** Result of a replay that keeps the dependence graph for further queries
+    (forward slices, per-message influence). *)
+type session = {
+  graph : t;
+  outcome : Vm.Cpu.outcome;
+  backward : summary;
+}
+
+(** Like {!run}, but retain the graph. *)
+let run_session ?(fuel = 20_000_000) (proc : Osim.Process.t) : session =
+  let st = create proc in
+  let hook = Vm.Cpu.add_post_hook proc.cpu (on_effect st) in
+  let outcome = Vm.Cpu.run ~fuel proc.cpu in
+  Vm.Cpu.remove_hook proc.cpu hook;
+  let fault_pc, roots =
+    match outcome with
+    | Vm.Cpu.Faulted _ -> fault_deps st
+    | _ ->
+      let pc = proc.Osim.Process.cpu.Vm.Cpu.pc in
+      (pc, if st.count = 0 then [] else [ st.count - 1 ])
+  in
+  { graph = st; outcome; backward = backward st ~fault_pc ~roots }
+
+(** Everything influenced by the given input message: the forward slice
+    seeded at that message's receive event. *)
+let forward_from_message (session : session) ~msg_id : forward =
+  let seeds = ref [] in
+  for s = 0 to session.graph.count - 1 do
+    if session.graph.nodes.(s).n_src_msg = Some msg_id then seeds := s :: !seeds
+  done;
+  forward_from session.graph ~seeds:!seeds

@@ -1,0 +1,262 @@
+(** Dynamic taint analysis (the TaintCheck re-implementation).
+
+    Network bytes are tainted with the id of the message they arrived in;
+    taint flows through data movement and arithmetic (not through pointers
+    or control flow — that is what distinguishes it from slicing) and an
+    alarm is raised when tainted data is about to be used as a control
+    target. Because the fault itself pre-empts hooks, the verdict for a
+    crashed replay is computed by {!classify_fault} from the machine state
+    at the fault. *)
+
+module Int_set = Set.Make (Int)
+
+type verdict =
+  | Tainted_ret of { pc : int; msgs : Int_set.t }
+      (** a return address built from these messages was (about to be) used *)
+  | Tainted_call of { pc : int; msgs : Int_set.t }
+  | Tainted_store_fault of { pc : int; msgs : Int_set.t }
+      (** the faulting store was writing attacker-controlled bytes *)
+  | Tainted_exec of { pc : int; msgs : Int_set.t }
+      (** tainted bytes reached [system]/[exec] *)
+  | Untainted_fault of { pc : int }
+      (** the fault involved no tainted data (e.g. a NULL dereference
+          reached through an untainted pointer) *)
+  | No_fault
+
+type t = {
+  proc : Osim.Process.t;
+  byte_taint : (int, Int_set.t) Hashtbl.t;
+  reg_taint : Int_set.t array;
+  mutable prop_pcs : Int_set.t;  (** instructions that moved taint *)
+  mutable sources_seen : Int_set.t;  (** message ids read *)
+}
+
+let create proc =
+  {
+    proc;
+    byte_taint = Hashtbl.create 1024;
+    reg_taint = Array.make Vm.Isa.num_regs Int_set.empty;
+    prop_pcs = Int_set.empty;
+    sources_seen = Int_set.empty;
+  }
+
+let mem_taint st (a : Vm.Event.access) =
+  let rec go acc i =
+    if i >= a.a_size then acc
+    else
+      match Hashtbl.find_opt st.byte_taint (a.a_addr + i) with
+      | Some s -> go (Int_set.union acc s) (i + 1)
+      | None -> go acc (i + 1)
+  in
+  go Int_set.empty 0
+
+let set_mem_taint st addr size taint =
+  for i = 0 to size - 1 do
+    if Int_set.is_empty taint then Hashtbl.remove st.byte_taint (addr + i)
+    else Hashtbl.replace st.byte_taint (addr + i) taint
+  done
+
+let reg st r = st.reg_taint.(Vm.Isa.reg_index r)
+let set_reg st r v = st.reg_taint.(Vm.Isa.reg_index r) <- v
+
+let operand_taint st = function
+  | Vm.Isa.Reg r -> reg st r
+  | Vm.Isa.Imm _ | Vm.Isa.Sym _ -> Int_set.empty
+
+(* Propagation, per instruction shape. Pointer (base-register) taint is
+   deliberately not propagated into loads/stores — TaintCheck semantics. *)
+let on_effect st (eff : Vm.Event.effect_) =
+  let mark taint =
+    if not (Int_set.is_empty taint) then
+      st.prop_pcs <- Int_set.add eff.e_pc st.prop_pcs
+  in
+  (match eff.e_instr with
+  | Vm.Isa.Mov (rd, op) ->
+    let t = operand_taint st op in
+    mark t;
+    set_reg st rd t
+  | Vm.Isa.Bin (_, rd, src) ->
+    let t = Int_set.union (reg st rd) (operand_taint st src) in
+    mark t;
+    set_reg st rd t
+  | Vm.Isa.Not rd | Vm.Isa.Neg rd -> mark (reg st rd)
+  | Vm.Isa.Load (rd, _, _) | Vm.Isa.Loadb (rd, _, _) ->
+    let t =
+      List.fold_left
+        (fun acc a -> Int_set.union acc (mem_taint st a))
+        Int_set.empty eff.e_mem_reads
+    in
+    mark t;
+    set_reg st rd t
+  | Vm.Isa.Store (_, _, rs) | Vm.Isa.Storeb (_, _, rs) ->
+    let t = reg st rs in
+    mark t;
+    List.iter
+      (fun (a : Vm.Event.access) -> set_mem_taint st a.a_addr a.a_size t)
+      eff.e_mem_writes
+  | Vm.Isa.Push op ->
+    let t = operand_taint st op in
+    mark t;
+    List.iter
+      (fun (a : Vm.Event.access) -> set_mem_taint st a.a_addr a.a_size t)
+      eff.e_mem_writes
+  | Vm.Isa.Pop rd ->
+    let t =
+      List.fold_left
+        (fun acc a -> Int_set.union acc (mem_taint st a))
+        Int_set.empty eff.e_mem_reads
+    in
+    mark t;
+    set_reg st rd t
+  | Vm.Isa.Call _ | Vm.Isa.CallInd _ ->
+    (* The pushed return address is clean. *)
+    List.iter
+      (fun (a : Vm.Event.access) ->
+        set_mem_taint st a.a_addr a.a_size Int_set.empty)
+      eff.e_mem_writes
+  | Vm.Isa.Cmp _ | Vm.Isa.Jmp _ | Vm.Isa.Jcc _ | Vm.Isa.Ret
+  | Vm.Isa.Syscall _ | Vm.Isa.Halt | Vm.Isa.Nop ->
+    ());
+  (* Syscall sources and register results. *)
+  match eff.e_sys with
+  | Vm.Event.Io_recv { buf; len; msg_id } ->
+    st.sources_seen <- Int_set.add msg_id st.sources_seen;
+    for i = 0 to len - 1 do
+      Hashtbl.replace st.byte_taint (buf + i) (Int_set.singleton msg_id)
+    done;
+    set_reg st Vm.Isa.R0 Int_set.empty
+  | Vm.Event.Io_alloc _ | Vm.Event.Io_free _ | Vm.Event.Io_send _
+  | Vm.Event.Io_exit _ | Vm.Event.Io_other _ ->
+    set_reg st Vm.Isa.R0 Int_set.empty
+  | Vm.Event.Io_exec _ -> ()
+  | Vm.Event.Io_none -> ()
+
+(** A pre-hook check that stops tainted data {e before} it is misused:
+    a return to a tainted address, an indirect call through a tainted
+    register, or tainted bytes handed to [exec]. This is TaintCheck run as
+    an online monitor — what a host doing Section 4.2 sampling (or a
+    sentinel node) uses to catch attacks randomization would miss, including
+    ones whose address guess was right. *)
+let guard st (eff : Vm.Event.effect_) =
+  let tainted_set =
+    match eff.e_instr with
+    | Vm.Isa.Ret ->
+      List.fold_left
+        (fun acc a -> Int_set.union acc (mem_taint st a))
+        Int_set.empty eff.e_mem_reads
+    | Vm.Isa.CallInd r -> reg st r
+    | Vm.Isa.Syscall n when n = Vm.Sysno.sys_exec ->
+      (* The command string the process is about to execute. *)
+      let addr = Vm.Cpu.get_reg st.proc.Osim.Process.cpu Vm.Isa.R0 in
+      let rec scan acc i =
+        if i > 256 then acc
+        else
+          let byte = Vm.Memory.load_byte st.proc.Osim.Process.mem (addr + i) in
+          if byte = 0 then acc
+          else
+            scan
+              (Int_set.union acc
+                 (mem_taint st { a_addr = addr + i; a_size = 1; a_value = 0 }))
+              (i + 1)
+      in
+      scan Int_set.empty 0
+    | _ -> Int_set.empty
+  in
+  if not (Int_set.is_empty tainted_set) then
+    Detection.detect
+      (Detection.Taint_sink
+         (String.concat ","
+            (List.map string_of_int (Int_set.elements tainted_set))))
+      ~pc:eff.e_pc ~detail:"tainted data about to be misused"
+
+(** After a replay ends, classify its outcome: did tainted data cause it? *)
+let classify_fault st (outcome : Vm.Cpu.outcome) : verdict =
+  let cpu = st.proc.Osim.Process.cpu in
+  let pc = cpu.Vm.Cpu.pc in
+  let word_at addr =
+    mem_taint st { a_addr = addr; a_size = 4; a_value = 0 }
+  in
+  match outcome with
+  | Vm.Cpu.Faulted _ -> (
+    match Hashtbl.find_opt cpu.Vm.Cpu.code pc with
+    | Some Vm.Isa.Ret ->
+      let sp = Vm.Cpu.get_reg cpu Vm.Isa.SP in
+      let t = word_at sp in
+      if Int_set.is_empty t then Untainted_fault { pc }
+      else Tainted_ret { pc; msgs = t }
+    | Some (Vm.Isa.CallInd r) ->
+      let t = reg st r in
+      if Int_set.is_empty t then Untainted_fault { pc }
+      else Tainted_call { pc; msgs = t }
+    | Some (Vm.Isa.Store (_, _, rs) | Vm.Isa.Storeb (_, _, rs)) ->
+      let t = reg st rs in
+      if Int_set.is_empty t then Untainted_fault { pc }
+      else Tainted_store_fault { pc; msgs = t }
+    | _ -> Untainted_fault { pc })
+  | Vm.Cpu.Halted | Vm.Cpu.Blocked | Vm.Cpu.Out_of_fuel -> (
+    (* Did the run reach exec with tainted bytes (successful hijack)? *)
+    match st.proc.Osim.Process.compromised with
+    | Some _ -> Tainted_exec { pc; msgs = st.sources_seen }
+    | None -> No_fault)
+
+type result = {
+  t_verdict : verdict;
+  t_prop_pcs : int list;      (** taint-propagating instructions *)
+  t_instructions : int;
+}
+
+let verdict_msgs = function
+  | Tainted_ret { msgs; _ } | Tainted_call { msgs; _ }
+  | Tainted_store_fault { msgs; _ } | Tainted_exec { msgs; _ } ->
+    Int_set.elements msgs
+  | Untainted_fault _ | No_fault -> []
+
+let verdict_to_string = function
+  | Tainted_ret { pc; msgs } ->
+    Printf.sprintf "tainted return address at 0x%x (messages %s)" pc
+      (String.concat "," (List.map string_of_int (Int_set.elements msgs)))
+  | Tainted_call { pc; msgs } ->
+    Printf.sprintf "tainted call target at 0x%x (messages %s)" pc
+      (String.concat "," (List.map string_of_int (Int_set.elements msgs)))
+  | Tainted_store_fault { pc; msgs } ->
+    Printf.sprintf "faulting store of tainted data at 0x%x (messages %s)" pc
+      (String.concat "," (List.map string_of_int (Int_set.elements msgs)))
+  | Tainted_exec { pc; msgs } ->
+    Printf.sprintf "tainted data reached exec at 0x%x (messages %s)" pc
+      (String.concat "," (List.map string_of_int (Int_set.elements msgs)))
+  | Untainted_fault { pc } -> Printf.sprintf "fault at 0x%x involved no taint" pc
+  | No_fault -> "no fault during monitored replay"
+
+(** Attach the tracker, run the replay to completion, classify, detach. *)
+let run ?(fuel = 20_000_000) (proc : Osim.Process.t) : result =
+  let st = create proc in
+  let before = proc.Osim.Process.cpu.Vm.Cpu.icount in
+  let hook = Vm.Cpu.add_post_hook proc.cpu (on_effect st) in
+  let outcome = Vm.Cpu.run ~fuel proc.cpu in
+  Vm.Cpu.remove_hook proc.cpu hook;
+  {
+    t_verdict = classify_fault st outcome;
+    t_prop_pcs = Int_set.elements st.prop_pcs;
+    t_instructions = proc.Osim.Process.cpu.Vm.Cpu.icount - before;
+  }
+
+(** Build the taint-derived VSEF from a completed analysis. [proc] supplies
+    the image bases for making the check relocatable. *)
+let vsef_of_result ~app ~proc (r : result) =
+  match r.t_verdict with
+  | Tainted_ret { pc; _ } | Tainted_call { pc; _ }
+  | Tainted_store_fault { pc; _ } | Tainted_exec { pc; _ } ->
+    Some
+      {
+        Vsef.v_name = "taint-filter";
+        v_app = app;
+        v_check =
+          Vsef.Taint_filter
+            {
+              source_sysno = Vm.Sysno.sys_recv;
+              prop = List.map (Vsef.loc_of_pc proc) r.t_prop_pcs;
+              sink = Vsef.loc_of_pc proc pc;
+            };
+        v_origin = Vsef.From_taint;
+      }
+  | Untainted_fault _ | No_fault -> None

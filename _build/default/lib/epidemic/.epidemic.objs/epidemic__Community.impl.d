@@ -1,0 +1,1 @@
+lib/epidemic/community.ml: Discrete List Si

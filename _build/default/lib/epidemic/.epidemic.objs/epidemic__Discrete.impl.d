@@ -1,0 +1,1 @@
+lib/epidemic/discrete.ml: Float Random

@@ -1,0 +1,1 @@
+lib/epidemic/discrete.mli: Random

@@ -1,0 +1,1 @@
+lib/epidemic/ode.ml: Array List

@@ -1,0 +1,1 @@
+lib/epidemic/si.ml: Array List Ode Option

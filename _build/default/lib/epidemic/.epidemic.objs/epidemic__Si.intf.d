@@ -1,0 +1,1 @@
+lib/epidemic/si.mli:

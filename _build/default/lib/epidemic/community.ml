@@ -1,0 +1,80 @@
+(** Community-defense experiments: the parameter sweeps behind Figures 6–8
+    and the end-to-end response-time argument of Section 6.3. *)
+
+(** The deployment ratios on the x axis of the paper's figures. *)
+let fig6_alphas = [ 0.1; 0.05; 0.01; 0.005; 0.001; 0.0005; 0.0001 ]
+let fig78_alphas = [ 0.5; 0.1; 0.05; 0.01; 0.005; 0.001; 0.0005; 0.0001 ]
+
+(** The response times γ (seconds) plotted as separate lines. *)
+let gammas = [ 5.; 10.; 20.; 30.; 50.; 100. ]
+
+type series = {
+  s_gamma : float;
+  s_points : (float * float) list;  (** (deployment ratio, infection ratio) *)
+}
+
+type figure = {
+  f_name : string;
+  f_beta : float;
+  f_rho : float;
+  f_series : series list;
+}
+
+let sweep ~name ~beta ~rho ~alphas =
+  let base = { Si.beta; rho; alpha = 0.; n = 100_000.; i0 = 1. } in
+  {
+    f_name = name;
+    f_beta = beta;
+    f_rho = rho;
+    f_series =
+      List.map
+        (fun gamma ->
+          { s_gamma = gamma; s_points = Si.sweep_alpha base ~gamma ~alphas })
+        gammas;
+  }
+
+(** Figure 6: Sweeper against Slammer (β = 0.1, no proactive protection). *)
+let figure6 () = sweep ~name:"fig6-slammer" ~beta:0.1 ~rho:1.0 ~alphas:fig6_alphas
+
+(** Figure 7: hit-list worm (β = 1000) with proactive ASLR (ρ = 2⁻¹²). *)
+let figure7 () =
+  sweep ~name:"fig7-hitlist-1000" ~beta:1000. ~rho:Si.rho_aslr ~alphas:fig78_alphas
+
+(** Figure 8: faster hit-list worm (β = 4000), same protection. *)
+let figure8 () =
+  sweep ~name:"fig8-hitlist-4000" ~beta:4000. ~rho:Si.rho_aslr ~alphas:fig78_alphas
+
+(** The §6.3 claim: with γ = detection+analysis (≈2 s) + dissemination
+    (≈3 s) = 5 s, even β = 4000 hit-list worms are contained. Returns
+    (beta, infection ratio at γ=5, contained?). *)
+let hitlist_response_summary ?(alpha = 0.0001) () =
+  List.map
+    (fun beta ->
+      let p = { Si.beta; rho = Si.rho_aslr; alpha; n = 100_000.; i0 = 1. } in
+      let r = Si.infection_ratio p ~gamma:5. in
+      (beta, r, r < 0.05))
+    [ 1000.; 2000.; 4000. ]
+
+(** Cross-validation of the ODE against the stochastic simulator at a few
+    sample points. Returns (alpha, gamma, ode ratio, simulated ratio). *)
+let cross_validate ?(seed = 11) ?(beta = 1000.) ?(rho = Si.rho_aslr) () =
+  List.map
+    (fun (alpha, gamma) ->
+      let ode =
+        Si.infection_ratio { Si.beta; rho; alpha; n = 100_000.; i0 = 1. } ~gamma
+      in
+      let sim =
+        Discrete.mean_ratio ~runs:3
+          {
+            Discrete.n = 100_000;
+            producers = int_of_float (alpha *. 100_000.);
+            beta;
+            rho;
+            gamma;
+            dt = 0.002;
+            t_max = 2_000.;
+            seed;
+          }
+      in
+      (alpha, gamma, ode, sim))
+    [ (0.01, 5.); (0.001, 10.); (0.0001, 100.) ]

@@ -1,0 +1,46 @@
+(** Community-defense experiments: the parameter sweeps behind the paper's
+    Figures 6–8 and the Section 6.3 response-time argument. *)
+
+val fig6_alphas : float list
+val fig78_alphas : float list
+
+val gammas : float list
+(** The response times (seconds) plotted as separate lines. *)
+
+type series = {
+  s_gamma : float;
+  s_points : (float * float) list;  (** (deployment ratio, infection ratio) *)
+}
+
+type figure = {
+  f_name : string;
+  f_beta : float;
+  f_rho : float;
+  f_series : series list;
+}
+
+val sweep :
+  name:string -> beta:float -> rho:float -> alphas:float list -> figure
+
+val figure6 : unit -> figure
+(** Sweeper against Slammer (β = 0.1, no proactive protection). *)
+
+val figure7 : unit -> figure
+(** Hit-list worm (β = 1000) with proactive ASLR (ρ = 2⁻¹²). *)
+
+val figure8 : unit -> figure
+(** Faster hit-list worm (β = 4000), same protection. *)
+
+val hitlist_response_summary :
+  ?alpha:float -> unit -> (float * float * bool) list
+(** The §6.3 claim: with γ = 5 s, hit-list worms are contained. Returns
+    (β, infection ratio at γ=5, contained?). *)
+
+val cross_validate :
+  ?seed:int ->
+  ?beta:float ->
+  ?rho:float ->
+  unit ->
+  (float * float * float * float) list
+(** ODE vs the stochastic simulator at sample points: (α, γ, ODE ratio,
+    simulated ratio). *)

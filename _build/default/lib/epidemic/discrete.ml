@@ -1,0 +1,120 @@
+(** A discrete-event stochastic outbreak simulator, cross-validating the
+    ODE model: N individual hosts, random hit-list contacts, probabilistic
+    proactive protection, and an antibody wave γ seconds after the first
+    producer is probed. *)
+
+type config = {
+  n : int;            (** vulnerable hosts *)
+  producers : int;    (** how many of them run the full Sweeper stack *)
+  beta : float;       (** contacts per infected host per second *)
+  rho : float;        (** probability an attempt beats the protection *)
+  gamma : float;      (** community response time, seconds *)
+  dt : float;         (** simulation step *)
+  t_max : float;
+  seed : int;
+}
+
+type outcome = {
+  o_infected : int;       (** final infected count *)
+  o_ratio : float;
+  o_t0 : float option;    (** when the first producer was probed *)
+  o_t_end : float;        (** when the outbreak stopped changing *)
+  o_attempts : int;       (** total infection attempts made *)
+}
+
+(* Poisson(λ) via Knuth's product method — only used for small λ. *)
+let poisson rng lambda =
+  let limit = exp (-.lambda) in
+  let rec go k prod =
+    let prod = prod *. Random.State.float rng 1. in
+    if prod <= limit then k else go (k + 1) prod
+  in
+  go 0 1.
+
+(* Bernoulli(p) repeated [n] times — exact for small n, Poisson
+   approximation when np is small (the early-outbreak regime, where a
+   normal approximation would distort the tail), normal approximation for
+   the large counts of a full-blown outbreak. *)
+let binomial rng n p =
+  if n <= 0 || p <= 0. then 0
+  else if p >= 1. then n
+  else if n < 64 then begin
+    let k = ref 0 in
+    for _ = 1 to n do
+      if Random.State.float rng 1. < p then incr k
+    done;
+    !k
+  end
+  else
+    let mean = float_of_int n *. p in
+    if mean < 30. then min n (poisson rng mean)
+    else begin
+      let sd = sqrt (float_of_int n *. p *. (1. -. p)) in
+      (* Box–Muller *)
+      let u1 = Random.State.float rng 1. +. 1e-12 in
+      let u2 = Random.State.float rng 1. in
+      let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+      let k = int_of_float (Float.round (mean +. (sd *. z))) in
+      max 0 (min n k)
+    end
+
+(** Run one stochastic outbreak. *)
+let run (c : config) : outcome =
+  let rng = Random.State.make [| c.seed; 0xE71D |] in
+  let n_f = float_of_int c.n in
+  let infected = ref 1 in
+  let immune = ref 0 in
+  let producer_probed = ref false in
+  let t0 = ref None in
+  let attempts = ref 0 in
+  let t = ref 0. in
+  let finished = ref false in
+  while (not !finished) && !t < c.t_max do
+    (* Antibody wave: γ after the first producer probe, everyone not yet
+       infected becomes immune. *)
+    (match !t0 with
+    | Some tz when !t >= tz +. c.gamma && !immune = 0 ->
+      immune := c.n - !infected
+    | _ -> ());
+    if !immune > 0 || !infected >= c.n then finished := true
+    else begin
+      (* Each infected host attempts β contacts per second; each potential
+         contact of this step happens with probability dt. *)
+      let contacts =
+        binomial rng
+          (int_of_float (Float.round (float_of_int !infected *. c.beta)))
+          c.dt
+      in
+      attempts := !attempts + contacts;
+      (* A contact probes a producer with probability producers/N. *)
+      if (not !producer_probed) && contacts > 0 then begin
+        let p_producer = float_of_int c.producers /. n_f in
+        if binomial rng contacts p_producer > 0 then begin
+          producer_probed := true;
+          t0 := Some !t
+        end
+      end;
+      (* A contact infects if it lands on a susceptible host and beats the
+         protection. *)
+      let susceptible = c.n - !infected in
+      let p_infect = float_of_int susceptible /. n_f *. c.rho in
+      let new_infections = binomial rng contacts p_infect in
+      infected := min c.n (!infected + new_infections);
+      t := !t +. c.dt
+    end
+  done;
+  {
+    o_infected = !infected;
+    o_ratio = float_of_int !infected /. n_f;
+    o_t0 = !t0;
+    o_t_end = !t;
+    o_attempts = !attempts;
+  }
+
+(** Average infection ratio over [runs] independent outbreaks. *)
+let mean_ratio ?(runs = 5) c =
+  let total = ref 0. in
+  for k = 0 to runs - 1 do
+    total := !total +. (run { c with seed = c.seed + k }).o_ratio
+  done;
+  !total /. float_of_int runs

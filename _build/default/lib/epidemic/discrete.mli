@@ -1,0 +1,37 @@
+(** A discrete-event stochastic outbreak simulator, cross-validating the
+    ODE model: N individual hosts, random hit-list contacts, probabilistic
+    proactive protection, and an antibody wave γ seconds after the first
+    producer is probed. *)
+
+type config = {
+  n : int;           (** vulnerable hosts *)
+  producers : int;   (** how many run the full Sweeper stack *)
+  beta : float;      (** contacts per infected host per second *)
+  rho : float;       (** probability an attempt beats the protection *)
+  gamma : float;     (** community response time, seconds *)
+  dt : float;        (** simulation step *)
+  t_max : float;
+  seed : int;
+}
+
+type outcome = {
+  o_infected : int;
+  o_ratio : float;
+  o_t0 : float option;  (** when the first producer was probed *)
+  o_t_end : float;
+  o_attempts : int;     (** total infection attempts made *)
+}
+
+val poisson : Random.State.t -> float -> int
+(** Poisson(λ) via Knuth's product method — for small λ only. *)
+
+val binomial : Random.State.t -> int -> float -> int
+(** Bernoulli(p) repeated n times: exact for small n, Poisson approximation
+    for small np (the early-outbreak regime), normal approximation for the
+    large counts of a full-blown outbreak. *)
+
+val run : config -> outcome
+(** One stochastic outbreak. *)
+
+val mean_ratio : ?runs:int -> config -> float
+(** Average infection ratio over independent outbreaks. *)

@@ -1,0 +1,55 @@
+(** A small fixed-step Runge–Kutta (RK4) integrator for the epidemic ODEs. *)
+
+(** One RK4 step of [dt] for state [y] at time [t] under derivative [f]. *)
+let step ~f ~t ~dt y =
+  let n = Array.length y in
+  let add a scale b = Array.init n (fun i -> a.(i) +. (scale *. b.(i))) in
+  let k1 = f t y in
+  let k2 = f (t +. (dt /. 2.)) (add y (dt /. 2.) k1) in
+  let k3 = f (t +. (dt /. 2.)) (add y (dt /. 2.) k2) in
+  let k4 = f (t +. dt) (add y dt k3) in
+  Array.init n (fun i ->
+      y.(i)
+      +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+(** Integrate from [t0] to [t1]; returns the final state. *)
+let integrate ~f ~y0 ~t0 ~t1 ~dt =
+  let y = ref y0 in
+  let t = ref t0 in
+  while !t < t1 -. (dt /. 2.) do
+    let h = min dt (t1 -. !t) in
+    y := step ~f ~t:!t ~dt:h !y;
+    t := !t +. h
+  done;
+  !y
+
+(** Integrate until [stop t y] becomes true (or [t_max]); returns the first
+    (t, y) satisfying the predicate, or [None] if it never does. *)
+let integrate_until ~f ~y0 ~t0 ~dt ~t_max ~stop =
+  let y = ref y0 in
+  let t = ref t0 in
+  let result = ref None in
+  while !result = None && !t < t_max do
+    y := step ~f ~t:!t ~dt !y;
+    t := !t +. dt;
+    if stop !t !y then result := Some (!t, !y)
+  done;
+  !result
+
+(** Sample the trajectory every [sample_dt] from [t0] to [t1] (inclusive
+    endpoints), for plotting. *)
+let trajectory ~f ~y0 ~t0 ~t1 ~dt ~sample_dt =
+  let samples = ref [ (t0, y0) ] in
+  let y = ref y0 in
+  let t = ref t0 in
+  let next_sample = ref (t0 +. sample_dt) in
+  while !t < t1 -. (dt /. 2.) do
+    let h = min dt (t1 -. !t) in
+    y := step ~f ~t:!t ~dt:h !y;
+    t := !t +. h;
+    if !t >= !next_sample -. (dt /. 2.) then begin
+      samples := (!t, !y) :: !samples;
+      next_sample := !next_sample +. sample_dt
+    end
+  done;
+  List.rev !samples

@@ -1,0 +1,39 @@
+(** A small fixed-step Runge–Kutta (RK4) integrator for the epidemic ODEs. *)
+
+val step :
+  f:(float -> float array -> float array) ->
+  t:float ->
+  dt:float ->
+  float array ->
+  float array
+(** One RK4 step of [dt] for state [y] at time [t] under derivative [f]. *)
+
+val integrate :
+  f:(float -> float array -> float array) ->
+  y0:float array ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  float array
+(** Integrate from [t0] to [t1]; returns the final state. *)
+
+val integrate_until :
+  f:(float -> float array -> float array) ->
+  y0:float array ->
+  t0:float ->
+  dt:float ->
+  t_max:float ->
+  stop:(float -> float array -> bool) ->
+  (float * float array) option
+(** Integrate until [stop t y] becomes true (or [t_max]); the first (t, y)
+    satisfying the predicate, or [None]. *)
+
+val trajectory :
+  f:(float -> float array -> float array) ->
+  y0:float array ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  sample_dt:float ->
+  (float * float array) list
+(** Sample the trajectory every [sample_dt], for plotting. *)

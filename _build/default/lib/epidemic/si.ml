@@ -1,0 +1,89 @@
+(** The Susceptible–Infected community-defense model of Section 6.
+
+    State is [I; P]: infected hosts and producers contacted at least once.
+    With proactive (probabilistic) protection ρ, equations (3)–(4):
+
+    {v
+      dI/dt = β ρ I (1 - α - I/N)
+      dP/dt = α β I (1 - P/(αN))
+    v}
+
+    (ρ = 1 recovers equations (1)–(2)). T0 is the first time P(t) ≥ 1 — a
+    producer has seen an infection attempt and antibody generation can
+    start. After the community response time γ the antibody is everywhere,
+    so the outbreak's final size is I(T0 + γ). *)
+
+type params = {
+  beta : float;   (** contact rate (infection attempts per host per second) *)
+  rho : float;    (** per-attempt success probability under protection *)
+  alpha : float;  (** fraction of vulnerable hosts that are Producers *)
+  n : float;      (** vulnerable population *)
+  i0 : float;     (** initially infected hosts *)
+}
+
+let slammer = { beta = 0.1; rho = 1.0; alpha = 0.001; n = 100_000.; i0 = 1. }
+
+(** ρ for 12 bits of address-space entropy, as measured in Section 6.3. *)
+let rho_aslr = 1. /. 4096.
+
+let hitlist ?(beta = 1000.) ?(rho = rho_aslr) () =
+  { beta; rho; alpha = 0.001; n = 100_000.; i0 = 1. }
+
+let derivatives p _t y =
+  let i = y.(0) and pr = y.(1) in
+  let di = p.beta *. p.rho *. i *. (1. -. p.alpha -. (i /. p.n)) in
+  let dp =
+    if p.alpha <= 0. then 0.
+    else p.beta *. p.alpha *. i *. (1. -. (pr /. (p.alpha *. p.n)))
+  in
+  [| di; dp |]
+
+(* A reasonable integration step for the given dynamics: much smaller than
+   the worm's doubling time. *)
+let auto_dt p =
+  let rate = max 1e-9 (p.beta *. max p.rho 0.001) in
+  min 0.01 (0.05 /. rate)
+
+(** Time at which the first producer has been contacted (P(t) = 1).
+    [None] when there are no producers or the worm never reaches one. *)
+let t0 ?(t_max = 1e7) p =
+  if p.alpha <= 0. then None
+  else
+    let dt = auto_dt p in
+    Ode.integrate_until ~f:(derivatives p) ~y0:[| p.i0; 0. |] ~t0:0. ~dt
+      ~t_max ~stop:(fun _ y -> y.(1) >= 1.)
+    |> Option.map fst
+
+(** Infected population at absolute time [t]. *)
+let infected_at p ~t =
+  if t <= 0. then p.i0
+  else
+    let dt = auto_dt p in
+    (Ode.integrate ~f:(derivatives p) ~y0:[| p.i0; 0. |] ~t0:0. ~t1:t ~dt).(0)
+
+(** The headline quantity: I(T0 + γ) / N, the fraction of vulnerable hosts
+    infected before the antibody closed the vulnerability. 1 - α when the
+    worm never trips a producer (consumers are on their own). *)
+let infection_ratio p ~gamma =
+  match t0 p with
+  | None -> 1. -. p.alpha
+  | Some t_zero -> min 1. (infected_at p ~t:(t_zero +. gamma) /. p.n)
+
+(** Infection-ratio curve over deployment ratios for a fixed γ — one line
+    of Figures 6, 7 and 8. *)
+let sweep_alpha p ~gamma ~alphas =
+  List.map (fun a -> (a, infection_ratio { p with alpha = a } ~gamma)) alphas
+
+(** The γ needed to keep the infection ratio below [target] (bisection on
+    γ, which the ratio is monotone in). *)
+let max_gamma_for_ratio ?(lo = 0.) ?(hi = 1000.) p ~target =
+  let ratio g = infection_ratio p ~gamma:g in
+  if ratio lo > target then None
+  else begin
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to 40 do
+      let mid = (!lo +. !hi) /. 2. in
+      if ratio mid <= target then lo := mid else hi := mid
+    done;
+    Some !lo
+  end

@@ -1,0 +1,52 @@
+(** The Susceptible–Infected community-defense model of the paper's
+    Section 6.
+
+    State is [I; P]: infected hosts and producers contacted at least once,
+    evolving under
+
+    {v
+      dI/dt = β ρ I (1 - α - I/N)
+      dP/dt = α β I (1 - P/(αN))
+    v}
+
+    (ρ = 1 recovers the unprotected equations). T0 is the first time
+    P(t) ≥ 1 — a producer has seen an infection attempt and antibody
+    generation can start; after the community response time γ the antibody
+    is everywhere, so the outbreak's final size is I(T0 + γ). *)
+
+type params = {
+  beta : float;   (** contact rate (infection attempts per host per second) *)
+  rho : float;    (** per-attempt success probability under protection *)
+  alpha : float;  (** fraction of vulnerable hosts that are Producers *)
+  n : float;      (** vulnerable population *)
+  i0 : float;     (** initially infected hosts *)
+}
+
+val slammer : params
+(** Slammer as observed: β = 0.1, N = 100 000. *)
+
+val rho_aslr : float
+(** ρ for 12 bits of address-space entropy (2⁻¹²). *)
+
+val hitlist : ?beta:float -> ?rho:float -> unit -> params
+(** A hit-list worm (default β = 1000) against ASLR-protected hosts. *)
+
+val derivatives : params -> float -> float array -> float array
+
+val t0 : ?t_max:float -> params -> float option
+(** Time at which the first producer has been contacted; [None] when there
+    are no producers or the worm never reaches one. *)
+
+val infected_at : params -> t:float -> float
+
+val infection_ratio : params -> gamma:float -> float
+(** The headline quantity: I(T0 + γ)/N — the fraction infected before the
+    antibody closed the vulnerability. 1 - α when no producer exists. *)
+
+val sweep_alpha :
+  params -> gamma:float -> alphas:float list -> (float * float) list
+(** One line of Figures 6–8: infection ratio over deployment ratios. *)
+
+val max_gamma_for_ratio :
+  ?lo:float -> ?hi:float -> params -> target:float -> float option
+(** The γ budget keeping the infection ratio below [target] (bisection). *)

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast List Option Printf Sema Vm

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Codegen Lexer Libc Parser Printf Sema

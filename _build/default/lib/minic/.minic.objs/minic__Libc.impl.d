@@ -1,0 +1,1 @@
+lib/minic/libc.ml: Ast

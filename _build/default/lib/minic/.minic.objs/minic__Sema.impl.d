@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Bytes Char Hashtbl Int32 List Option Printf String

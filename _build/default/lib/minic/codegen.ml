@@ -1,0 +1,316 @@
+(** Code generation from the typed AST to relocatable VM units.
+
+    Conventions (what makes the stack smashable):
+    - arguments are pushed right-to-left; [Call] pushes the return address;
+    - prologue: [push fp; mov fp, sp; sub sp, frame_size], so for a frame:
+      locals at [fp-frame..fp), saved fp at [fp], return address at [fp+4],
+      arguments from [fp+8] — a local buffer that overflows upward reaches
+      the saved frame pointer and then the return address;
+    - results in [r0]; all registers are caller-saved scratch. *)
+
+open Sema
+
+type ctx = {
+  mutable items : Vm.Asm.item list;  (** reversed *)
+  mutable label_count : int;
+  fname : string;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+}
+
+let emit ctx i = ctx.items <- Vm.Asm.Ins i :: ctx.items
+let emit_label ctx l = ctx.items <- Vm.Asm.Label l :: ctx.items
+
+let fresh_label ctx stem =
+  let n = ctx.label_count in
+  ctx.label_count <- n + 1;
+  Printf.sprintf ".L%s_%s%d" ctx.fname stem n
+
+let is_byte_ty = function Ast.Tchar -> true | _ -> false
+
+open Vm.Isa
+
+(* Load the address of an lvalue into [r0]. *)
+let rec gen_lval_addr ctx (lv : tlval) =
+  match lv with
+  | Lvar (Loc_frame off, _) ->
+    emit ctx (Mov (R0, Reg FP));
+    emit ctx (Bin (Add, R0, Imm off))
+  | Lvar (Loc_global sym, _) -> emit ctx (Mov (R0, Sym sym))
+  | Lvar (Loc_func sym, _) -> emit ctx (Mov (R0, Sym sym))
+  | Lmem (addr, _) -> gen_expr ctx addr
+
+(* Evaluate an expression into [r0], preserving the stack balance. *)
+and gen_expr ctx (e : texpr) =
+  match e.node with
+  | Tnum n -> emit ctx (Mov (R0, Imm n))
+  | Tstr sym -> emit ctx (Mov (R0, Sym sym))
+  | Tfun_addr f -> emit ctx (Mov (R0, Sym f))
+  | Taddr lv -> gen_lval_addr ctx lv
+  | Tload lv -> (
+    match lv with
+    | Lvar (Loc_frame off, ty) ->
+      if is_byte_ty ty then emit ctx (Loadb (R0, FP, off))
+      else emit ctx (Load (R0, FP, off))
+    | Lvar (Loc_global sym, ty) ->
+      emit ctx (Mov (R0, Sym sym));
+      if is_byte_ty ty then emit ctx (Loadb (R0, R0, 0))
+      else emit ctx (Load (R0, R0, 0))
+    | Lvar (Loc_func sym, _) -> emit ctx (Mov (R0, Sym sym))
+    | Lmem (addr, ty) ->
+      gen_expr ctx addr;
+      if is_byte_ty ty then emit ctx (Loadb (R0, R0, 0))
+      else emit ctx (Load (R0, R0, 0)))
+  | Tassign (lv, rhs) -> (
+    match lv with
+    | Lvar (Loc_frame off, ty) ->
+      gen_expr ctx rhs;
+      if is_byte_ty ty then emit ctx (Storeb (FP, off, R0))
+      else emit ctx (Store (FP, off, R0))
+    | Lvar (Loc_global sym, ty) ->
+      gen_expr ctx rhs;
+      emit ctx (Mov (R1, Sym sym));
+      if is_byte_ty ty then emit ctx (Storeb (R1, 0, R0))
+      else emit ctx (Store (R1, 0, R0))
+    | Lvar (Loc_func _, _) -> invalid_arg "assign to function"
+    | Lmem (addr, ty) ->
+      gen_expr ctx addr;
+      emit ctx (Push (Reg R0));
+      gen_expr ctx rhs;
+      emit ctx (Pop R1);
+      if is_byte_ty ty then emit ctx (Storeb (R1, 0, R0))
+      else emit ctx (Store (R1, 0, R0)))
+  | Tun (op, inner) -> (
+    gen_expr ctx inner;
+    match op with
+    | Ast.Neg -> emit ctx (Neg R0)
+    | Ast.Bnot -> emit ctx (Not R0)
+    | Ast.Lnot ->
+      let l = fresh_label ctx "not" in
+      emit ctx (Cmp (R0, Imm 0));
+      emit ctx (Mov (R0, Imm 1));
+      emit ctx (Jcc (Eq, Lbl l));
+      emit ctx (Mov (R0, Imm 0));
+      emit_label ctx l
+    | Ast.Addr_of | Ast.Deref -> assert false (* resolved in sema *))
+  | Tbin (Ast.Land, e1, e2) ->
+    let l_false = fresh_label ctx "andF" in
+    let l_end = fresh_label ctx "andE" in
+    gen_expr ctx e1;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Eq, Lbl l_false));
+    gen_expr ctx e2;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Eq, Lbl l_false));
+    emit ctx (Mov (R0, Imm 1));
+    emit ctx (Jmp (Lbl l_end));
+    emit_label ctx l_false;
+    emit ctx (Mov (R0, Imm 0));
+    emit_label ctx l_end
+  | Tbin (Ast.Lor, e1, e2) ->
+    let l_true = fresh_label ctx "orT" in
+    let l_end = fresh_label ctx "orE" in
+    gen_expr ctx e1;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Ne, Lbl l_true));
+    gen_expr ctx e2;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Ne, Lbl l_true));
+    emit ctx (Mov (R0, Imm 0));
+    emit ctx (Jmp (Lbl l_end));
+    emit_label ctx l_true;
+    emit ctx (Mov (R0, Imm 1));
+    emit_label ctx l_end
+  | Tbin (op, e1, e2) -> (
+    gen_expr ctx e1;
+    emit ctx (Push (Reg R0));
+    gen_expr ctx e2;
+    emit ctx (Pop R1);
+    (* r1 = e1, r0 = e2 *)
+    let arith b =
+      emit ctx (Bin (b, R1, Reg R0));
+      emit ctx (Mov (R0, Reg R1))
+    in
+    let compare c =
+      let l = fresh_label ctx "cmp" in
+      emit ctx (Cmp (R1, Reg R0));
+      emit ctx (Mov (R0, Imm 1));
+      emit ctx (Jcc (c, Lbl l));
+      emit ctx (Mov (R0, Imm 0));
+      emit_label ctx l
+    in
+    match op with
+    | Ast.Add -> arith Add
+    | Ast.Sub -> arith Sub
+    | Ast.Mul -> arith Mul
+    | Ast.Div -> arith Div
+    | Ast.Mod -> arith Mod
+    | Ast.Band -> arith And
+    | Ast.Bor -> arith Or
+    | Ast.Bxor -> arith Xor
+    | Ast.Shl -> arith Shl
+    | Ast.Shr -> arith Shr
+    | Ast.Eq -> compare Eq
+    | Ast.Ne -> compare Ne
+    | Ast.Lt -> compare Lt
+    | Ast.Le -> compare Le
+    | Ast.Gt -> compare Gt
+    | Ast.Ge -> compare Ge
+    | Ast.Land | Ast.Lor -> assert false)
+  | Tcond (c, a, b) ->
+    let l_else = fresh_label ctx "celse" in
+    let l_end = fresh_label ctx "cend" in
+    gen_expr ctx c;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Eq, Lbl l_else));
+    gen_expr ctx a;
+    emit ctx (Jmp (Lbl l_end));
+    emit_label ctx l_else;
+    gen_expr ctx b;
+    emit_label ctx l_end
+  | Tcall (name, args) when Sema.is_intrinsic name ->
+    gen_intrinsic ctx name args
+  | Tcall (name, args) ->
+    (* Push right-to-left so arg0 ends nearest the frame. *)
+    List.iter
+      (fun a ->
+        gen_expr ctx a;
+        emit ctx (Push (Reg R0)))
+      (List.rev args);
+    emit ctx (Call (Lbl name));
+    if args <> [] then emit ctx (Bin (Add, SP, Imm (4 * List.length args)))
+  | Tcall_ptr (f, args) ->
+    List.iter
+      (fun a ->
+        gen_expr ctx a;
+        emit ctx (Push (Reg R0)))
+      (List.rev args);
+    gen_expr ctx f;
+    emit ctx (Mov (R4, Reg R0));
+    emit ctx (CallInd R4);
+    if args <> [] then emit ctx (Bin (Add, SP, Imm (4 * List.length args)))
+
+and gen_intrinsic ctx name args =
+  let sysno =
+    match name with
+    | "_exit" -> Vm.Sysno.sys_exit
+    | "_recv" -> Vm.Sysno.sys_recv
+    | "_send" -> Vm.Sysno.sys_send
+    | "_sys_malloc" -> Vm.Sysno.sys_malloc
+    | "_sys_free" -> Vm.Sysno.sys_free
+    | "_log" -> Vm.Sysno.sys_log
+    | "_exec" -> Vm.Sysno.sys_exec
+    | "_random" -> Vm.Sysno.sys_random
+    | "_time" -> Vm.Sysno.sys_time
+    | _ -> invalid_arg ("unknown intrinsic " ^ name)
+  in
+  (* Evaluate args left-to-right onto the stack, then pop into r(n-1)..r0. *)
+  List.iter
+    (fun a ->
+      gen_expr ctx a;
+      emit ctx (Push (Reg R0)))
+    args;
+  let arg_regs = [ R0; R1; R2; R3 ] in
+  List.iteri
+    (fun i _ -> emit ctx (Pop (List.nth arg_regs (List.length args - 1 - i))))
+    args;
+  emit ctx (Syscall sysno)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_stmt ctx ret_label (s : tstmt) =
+  match s with
+  | TSexpr e -> gen_expr ctx e
+  | TSblock b -> List.iter (gen_stmt ctx ret_label) b
+  | TSif (c, t, e) ->
+    let l_else = fresh_label ctx "else" in
+    let l_end = fresh_label ctx "endif" in
+    gen_expr ctx c;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Eq, Lbl l_else));
+    List.iter (gen_stmt ctx ret_label) t;
+    emit ctx (Jmp (Lbl l_end));
+    emit_label ctx l_else;
+    List.iter (gen_stmt ctx ret_label) e;
+    emit_label ctx l_end
+  | TSwhile (c, body) ->
+    let l_top = fresh_label ctx "wtop" in
+    let l_end = fresh_label ctx "wend" in
+    ctx.break_labels <- l_end :: ctx.break_labels;
+    ctx.continue_labels <- l_top :: ctx.continue_labels;
+    emit_label ctx l_top;
+    gen_expr ctx c;
+    emit ctx (Cmp (R0, Imm 0));
+    emit ctx (Jcc (Eq, Lbl l_end));
+    List.iter (gen_stmt ctx ret_label) body;
+    emit ctx (Jmp (Lbl l_top));
+    emit_label ctx l_end;
+    ctx.break_labels <- List.tl ctx.break_labels;
+    ctx.continue_labels <- List.tl ctx.continue_labels
+  | TSfor (init, cond, step, body) ->
+    let l_top = fresh_label ctx "ftop" in
+    let l_step = fresh_label ctx "fstep" in
+    let l_end = fresh_label ctx "fend" in
+    Option.iter (gen_stmt ctx ret_label) init;
+    ctx.break_labels <- l_end :: ctx.break_labels;
+    ctx.continue_labels <- l_step :: ctx.continue_labels;
+    emit_label ctx l_top;
+    (match cond with
+    | Some c ->
+      gen_expr ctx c;
+      emit ctx (Cmp (R0, Imm 0));
+      emit ctx (Jcc (Eq, Lbl l_end))
+    | None -> ());
+    List.iter (gen_stmt ctx ret_label) body;
+    emit_label ctx l_step;
+    Option.iter (gen_expr ctx) step;
+    emit ctx (Jmp (Lbl l_top));
+    emit_label ctx l_end;
+    ctx.break_labels <- List.tl ctx.break_labels;
+    ctx.continue_labels <- List.tl ctx.continue_labels
+  | TSreturn e ->
+    Option.iter (gen_expr ctx) e;
+    emit ctx (Jmp (Lbl ret_label))
+  | TSbreak -> (
+    match ctx.break_labels with
+    | l :: _ -> emit ctx (Jmp (Lbl l))
+    | [] -> invalid_arg "break outside loop")
+  | TScontinue -> (
+    match ctx.continue_labels with
+    | l :: _ -> emit ctx (Jmp (Lbl l))
+    | [] -> invalid_arg "continue outside loop")
+
+let gen_func (f : tfunc) : Vm.Asm.item list =
+  let ctx =
+    { items = []; label_count = 0; fname = f.tf_name;
+      break_labels = []; continue_labels = [] }
+  in
+  let ret_label = Printf.sprintf ".Lret_%s" f.tf_name in
+  emit_label ctx f.tf_name;
+  emit ctx (Push (Reg FP));
+  emit ctx (Mov (FP, Reg SP));
+  if f.tf_frame_size > 0 then emit ctx (Bin (Sub, SP, Imm f.tf_frame_size));
+  List.iter (gen_stmt ctx ret_label) f.tf_body;
+  emit_label ctx ret_label;
+  emit ctx (Mov (SP, Reg FP));
+  emit ctx (Pop FP);
+  emit ctx Ret;
+  List.rev ctx.items
+
+(** The result of compiling one translation unit. *)
+type compiled = {
+  unit_ : Vm.Asm.unit_;
+  data : Sema.tdata list;
+  funcs : string list;  (** names of defined functions, for extern linking *)
+}
+
+(** Generate code for an analyzed program. *)
+let gen ~name (tp : tprog) : compiled =
+  let items = List.concat_map gen_func tp.tp_funcs in
+  {
+    unit_ = Vm.Asm.make_unit name items;
+    data = tp.tp_data;
+    funcs = List.map (fun f -> f.tf_name) tp.tp_funcs;
+  }

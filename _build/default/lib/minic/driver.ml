@@ -1,0 +1,34 @@
+(** Front door of the compiler: source text in, relocatable unit out. *)
+
+exception Compile_error of string
+
+(** Compile one MiniC translation unit. [extern] declares functions
+    resolved at load time from another unit (see {!Libc.signatures}). *)
+let compile ~name ?(extern = []) src : Codegen.compiled =
+  try
+    let ast = Parser.parse src in
+    let tp = Sema.check ~extern_funcs:extern ast in
+    Codegen.gen ~name tp
+  with
+  | Lexer.Lex_error (msg, line) ->
+    raise (Compile_error (Printf.sprintf "%s: lex error line %d: %s" name line msg))
+  | Parser.Parse_error (msg, line) ->
+    raise
+      (Compile_error (Printf.sprintf "%s: parse error line %d: %s" name line msg))
+  | Sema.Error msg ->
+    raise (Compile_error (Printf.sprintf "%s: %s" name msg))
+
+let libc_cache : Codegen.compiled option ref = ref None
+
+(** The compiled C library (memoized — it is the same for every process;
+    randomization happens at load time, not compile time). *)
+let libc () =
+  match !libc_cache with
+  | Some c -> c
+  | None ->
+    let c = compile ~name:"libc" Libc.source in
+    libc_cache := Some c;
+    c
+
+(** Compile an application against the libc interface. *)
+let compile_app ~name src = compile ~name ~extern:Libc.signatures src

@@ -1,0 +1,171 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_KW | CHAR_KW | VOID_KW | STRUCT_KW
+  | IF | ELSE | WHILE | FOR | RETURN | BREAK | CONTINUE | SIZEOF
+  | IDENT of string
+  | NUM of int
+  | STRING of string
+  | CHARLIT of char
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL_T | SHR_T
+  | BANG | ANDAND | OROR
+  | ASSIGN | EQ_T | NE_T | LT_T | LE_T | GT_T | GE_T
+  | DOT | ARROW_T | QUESTION | COLON
+  | EOF
+
+exception Lex_error of string * int  (** message, line *)
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "char" -> Some CHAR_KW
+  | "void" -> Some VOID_KW
+  | "struct" -> Some STRUCT_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "sizeof" -> Some SIZEOF
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+(** Tokenize [src]; returns tokens paired with their line numbers, ending
+    with [EOF]. Supports line ([//]) and block comments, decimal and hex
+    integers, and the usual C escapes in string/char literals. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let rec escape i =
+    (* Returns (char, next index); i points after the backslash. *)
+    if i >= n then raise (Lex_error ("unterminated escape", !line))
+    else
+      match src.[i] with
+      | 'n' -> ('\n', i + 1)
+      | 't' -> ('\t', i + 1)
+      | 'r' -> ('\r', i + 1)
+      | '0' -> ('\000', i + 1)
+      | '\\' -> ('\\', i + 1)
+      | '\'' -> ('\'', i + 1)
+      | '"' -> ('"', i + 1)
+      | 'x' ->
+        if i + 2 < n && is_hex src.[i + 1] && is_hex src.[i + 2] then
+          (Char.chr (int_of_string (Printf.sprintf "0x%c%c" src.[i + 1] src.[i + 2])),
+           i + 3)
+        else raise (Lex_error ("bad hex escape", !line))
+      | c -> (c, i + 1)
+  and go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then raise (Lex_error ("unterminated comment", !line))
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '0' when i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X') ->
+        let rec num j = if j < n && is_hex src.[j] then num (j + 1) else j in
+        let j = num (i + 2) in
+        emit (NUM (int_of_string (String.sub src i (j - i))));
+        go j
+      | c when is_digit c ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let j = num i in
+        emit (NUM (int_of_string (String.sub src i (j - i))));
+        go j
+      | c when is_ident_start c ->
+        let rec id j = if j < n && is_ident src.[j] then id (j + 1) else j in
+        let j = id i in
+        let s = String.sub src i (j - i) in
+        emit (match keyword s with Some k -> k | None -> IDENT s);
+        go j
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string", !line))
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' then begin
+            let c, j' = escape (j + 1) in
+            Buffer.add_char buf c;
+            str j'
+          end
+          else begin
+            if src.[j] = '\n' then incr line;
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go j
+      | '\'' ->
+        let c, j =
+          if i + 1 < n && src.[i + 1] = '\\' then escape (i + 2)
+          else if i + 1 < n then (src.[i + 1], i + 2)
+          else raise (Lex_error ("unterminated char literal", !line))
+        in
+        if j < n && src.[j] = '\'' then begin
+          emit (CHARLIT c);
+          go (j + 1)
+        end
+        else raise (Lex_error ("unterminated char literal", !line))
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '>' -> emit ARROW_T; go (i + 2)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; go (i + 2)
+      | '&' -> emit AMP; go (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; go (i + 2)
+      | '|' -> emit PIPE; go (i + 1)
+      | '^' -> emit CARET; go (i + 1)
+      | '~' -> emit TILDE; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE_T; go (i + 2)
+      | '!' -> emit BANG; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ_T; go (i + 2)
+      | '=' -> emit ASSIGN; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '<' -> emit SHL_T; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE_T; go (i + 2)
+      | '<' -> emit LT_T; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '>' -> emit SHR_T; go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE_T; go (i + 2)
+      | '>' -> emit GT_T; go (i + 1)
+      | '.' -> emit DOT; go (i + 1)
+      | '?' -> emit QUESTION; go (i + 1)
+      | ':' -> emit COLON; go (i + 1)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+  in
+  go 0;
+  List.rev !toks

@@ -1,0 +1,330 @@
+(** The C runtime library, written in MiniC and compiled into the
+    randomized library segment of every process.
+
+    Keeping libc as compiled VM code (rather than native helpers) matters:
+    the paper's analyses attribute faults to instructions {e inside}
+    library routines — "0x4f0f0907 in strcat, when called by
+    ftpBuildTitleUrl" — and its VSEFs hook those very instructions. Our
+    [strcat]/[strcpy] loops contain the genuine overflowing stores, and
+    [free] contains the genuine double-free abort, at addresses that move
+    with address-space randomization. *)
+
+let source = {|
+// ------------------------------------------------------------------
+// string routines (deliberately unsafe, as in C)
+// ------------------------------------------------------------------
+
+int strlen(char *s) {
+  int i = 0;
+  while (s[i] != 0) { i = i + 1; }
+  return i;
+}
+
+char *strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];        // the classic overflowing store
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return dst;
+}
+
+char *strcat(char *dst, char *src) {
+  int i = 0;
+  int j = 0;
+  while (dst[i] != 0) { i = i + 1; }
+  while (src[j] != 0) {
+    dst[i] = src[j];        // unbounded append: CVE-2002-0068's instruction
+    i = i + 1;
+    j = j + 1;
+  }
+  dst[i] = 0;
+  return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+  int i = 0;
+  while (i < n && src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  if (i < n) { dst[i] = 0; }
+  return dst;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && b[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+  int i = 0;
+  if (n == 0) { return 0; }
+  while (i < n - 1 && a[i] != 0 && b[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+char *strchr(char *s, int c) {
+  int i = 0;
+  while (s[i] != 0) {
+    if (s[i] == c) { return s + i; }
+    i = i + 1;
+  }
+  return (char*)0;
+}
+
+char *strstr(char *hay, char *needle) {
+  int i = 0;
+  int nlen = strlen(needle);
+  if (nlen == 0) { return hay; }
+  while (hay[i] != 0) {
+    if (strncmpeq(hay + i, needle, nlen)) {
+      return hay + i;
+    }
+    i = i + 1;
+  }
+  return (char*)0;
+}
+
+// strncmp that treats equality over exactly n bytes as a match
+int strncmpeq(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) { return 0; }
+    if (a[i] == 0) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+  int i = 0;
+  while (i < n) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+  int i = 0;
+  while (i < n) {
+    dst[i] = (char)c;
+    i = i + 1;
+  }
+  return dst;
+}
+
+char *strncat(char *dst, char *src, int n) {
+  int i = 0;
+  int j = 0;
+  while (dst[i] != 0) { i = i + 1; }
+  while (j < n && src[j] != 0) {
+    dst[i] = src[j];
+    i = i + 1;
+    j = j + 1;
+  }
+  dst[i] = 0;
+  return dst;
+}
+
+char *strrchr(char *s, int c) {
+  char *found = (char*)0;
+  int i = 0;
+  while (s[i] != 0) {
+    if (s[i] == c) { found = s + i; }
+    i = i + 1;
+  }
+  return found;
+}
+
+int memcmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) { return (a[i] & 255) - (b[i] & 255); }
+    i = i + 1;
+  }
+  return 0;
+}
+
+char *strdup(char *s) {
+  char *p = malloc(strlen(s) + 1);
+  if (p != 0) { strcpy(p, s); }
+  return p;
+}
+
+int tolower(int c) {
+  if (c >= 'A' && c <= 'Z') { return c + 32; }
+  return c;
+}
+
+int toupper(int c) {
+  if (c >= 'a' && c <= 'z') { return c - 32; }
+  return c;
+}
+
+int isdigit(int c) {
+  if (c >= '0' && c <= '9') { return 1; }
+  return 0;
+}
+
+int isalpha(int c) {
+  if (c >= 'a' && c <= 'z') { return 1; }
+  if (c >= 'A' && c <= 'Z') { return 1; }
+  return 0;
+}
+
+int isspace(int c) {
+  if (c == ' ' || c == '\t' || c == '\n' || c == '\r') { return 1; }
+  return 0;
+}
+
+int atoi(char *s) {
+  int v = 0;
+  int i = 0;
+  int sign = 1;
+  if (s[0] == '-') { sign = 0 - 1; i = 1; }
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return v * sign;
+}
+
+// render a signed integer into buf; returns the length written
+int itoa(int v, char *buf) {
+  char tmp[16];
+  int i = 0;
+  int j = 0;
+  int neg = 0;
+  if (v == 0) { buf[0] = '0'; buf[1] = 0; return 1; }
+  if (v < 0) { neg = 1; v = 0 - v; }
+  while (v > 0) {
+    tmp[i] = (char)('0' + v % 10);
+    v = v / 10;
+    i = i + 1;
+  }
+  if (neg) { buf[j] = '-'; j = j + 1; }
+  while (i > 0) {
+    i = i - 1;
+    buf[j] = tmp[i];
+    j = j + 1;
+  }
+  buf[j] = 0;
+  return j;
+}
+
+// ------------------------------------------------------------------
+// heap: thin wrappers over the allocator syscalls, with the glibc-style
+// consistency check that turns a double free into an abort inside free()
+// ------------------------------------------------------------------
+
+char *malloc(int n) {
+  return (char*)_sys_malloc(n);
+}
+
+char *xcalloc(int n, int sz) {
+  char *p = (char*)_sys_malloc(n * sz);
+  if (p != 0) { memset(p, 0, n * sz); }
+  return p;
+}
+
+void free(char *p) {
+  int *h;
+  if (p == 0) { return; }
+  h = (int*)(p - 8);
+  if (h[1] != 0x000A110C) {
+    // heap metadata inconsistent (double free or overflow):
+    // abort by faulting, as glibc does
+    int *crash = (int*)4;
+    *crash = 0x0000DEAD;
+  }
+  _sys_free(p);
+}
+
+// ------------------------------------------------------------------
+// rfc1738-style URL escaping: each unsafe byte becomes %XX, so output
+// can be up to 3x input — the expansion at the heart of CVE-2002-0068
+// ------------------------------------------------------------------
+
+int url_safe_char(int c) {
+  if (c >= 'a' && c <= 'z') { return 1; }
+  if (c >= 'A' && c <= 'Z') { return 1; }
+  if (c >= '0' && c <= '9') { return 1; }
+  if (c == '.' || c == '-' || c == '_' || c == '/') { return 1; }
+  return 0;
+}
+
+int hex_digit(int v) {
+  if (v < 10) { return '0' + v; }
+  return 'A' + (v - 10);
+}
+
+char *rfc1738_escape_part(char *s) {
+  int bufsize = strlen(s) * 3 + 1;
+  char *buf = xcalloc(bufsize, 1);
+  int i = 0;
+  int j = 0;
+  if (buf == 0) { return (char*)0; }
+  while (s[i] != 0) {
+    int c = s[i] & 255;
+    if (url_safe_char(c)) {
+      buf[j] = (char)c;
+      j = j + 1;
+    } else {
+      buf[j] = '%';
+      buf[j + 1] = (char)hex_digit((c >> 4) & 15);
+      buf[j + 2] = (char)hex_digit(c & 15);
+      j = j + 3;
+    }
+    i = i + 1;
+  }
+  buf[j] = 0;
+  return buf;
+}
+
+// system(): the return-to-libc target every exploit aims for
+int system(char *cmd) {
+  _exec(cmd);
+  return 0;
+}
+|}
+
+open Ast
+
+(** Signatures exported to application units (for extern linking). *)
+let signatures : (string * ty * ty list) list =
+  let cp = Tptr Tchar in
+  [
+    ("strlen", Tint, [ cp ]);
+    ("strcpy", cp, [ cp; cp ]);
+    ("strcat", cp, [ cp; cp ]);
+    ("strncpy", cp, [ cp; cp; Tint ]);
+    ("strcmp", Tint, [ cp; cp ]);
+    ("strncmp", Tint, [ cp; cp; Tint ]);
+    ("strncmpeq", Tint, [ cp; cp; Tint ]);
+    ("strncat", cp, [ cp; cp; Tint ]);
+    ("strchr", cp, [ cp; Tint ]);
+    ("strrchr", cp, [ cp; Tint ]);
+    ("strstr", cp, [ cp; cp ]);
+    ("strdup", cp, [ cp ]);
+    ("memcpy", cp, [ cp; cp; Tint ]);
+    ("memset", cp, [ cp; Tint; Tint ]);
+    ("memcmp", Tint, [ cp; cp; Tint ]);
+    ("tolower", Tint, [ Tint ]);
+    ("toupper", Tint, [ Tint ]);
+    ("isdigit", Tint, [ Tint ]);
+    ("isalpha", Tint, [ Tint ]);
+    ("isspace", Tint, [ Tint ]);
+    ("atoi", Tint, [ cp ]);
+    ("itoa", Tint, [ Tint; cp ]);
+    ("malloc", cp, [ Tint ]);
+    ("xcalloc", cp, [ Tint; Tint ]);
+    ("free", Tvoid, [ cp ]);
+    ("url_safe_char", Tint, [ Tint ]);
+    ("hex_digit", Tint, [ Tint ]);
+    ("rfc1738_escape_part", cp, [ cp ]);
+    ("system", Tint, [ cp ]);
+  ]

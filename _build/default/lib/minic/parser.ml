@@ -1,0 +1,530 @@
+(** Recursive-descent parser for MiniC. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+}
+
+let peek st =
+  match st.toks with
+  | (t, _) :: _ -> t
+  | [] -> Lexer.EOF
+
+let line st =
+  match st.toks with
+  | (_, l) :: _ -> l
+  | [] -> 0
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st msg = raise (Parse_error (msg, line st))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st ("expected " ^ what)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st ("expected identifier (" ^ what ^ ")")
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Base type: int / char / void / struct S. *)
+let parse_base_ty st =
+  match peek st with
+  | Lexer.INT_KW -> advance st; Tint
+  | Lexer.CHAR_KW -> advance st; Tchar
+  | Lexer.VOID_KW -> advance st; Tvoid
+  | Lexer.STRUCT_KW ->
+    advance st;
+    let name = expect_ident st "struct name" in
+    Tstruct name
+  | _ -> fail st "expected type"
+
+let looks_like_type st =
+  match peek st with
+  | Lexer.INT_KW | Lexer.CHAR_KW | Lexer.VOID_KW | Lexer.STRUCT_KW -> true
+  | _ -> false
+
+(* Pointer stars after a base type. *)
+let rec parse_stars st ty =
+  if peek st = Lexer.STAR then begin
+    advance st;
+    parse_stars st (Tptr ty)
+  end
+  else ty
+
+let parse_ty st = parse_stars st (parse_base_ty st)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond_expr st in
+  match peek st with
+  | Lexer.ASSIGN ->
+    advance st;
+    let rhs = parse_assign st in
+    Assign (lhs, rhs)
+  | _ -> lhs
+
+and parse_cond_expr st =
+  let c = parse_lor st in
+  match peek st with
+  | Lexer.QUESTION ->
+    advance st;
+    let t = parse_expr st in
+    expect st Lexer.COLON "':'";
+    let e = parse_cond_expr st in
+    Cond (c, t, e)
+  | _ -> c
+
+and parse_lor st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.OROR ->
+      advance st;
+      loop (Bin (Lor, acc, parse_land st))
+    | _ -> acc
+  in
+  loop (parse_land st)
+
+and parse_land st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.ANDAND ->
+      advance st;
+      loop (Bin (Land, acc, parse_bitor st))
+    | _ -> acc
+  in
+  loop (parse_bitor st)
+
+and parse_bitor st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PIPE ->
+      advance st;
+      loop (Bin (Bor, acc, parse_bitxor st))
+    | _ -> acc
+  in
+  loop (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.CARET ->
+      advance st;
+      loop (Bin (Bxor, acc, parse_bitand st))
+    | _ -> acc
+  in
+  loop (parse_bitand st)
+
+and parse_bitand st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.AMP ->
+      advance st;
+      loop (Bin (Band, acc, parse_equality st))
+    | _ -> acc
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.EQ_T ->
+      advance st;
+      loop (Bin (Eq, acc, parse_relational st))
+    | Lexer.NE_T ->
+      advance st;
+      loop (Bin (Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.LT_T -> advance st; loop (Bin (Lt, acc, parse_shift st))
+    | Lexer.LE_T -> advance st; loop (Bin (Le, acc, parse_shift st))
+    | Lexer.GT_T -> advance st; loop (Bin (Gt, acc, parse_shift st))
+    | Lexer.GE_T -> advance st; loop (Bin (Ge, acc, parse_shift st))
+    | _ -> acc
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.SHL_T -> advance st; loop (Bin (Shl, acc, parse_additive st))
+    | Lexer.SHR_T -> advance st; loop (Bin (Shr, acc, parse_additive st))
+    | _ -> acc
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Bin (Add, acc, parse_multiplicative st))
+    | Lexer.MINUS -> advance st; loop (Bin (Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (Bin (Mul, acc, parse_unary st))
+    | Lexer.SLASH -> advance st; loop (Bin (Div, acc, parse_unary st))
+    | Lexer.PERCENT -> advance st; loop (Bin (Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS -> advance st; Un (Neg, parse_unary st)
+  | Lexer.BANG -> advance st; Un (Lnot, parse_unary st)
+  | Lexer.TILDE -> advance st; Un (Bnot, parse_unary st)
+  | Lexer.AMP -> advance st; Un (Addr_of, parse_unary st)
+  | Lexer.STAR -> advance st; Un (Deref, parse_unary st)
+  | Lexer.SIZEOF ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let ty = parse_ty st in
+    expect st Lexer.RPAREN "')'";
+    Sizeof ty
+  | Lexer.LPAREN when looks_like_type_cast st -> (
+    advance st;
+    let ty = parse_ty st in
+    expect st Lexer.RPAREN "')'";
+    Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+(* A '(' begins a cast only if followed by a type keyword. *)
+and looks_like_type_cast st =
+  match st.toks with
+  | (Lexer.LPAREN, _) :: (t, _) :: _ -> (
+    match t with
+    | Lexer.INT_KW | Lexer.CHAR_KW | Lexer.VOID_KW | Lexer.STRUCT_KW -> true
+    | _ -> false)
+  | _ -> false
+
+and parse_postfix st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET "']'";
+      loop (Index (acc, idx))
+    | Lexer.DOT ->
+      advance st;
+      let f = expect_ident st "field" in
+      loop (Field (acc, f))
+    | Lexer.ARROW_T ->
+      advance st;
+      let f = expect_ident st "field" in
+      loop (Arrow (acc, f))
+    | Lexer.LPAREN ->
+      (* Call through an arbitrary expression (function pointer). *)
+      advance st;
+      let args = parse_args st in
+      loop (Call_ptr (acc, args))
+    | _ -> acc
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop (e :: acc)
+      | Lexer.RPAREN ->
+        advance st;
+        List.rev (e :: acc)
+      | _ -> fail st "expected ',' or ')' in arguments"
+    in
+    loop []
+
+and parse_primary st =
+  match peek st with
+  | Lexer.NUM n -> advance st; Num n
+  | Lexer.CHARLIT c -> advance st; Chr c
+  | Lexer.STRING s ->
+    advance st;
+    (* Adjacent string literals concatenate, as in C. *)
+    let rec more acc =
+      match peek st with
+      | Lexer.STRING s2 ->
+        advance st;
+        more (acc ^ s2)
+      | _ -> acc
+    in
+    Str (more s)
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      Call (name, parse_args st)
+    | _ -> Var name)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | _ -> fail st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Declarator: stars, name, optional [N] suffixes. *)
+let parse_declarator st base =
+  let ty = parse_stars st base in
+  let name = expect_ident st "variable name" in
+  let rec dims acc =
+    if peek st = Lexer.LBRACKET then begin
+      advance st;
+      match peek st with
+      | Lexer.NUM n ->
+        advance st;
+        expect st Lexer.RBRACKET "']'";
+        dims (n :: acc)
+      | _ -> fail st "expected array size"
+    end
+    else acc
+  in
+  let sizes = dims [] in
+  let ty = List.fold_left (fun t n -> Tarray (t, n)) ty sizes in
+  (ty, name)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    Sblock (parse_block st)
+  | Lexer.IF ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    let then_ = parse_stmt_as_block st in
+    let else_ =
+      if peek st = Lexer.ELSE then begin
+        advance st;
+        parse_stmt_as_block st
+      end
+      else []
+    in
+    Sif (cond, then_, else_)
+  | Lexer.WHILE ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    Swhile (cond, parse_stmt_as_block st)
+  | Lexer.FOR ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let init =
+      if peek st = Lexer.SEMI then begin
+        advance st;
+        None
+      end
+      else begin
+        let s = parse_simple_stmt st in
+        expect st Lexer.SEMI "';'";
+        Some s
+      end
+    in
+    let cond =
+      if peek st = Lexer.SEMI then None else Some (parse_expr st)
+    in
+    expect st Lexer.SEMI "';'";
+    let step =
+      if peek st = Lexer.RPAREN then None else Some (parse_expr st)
+    in
+    expect st Lexer.RPAREN "')'";
+    Sfor (init, cond, step, parse_stmt_as_block st)
+  | Lexer.RETURN ->
+    advance st;
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      Sreturn None
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Lexer.SEMI "';'";
+      Sreturn (Some e)
+    end
+  | Lexer.BREAK ->
+    advance st;
+    expect st Lexer.SEMI "';'";
+    Sbreak
+  | Lexer.CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI "';'";
+    Scontinue
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Lexer.SEMI "';'";
+    s
+
+(* Declaration or expression statement, without the trailing semicolon
+   (shared by for-loop initializers). *)
+and parse_simple_stmt st =
+  if looks_like_type st then begin
+    let base = parse_base_ty st in
+    let ty, name = parse_declarator st base in
+    let init =
+      if peek st = Lexer.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    Sdecl (ty, name, init)
+  end
+  else Sexpr (parse_expr st)
+
+and parse_stmt_as_block st =
+  if peek st = Lexer.LBRACE then begin
+    advance st;
+    parse_block st
+  end
+  else [ parse_stmt st ]
+
+and parse_block st =
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st =
+  expect st Lexer.LPAREN "'('";
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else if peek st = Lexer.VOID_KW && List.nth_opt st.toks 1 |> Option.map fst = Some Lexer.RPAREN
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let base = parse_base_ty st in
+      let ty = parse_stars st base in
+      let name = expect_ident st "parameter name" in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop ((ty, name) :: acc)
+      | Lexer.RPAREN ->
+        advance st;
+        List.rev ((ty, name) :: acc)
+      | _ -> fail st "expected ',' or ')' in parameters"
+    in
+    loop []
+
+let parse_global st =
+  if peek st = Lexer.STRUCT_KW
+     && (match st.toks with
+        | _ :: (Lexer.IDENT _, _) :: (Lexer.LBRACE, _) :: _ -> true
+        | _ -> false)
+  then begin
+    (* struct definition *)
+    advance st;
+    let name = expect_ident st "struct name" in
+    expect st Lexer.LBRACE "'{'";
+    let rec fields acc =
+      if peek st = Lexer.RBRACE then begin
+        advance st;
+        expect st Lexer.SEMI "';'";
+        List.rev acc
+      end
+      else begin
+        let base = parse_base_ty st in
+        let ty, fname = parse_declarator st base in
+        expect st Lexer.SEMI "';'";
+        fields ((ty, fname) :: acc)
+      end
+    in
+    Gstruct { s_name = name; s_fields = fields [] }
+  end
+  else begin
+    let base = parse_base_ty st in
+    let ty = parse_stars st base in
+    let name = expect_ident st "name" in
+    if peek st = Lexer.LPAREN then begin
+      let params = parse_params st in
+      expect st Lexer.LBRACE "'{'";
+      let body = parse_block st in
+      Gfunc { f_name = name; f_ret = ty; f_params = params; f_body = body }
+    end
+    else begin
+      (* Global variable, possibly an array. *)
+      let rec dims acc =
+        if peek st = Lexer.LBRACKET then begin
+          advance st;
+          match peek st with
+          | Lexer.NUM n ->
+            advance st;
+            expect st Lexer.RBRACKET "']'";
+            dims (n :: acc)
+          | _ -> fail st "expected array size"
+        end
+        else acc
+      in
+      let sizes = dims [] in
+      let ty = List.fold_left (fun t n -> Tarray (t, n)) ty sizes in
+      let init =
+        if peek st = Lexer.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Lexer.SEMI "';'";
+      Gvar (ty, name, init)
+    end
+  end
+
+(** Parse a complete MiniC translation unit. *)
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    if peek st = Lexer.EOF then List.rev acc else loop (parse_global st :: acc)
+  in
+  loop []

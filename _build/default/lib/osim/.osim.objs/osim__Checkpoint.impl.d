@@ -1,0 +1,1 @@
+lib/osim/checkpoint.ml: List Netlog Process Unix Vm

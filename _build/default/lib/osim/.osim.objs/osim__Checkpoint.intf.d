@@ -1,0 +1,1 @@
+lib/osim/checkpoint.mli: Process Vm

@@ -1,0 +1,1 @@
+lib/osim/netlog.ml: Array Int List Set

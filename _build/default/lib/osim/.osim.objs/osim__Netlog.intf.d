@@ -1,0 +1,1 @@
+lib/osim/netlog.mli: Int Set

@@ -1,0 +1,1 @@
+lib/osim/process.ml: Array Cpu Event Hashtbl List Memory Minic Netlog Random String Sysno Vm

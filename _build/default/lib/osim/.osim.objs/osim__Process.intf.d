@@ -1,0 +1,1 @@
+lib/osim/process.mli: Hashtbl Minic Netlog Random Vm

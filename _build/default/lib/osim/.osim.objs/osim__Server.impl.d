@@ -1,0 +1,1 @@
+lib/osim/server.ml: Checkpoint Option Process Vm

@@ -1,0 +1,1 @@
+lib/osim/server.mli: Checkpoint Process Vm

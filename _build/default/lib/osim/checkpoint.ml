@@ -1,0 +1,91 @@
+(** Lightweight in-memory checkpoints over a process — the Rx/FlashBack
+    shadow-process analogue.
+
+    A checkpoint captures register state, a copy-on-write memory snapshot,
+    the heap break, the network-log cursor, and the syscall-result-log
+    cursor. It is invisible to the protected program: nothing in the
+    process's own address space changes when one is taken, and an attacker
+    who corrupts the process cannot reach the snapshot (pages are copied
+    away by the COW engine on first touch). *)
+
+type t = {
+  ck_id : int;
+  ck_regs : Vm.Cpu.reg_snapshot;
+  ck_mem : Vm.Memory.snapshot;
+  ck_heap_brk : int;
+  ck_net_cursor : int;
+  ck_sysres_pos : int;
+  ck_cur_msg : int;
+  ck_icount : int;   (** dynamic instruction count at capture *)
+  ck_wall : float;   (** wall-clock capture time *)
+}
+
+let next_id = ref 0
+
+(** Capture the current process state. O(mapped pages). *)
+let take (p : Process.t) =
+  incr next_id;
+  {
+    ck_id = !next_id;
+    ck_regs = Vm.Cpu.snapshot_regs p.cpu;
+    ck_mem = Vm.Memory.snapshot p.mem;
+    ck_heap_brk = p.layout.Vm.Layout.heap_brk;
+    ck_net_cursor = Netlog.cursor p.net;
+    ck_sysres_pos = p.sysres_pos;
+    ck_cur_msg = p.cur_msg;
+    ck_icount = p.cpu.Vm.Cpu.icount;
+    ck_wall = Unix.gettimeofday ();
+  }
+
+(** Roll the process back to [ck]. The checkpoint remains valid and can be
+    rolled back to again (analysis re-executes repeatedly from the same
+    point). The arrival log and the syscall-result log are kept — replay
+    consumes them from the restored cursors, which is what makes
+    re-execution deterministic. *)
+let rollback (p : Process.t) ck =
+  Vm.Cpu.restore_regs p.cpu ck.ck_regs;
+  Vm.Memory.restore p.mem ck.ck_mem;
+  p.layout.Vm.Layout.heap_brk <- ck.ck_heap_brk;
+  Netlog.set_cursor p.net ck.ck_net_cursor;
+  p.sysres_pos <- ck.ck_sysres_pos;
+  p.cur_msg <- ck.ck_cur_msg;
+  p.compromised <- None;
+  p.exit_code <- None;
+  Process.run_rollback_hooks p
+
+(** A bounded ring of recent checkpoints (the paper keeps the 20 most
+    recent, taken every 200 ms by default). *)
+type ring = {
+  capacity : int;
+  mutable items : t list;  (** newest first *)
+}
+
+let create_ring ?(capacity = 20) () = { capacity; items = [] }
+
+let add ring ck =
+  let rec trim n = function
+    | [] -> []
+    | _ when n >= ring.capacity -> []
+    | x :: rest -> x :: trim (n + 1) rest
+  in
+  ring.items <- ck :: trim 1 ring.items
+
+let latest ring = match ring.items with [] -> None | x :: _ -> Some x
+
+let count ring = List.length ring.items
+
+(** The most recent checkpoint taken before the message at log index
+    [msg_index] was consumed — the right rollback point for analyzing an
+    attack that arrived in that message. *)
+let before_message ring ~msg_index =
+  List.find_opt (fun ck -> ck.ck_net_cursor <= msg_index) ring.items
+
+(** The oldest retained checkpoint. *)
+let oldest ring =
+  match List.rev ring.items with [] -> None | x :: _ -> Some x
+
+(** Drop every checkpoint whose network cursor is beyond [cursor]. Used by
+    recovery: checkpoints taken while a now-quarantined message was in
+    flight contain the attack's effects and must never be rolled back to. *)
+let purge_after ring ~cursor =
+  ring.items <- List.filter (fun ck -> ck.ck_net_cursor <= cursor) ring.items

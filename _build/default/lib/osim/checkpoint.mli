@@ -1,0 +1,50 @@
+(** Lightweight in-memory checkpoints over a process — the Rx/FlashBack
+    shadow-process analogue.
+
+    A checkpoint captures register state, a copy-on-write memory snapshot,
+    the heap break, the network-log cursor, and the syscall-result-log
+    cursor. It is invisible to the protected program, and an attacker who
+    corrupts the process cannot reach it (pages are copied away by the COW
+    engine on first touch). *)
+
+type t = {
+  ck_id : int;
+  ck_regs : Vm.Cpu.reg_snapshot;
+  ck_mem : Vm.Memory.snapshot;
+  ck_heap_brk : int;
+  ck_net_cursor : int;
+  ck_sysres_pos : int;
+  ck_cur_msg : int;
+  ck_icount : int;  (** dynamic instruction count at capture *)
+  ck_wall : float;  (** wall-clock capture time *)
+}
+
+val take : Process.t -> t
+(** Capture the current process state. O(mapped pages). *)
+
+val rollback : Process.t -> t -> unit
+(** Roll the process back. The checkpoint stays valid and can be rolled
+    back to again; the arrival log and the syscall-result log are kept, so
+    replay from the restored cursors is deterministic. Runs the process's
+    rollback hooks (instrumentation re-seeds its shadow state there). *)
+
+(** A bounded ring of recent checkpoints (the paper keeps the 20 most
+    recent, taken every 200 ms by default). *)
+type ring
+
+val create_ring : ?capacity:int -> unit -> ring
+val add : ring -> t -> unit
+val latest : ring -> t option
+val oldest : ring -> t option
+val count : ring -> int
+
+val purge_after : ring -> cursor:int -> unit
+(** Drop every checkpoint whose network cursor is beyond [cursor]. Used by
+    recovery: checkpoints taken while a now-quarantined message was in
+    flight contain the attack's effects and must never be rolled back to. *)
+
+val before_message : ring -> msg_index:int -> t option
+(** The most recent checkpoint taken before the message at log index
+    [msg_index] was consumed — the right rollback point for analyzing an
+    attack that arrived in that message (a later checkpoint could sit
+    mid-exploit). *)

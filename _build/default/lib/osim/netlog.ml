@@ -1,0 +1,122 @@
+(** The network proxy: message logging, input filtering, and replay.
+
+    Every inbound message passes through here. During normal execution the
+    proxy applies the input-signature filters Sweeper has generated
+    (dropping matches before they reach the server) and appends everything
+    else to the arrival log that replay draws from. After an attack, the
+    same log is what rollback-and-re-execution feeds back to the process —
+    with the malicious message(s) skipped during recovery. *)
+
+type msg = {
+  m_id : int;
+  m_payload : string;
+}
+
+module Int_set = Set.Make (Int)
+
+type mode =
+  | Live
+      (** consume arrivals in order; block when none are pending *)
+  | Replay of { upto : int; skip : Int_set.t }
+      (** re-deliver logged messages with ids below [upto], skipping the
+          given ids; block at [upto] *)
+
+type filter = {
+  f_name : string;
+  f_matches : string -> bool;
+}
+
+type t = {
+  mutable msgs : msg array;
+  mutable count : int;
+  mutable cursor : int;  (** index of the next message to consume *)
+  mutable mode : mode;
+  mutable filters : filter list;
+  mutable filtered : (string * string) list;  (** filter name, payload *)
+  mutable quarantined : Int_set.t;
+      (** messages identified as malicious: never re-delivered by replay *)
+}
+
+let create () =
+  {
+    msgs = Array.make 64 { m_id = 0; m_payload = "" };
+    count = 0;
+    cursor = 0;
+    mode = Live;
+    filters = [];
+    filtered = [];
+    quarantined = Int_set.empty;
+  }
+
+(** Permanently exclude messages from any future replay. *)
+let quarantine t ids =
+  t.quarantined <- List.fold_left (fun s i -> Int_set.add i s) t.quarantined ids
+
+let grow t =
+  if t.count = Array.length t.msgs then begin
+    let bigger = Array.make (2 * Array.length t.msgs) t.msgs.(0) in
+    Array.blit t.msgs 0 bigger 0 t.count;
+    t.msgs <- bigger
+  end
+
+(** Deliver a message to the proxy. Returns the assigned id, or the name of
+    the filter that dropped it. *)
+let arrive t payload =
+  match List.find_opt (fun f -> f.f_matches payload) t.filters with
+  | Some f ->
+    t.filtered <- (f.f_name, payload) :: t.filtered;
+    Error f.f_name
+  | None ->
+    grow t;
+    let id = t.count in
+    t.msgs.(id) <- { m_id = id; m_payload = payload };
+    t.count <- t.count + 1;
+    Ok id
+
+(** Install a named input filter (an antibody). *)
+let add_filter t ~name matches =
+  t.filters <- { f_name = name; f_matches = matches } :: t.filters
+
+let remove_filter t ~name =
+  t.filters <- List.filter (fun f -> f.f_name <> name) t.filters
+
+let filter_count t = List.length t.filters
+
+(** The next message for [recv], honouring the current mode; [None] means
+    the syscall must block. Advances the cursor. *)
+let next_for_recv t =
+  match t.mode with
+  | Live ->
+    if t.cursor < t.count then begin
+      let m = t.msgs.(t.cursor) in
+      t.cursor <- t.cursor + 1;
+      Some m
+    end
+    else None
+  | Replay { upto; skip } ->
+    let rec go () =
+      if t.cursor >= upto then None
+      else
+        let m = t.msgs.(t.cursor) in
+        t.cursor <- t.cursor + 1;
+        if Int_set.mem m.m_id skip || Int_set.mem m.m_id t.quarantined then
+          go ()
+        else Some m
+    in
+    go ()
+
+let cursor t = t.cursor
+let set_cursor t c = t.cursor <- c
+let set_mode t m = t.mode <- m
+let message_count t = t.count
+
+let message t id =
+  if id < 0 || id >= t.count then invalid_arg "Netlog.message";
+  t.msgs.(id)
+
+(** Messages consumed at-or-after log position [pos] up to the current
+    cursor — the suspects for an attack detected now. *)
+let consumed_since t pos =
+  let stop = min t.cursor t.count in
+  let rec go acc i = if i >= stop then List.rev acc else go (t.msgs.(i) :: acc) (i + 1) in
+  go [] (max 0 pos)

@@ -1,0 +1,56 @@
+(** The network proxy: message logging, input filtering, and replay.
+
+    Every inbound message passes through here. During normal execution the
+    proxy applies the input-signature filters Sweeper has generated
+    (dropping matches before they reach the server) and appends everything
+    else to the arrival log that replay draws from. After an attack, the
+    same log is what rollback-and-re-execution feeds back to the process —
+    with malicious messages skipped during recovery and quarantined
+    forever after. *)
+
+type msg = {
+  m_id : int;
+  m_payload : string;
+}
+
+module Int_set :
+  Set.S with type elt = int and type t = Set.Make(Int).t
+
+type mode =
+  | Live
+      (** consume arrivals in order; block when none are pending *)
+  | Replay of { upto : int; skip : Int_set.t }
+      (** re-deliver logged messages with ids below [upto], skipping the
+          given ids (and all quarantined ids); block at [upto] *)
+
+type t
+
+val create : unit -> t
+
+val arrive : t -> string -> (int, string) result
+(** Deliver a message: [Ok id], or [Error filter_name] if dropped. *)
+
+val add_filter : t -> name:string -> (string -> bool) -> unit
+(** Install a named input filter (an antibody). *)
+
+val remove_filter : t -> name:string -> unit
+val filter_count : t -> int
+
+val quarantine : t -> int list -> unit
+(** Permanently exclude messages from any future replay. *)
+
+val next_for_recv : t -> msg option
+(** The next message for [recv], honouring the mode; [None] means the
+    syscall must block. Advances the cursor. *)
+
+val cursor : t -> int
+val set_cursor : t -> int -> unit
+val set_mode : t -> mode -> unit
+val message_count : t -> int
+
+val message : t -> int -> msg
+(** Look up a logged message by id. *)
+
+val consumed_since : t -> int -> msg list
+(** Messages consumed at-or-after log position [pos] up to the cursor —
+    the suspects for an attack detected now. *)

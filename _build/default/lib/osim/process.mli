@@ -1,0 +1,60 @@
+(** A simulated OS process: a loaded program (app + libc images), its CPU
+    and memory, the network endpoint, and the syscall layer — including the
+    FlashBack-style syscall-result log that keeps re-execution
+    deterministic (a replayed [time]/[random] returns what the original
+    execution saw). *)
+
+type t = {
+  cpu : Vm.Cpu.t;
+  mem : Vm.Memory.t;
+  layout : Vm.Layout.t;
+  app_image : Vm.Asm.image;
+  lib_image : Vm.Asm.image;
+  net : Netlog.t;
+  data_symbols : (string, int) Hashtbl.t;
+  mutable compromised : string option;
+      (** [Some cmd] once an exploit reached [system]/[exec] *)
+  mutable exit_code : int option;
+  mutable outputs : (int * string) list;  (** serviced msg id, payload (rev) *)
+  mutable responded : Netlog.Int_set.t;   (** msgs whose response was committed *)
+  mutable sandbox : bool;  (** drop all outputs (analysis re-execution) *)
+  mutable cur_msg : int;   (** id of the message currently being serviced *)
+  mutable console : string list;  (** [_log] output, most recent first *)
+  mutable sysres : int array;
+  mutable sysres_len : int;
+  mutable sysres_pos : int;
+  mutable clock : int;
+  rng : Random.State.t;
+  mutable rollback_hooks : (int * (unit -> unit)) list;
+  mutable next_rollback_hook : int;
+}
+
+val add_rollback_hook : t -> (unit -> unit) -> int
+(** Register a callback to run after every rollback — instrumentation that
+    keeps shadow state about the process re-seeds itself here. *)
+
+val remove_rollback_hook : t -> int -> unit
+val run_rollback_hooks : t -> unit
+
+val images : t -> Vm.Asm.image list
+
+val describe_addr : t -> int -> string
+(** Pretty-print an address against this process's symbol tables. *)
+
+val load : ?aslr:bool -> ?seed:int -> Minic.Codegen.compiled -> t
+(** Load a compiled application (against the memoized libc) into a fresh
+    process. [seed] drives both layout randomization and the process's
+    [random] syscall, making whole experiments reproducible. *)
+
+val run : ?fuel:int -> t -> Vm.Cpu.outcome
+(** Run until halt, input-block, fault, or fuel exhaustion. *)
+
+val send_message : t -> string -> (int, string) result
+(** Deliver a network message (through the input filters). *)
+
+val committed_outputs : t -> (int * string) list
+(** Responses committed so far, oldest first. *)
+
+val system_addr : t -> int
+(** Address of libc [system] in this process — the return-to-libc target
+    an exploit must guess under ASLR. *)

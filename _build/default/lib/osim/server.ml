@@ -1,0 +1,92 @@
+(** The serving harness: runs a process as a network server, taking
+    periodic lightweight checkpoints while it works.
+
+    The checkpoint interval is expressed in simulated milliseconds; the
+    simulation maps one millisecond to {!instrs_per_ms} dynamic
+    instructions, so "checkpoint every 200 ms" means "every million
+    instructions of progress". Wall-clock overhead measurements (Figure 4)
+    time the OCaml harness itself, where the checkpoint cost is the real
+    COW bookkeeping of {!Vm.Memory}. *)
+
+let instrs_per_ms = 5_000
+
+type config = {
+  checkpoint_interval_ms : int;  (** 0 disables checkpointing *)
+  keep_checkpoints : int;
+}
+
+let default_config = { checkpoint_interval_ms = 200; keep_checkpoints = 20 }
+
+type status =
+  | Idle        (** blocked waiting for input *)
+  | Stopped     (** process exited or was halted *)
+  | Crashed of Vm.Event.fault
+  | Infected of string  (** exploit reached [system]; payload command *)
+
+type t = {
+  proc : Process.t;
+  ring : Checkpoint.ring;
+  config : config;
+  mutable next_ck_at : int;  (** icount threshold for the next checkpoint *)
+  mutable checkpoints_taken : int;
+}
+
+let interval_instrs config = config.checkpoint_interval_ms * instrs_per_ms
+
+let create ?(config = default_config) proc =
+  let ring = Checkpoint.create_ring ~capacity:config.keep_checkpoints () in
+  (* An initial checkpoint so there is always a rollback point. *)
+  Checkpoint.add ring (Checkpoint.take proc);
+  {
+    proc;
+    ring;
+    config;
+    next_ck_at =
+      (if config.checkpoint_interval_ms = 0 then max_int
+       else proc.Process.cpu.Vm.Cpu.icount + interval_instrs config);
+    checkpoints_taken = 1;
+  }
+
+let take_checkpoint t =
+  Checkpoint.add t.ring (Checkpoint.take t.proc);
+  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  if t.config.checkpoint_interval_ms > 0 then
+    t.next_ck_at <- t.proc.Process.cpu.Vm.Cpu.icount + interval_instrs t.config
+
+(** Advance the server until it needs input, stops, crashes, or is
+    compromised — taking checkpoints on schedule as it runs. *)
+let run t =
+  let cpu = t.proc.Process.cpu in
+  let rec go () =
+    if t.proc.Process.compromised <> None then
+      Infected (Option.get t.proc.Process.compromised)
+    else if cpu.Vm.Cpu.halted then Stopped
+    else begin
+      let fuel = max 1 (t.next_ck_at - cpu.Vm.Cpu.icount) in
+      match Vm.Cpu.run ~fuel cpu with
+      | Vm.Cpu.Out_of_fuel ->
+        take_checkpoint t;
+        go ()
+      | Vm.Cpu.Blocked ->
+        (match t.proc.Process.compromised with
+        | Some cmd -> Infected cmd
+        | None -> Idle)
+      | Vm.Cpu.Halted -> (
+        match t.proc.Process.compromised with
+        | Some cmd -> Infected cmd
+        | None -> Stopped)
+      | Vm.Cpu.Faulted f -> Crashed f
+    end
+  in
+  go ()
+
+(** Deliver a message and run the server on it. *)
+let handle t payload =
+  match Process.send_message t.proc payload with
+  | Error filter -> `Filtered filter
+  | Ok id -> (
+    match run t with
+    | Idle -> `Served id
+    | Stopped -> `Stopped
+    | Crashed f -> `Crashed (id, f)
+    | Infected cmd -> `Infected (id, cmd))

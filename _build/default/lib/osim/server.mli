@@ -1,0 +1,50 @@
+(** The serving harness: runs a process as a network server, taking
+    periodic lightweight checkpoints while it works.
+
+    The checkpoint interval is expressed in simulated milliseconds; the
+    simulation maps one millisecond to {!instrs_per_ms} dynamic
+    instructions. *)
+
+val instrs_per_ms : int
+
+type config = {
+  checkpoint_interval_ms : int;  (** 0 disables checkpointing *)
+  keep_checkpoints : int;
+}
+
+val default_config : config
+(** 200 ms interval, 20 checkpoints retained — the paper's defaults. *)
+
+type status =
+  | Idle       (** blocked waiting for input *)
+  | Stopped    (** process exited or was halted *)
+  | Crashed of Vm.Event.fault
+  | Infected of string  (** exploit reached [system]; payload command *)
+
+type t = {
+  proc : Process.t;
+  ring : Checkpoint.ring;
+  config : config;
+  mutable next_ck_at : int;
+  mutable checkpoints_taken : int;
+}
+
+val create : ?config:config -> Process.t -> t
+(** Wrap a process; takes an initial checkpoint so a rollback point always
+    exists. *)
+
+val take_checkpoint : t -> unit
+
+val run : t -> status
+(** Advance until the server needs input, stops, crashes, or is
+    compromised — checkpointing on schedule as it runs. *)
+
+val handle :
+  t ->
+  string ->
+  [ `Served of int
+  | `Filtered of string
+  | `Stopped
+  | `Crashed of int * Vm.Event.fault
+  | `Infected of int * string ]
+(** Deliver one message and run the server on it. *)

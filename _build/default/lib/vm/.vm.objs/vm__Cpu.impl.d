@@ -1,0 +1,1 @@
+lib/vm/cpu.ml: Array Event Hashtbl Isa Layout List Memory Option

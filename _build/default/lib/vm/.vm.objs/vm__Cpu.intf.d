@@ -1,0 +1,1 @@
+lib/vm/cpu.mli: Event Hashtbl Isa Layout Memory

@@ -1,0 +1,1 @@
+lib/vm/disasm.ml: Asm Isa List Printf

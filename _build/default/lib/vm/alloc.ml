@@ -1,0 +1,120 @@
+(** Heap allocator with inline metadata, in the style of classic dlmalloc.
+
+    All allocator state — chunk headers, the free list, and the bump cursor —
+    lives {e inside VM memory}, so it is captured by checkpoints and restored
+    by rollback for free, and so a heap buffer overflow corrupts real
+    metadata that the core-dump analyzer can later find inconsistent
+    (the "modified red-zone technique — use malloc()'s own inline data
+    structures" of Section 3.2).
+
+    Chunk layout: [size:4][magic:4][user bytes...]. Free chunks reuse the
+    first user word as the free-list link. Bookkeeping words live at the
+    start of the heap region: free-list head at [heap_base], bump cursor at
+    [heap_base+4]. *)
+
+let magic_alloc = 0x000A110C
+let magic_freed = 0x000F4EED
+let header_size = 8
+
+let free_head_addr layout = layout.Layout.heap_base
+let cursor_addr layout = layout.Layout.heap_base + 4
+
+(** First address usable for chunks. *)
+let arena_start layout = layout.Layout.heap_base + 16
+
+(** Prepare the bookkeeping words. Must be called once per process, after
+    the layout's heap pages are mappable. *)
+let init mem layout =
+  ignore (Layout.grow_heap layout (arena_start layout));
+  Memory.store_word mem (free_head_addr layout) 0;
+  Memory.store_word mem (cursor_addr layout) (arena_start layout)
+
+let round_size n = if n <= 0 then 8 else (n + 7) land lnot 7
+
+(** Allocate [n] user bytes; returns the user pointer, or [None] when the
+    heap arena is exhausted. First-fit over the free list, bump allocation
+    otherwise. *)
+let malloc mem layout n =
+  let n = round_size n in
+  (* First-fit scan of the free list (links are chunk header addresses). *)
+  let rec scan prev hdr =
+    if hdr = 0 then None
+    else
+      let size = Memory.load_word mem hdr in
+      let next = Memory.load_word mem (hdr + header_size) in
+      if size >= n then begin
+        (match prev with
+        | None -> Memory.store_word mem (free_head_addr layout) next
+        | Some p -> Memory.store_word mem (p + header_size) next);
+        Memory.store_word mem (hdr + 4) magic_alloc;
+        Some (hdr + header_size)
+      end
+      else scan (Some hdr) next
+  in
+  match scan None (Memory.load_word mem (free_head_addr layout)) with
+  | Some ptr -> Some ptr
+  | None ->
+    let hdr = Memory.load_word mem (cursor_addr layout) in
+    let limit = hdr + header_size + n in
+    if not (Layout.grow_heap layout limit) then None
+    else begin
+      Memory.store_word mem hdr n;
+      Memory.store_word mem (hdr + 4) magic_alloc;
+      Memory.store_word mem (cursor_addr layout) limit;
+      Some (hdr + header_size)
+    end
+
+(** Release a user pointer. Reports — but tolerates — double frees and
+    wild pointers: the simulator must survive them so that Sweeper, not the
+    substrate, is what detects the bug. *)
+let free mem layout ptr =
+  let hdr = ptr - header_size in
+  if ptr < arena_start layout || ptr >= layout.Layout.heap_brk then `Bad_pointer
+  else
+    let magic = Memory.load_word mem (hdr + 4) in
+    if magic = magic_freed then `Double_free
+    else if magic <> magic_alloc then `Bad_pointer
+    else begin
+      Memory.store_word mem (hdr + 4) magic_freed;
+      Memory.store_word mem (hdr + header_size)
+        (Memory.load_word mem (free_head_addr layout));
+      Memory.store_word mem (free_head_addr layout) hdr;
+      `Ok
+    end
+
+type chunk_state = Chunk_alloc | Chunk_freed | Chunk_corrupt of int
+
+type chunk = {
+  c_ptr : int;   (** user pointer *)
+  c_size : int;
+  c_state : chunk_state;
+}
+
+(** Walk the heap chunk by chunk, exactly as the core-dump analyzer does.
+    Stops at the first corrupt header (after reporting it), since size
+    fields beyond it cannot be trusted. *)
+let chunks mem layout =
+  let cursor = Memory.load_word mem (cursor_addr layout) in
+  let rec go acc hdr =
+    if hdr >= cursor then List.rev acc
+    else
+      let size = Memory.load_word mem hdr in
+      let magic = Memory.load_word mem (hdr + 4) in
+      let user = hdr + header_size in
+      if magic = magic_alloc then
+        go ({ c_ptr = user; c_size = size; c_state = Chunk_alloc } :: acc)
+          (user + size)
+      else if magic = magic_freed then
+        go ({ c_ptr = user; c_size = size; c_state = Chunk_freed } :: acc)
+          (user + size)
+      else
+        List.rev
+          ({ c_ptr = user; c_size = size; c_state = Chunk_corrupt magic } :: acc)
+  in
+  go [] (arena_start layout)
+
+(** [true] when every chunk header in the heap is intact. *)
+let heap_consistent mem layout =
+  List.for_all
+    (fun c -> match c.c_state with Chunk_corrupt _ -> false | _ -> true)
+    (chunks mem layout)

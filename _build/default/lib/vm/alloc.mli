@@ -1,0 +1,47 @@
+(** Heap allocator with inline metadata, in the style of classic dlmalloc.
+
+    All allocator state — chunk headers, the free list, the bump cursor —
+    lives {e inside VM memory}, so checkpoints capture it and rollback
+    restores it for free, and a heap buffer overflow corrupts real metadata
+    the core-dump analyzer can later find inconsistent (the paper's
+    "modified red-zone technique — use malloc()'s own inline data
+    structures").
+
+    Chunk layout: [size:4][magic:4][user bytes...]; free chunks reuse the
+    first user word as the free-list link. *)
+
+val magic_alloc : int
+val magic_freed : int
+val header_size : int
+
+val arena_start : Layout.t -> int
+(** First address usable for chunks (after the bookkeeping words). *)
+
+val init : Memory.t -> Layout.t -> unit
+(** Prepare the bookkeeping words. Call once per process. *)
+
+val round_size : int -> int
+
+val malloc : Memory.t -> Layout.t -> int -> int option
+(** Allocate; returns the user pointer, or [None] on arena exhaustion.
+    First-fit over the free list, bump allocation otherwise. *)
+
+val free : Memory.t -> Layout.t -> int -> [ `Ok | `Double_free | `Bad_pointer ]
+(** Release a user pointer. Reports — but tolerates — double frees and
+    wild pointers: the simulator must survive them so that Sweeper, not the
+    substrate, detects the bug. *)
+
+type chunk_state = Chunk_alloc | Chunk_freed | Chunk_corrupt of int
+
+type chunk = {
+  c_ptr : int;  (** user pointer *)
+  c_size : int;
+  c_state : chunk_state;
+}
+
+val chunks : Memory.t -> Layout.t -> chunk list
+(** Walk the heap chunk by chunk, as the core-dump analyzer does. Stops at
+    the first corrupt header (after reporting it). *)
+
+val heap_consistent : Memory.t -> Layout.t -> bool
+(** [true] when every chunk header in the heap is intact. *)

@@ -1,0 +1,136 @@
+(** Relocatable code units and the loader/linker.
+
+    A {!unit_} is assembled once (by hand or by the MiniC code generator)
+    with symbolic labels; it is loaded into a process at a base address
+    chosen by the layout, which is how the same library code lands at a
+    different randomized base in every process instance. *)
+
+type item =
+  | Label of string
+  | Ins of Isa.instr
+
+(** A relocatable unit: a named sequence of labels and instructions. *)
+type unit_ = {
+  unit_name : string;
+  items : item list;
+}
+
+(** An image is a loaded, fully-resolved code segment. *)
+type image = {
+  base : int;
+  limit : int;  (** exclusive *)
+  code : (int, Isa.instr) Hashtbl.t;       (** address -> instruction *)
+  symbols : (string, int) Hashtbl.t;       (** label -> absolute address *)
+  sym_of_addr : (int, string) Hashtbl.t;   (** first label at an address *)
+}
+
+exception Undefined_symbol of string
+exception Duplicate_symbol of string
+
+let make_unit name items = { unit_name = name; items }
+
+(* First pass: assign each instruction an index and record label indices. *)
+let index_unit u =
+  let labels = Hashtbl.create 16 in
+  let instrs = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label l ->
+        if Hashtbl.mem labels l then raise (Duplicate_symbol l);
+        Hashtbl.replace labels l !n
+      | Ins i ->
+        instrs := i :: !instrs;
+        incr n)
+    u.items;
+  (labels, Array.of_list (List.rev !instrs))
+
+(** Load one or more units contiguously at [base]. Symbols are shared
+    across the units being loaded and may also refer to [extern] symbols
+    (e.g. app code calling into an already-loaded libc image). *)
+let load ?(extern = fun (_ : string) -> (None : int option)) ~base units =
+  let code = Hashtbl.create 1024 in
+  let symbols = Hashtbl.create 64 in
+  let sym_of_addr = Hashtbl.create 64 in
+  (* Place every unit, collecting absolute symbol addresses. *)
+  let placed =
+    let cursor = ref base in
+    List.map
+      (fun u ->
+        let labels, instrs = index_unit u in
+        let ubase = !cursor in
+        Hashtbl.iter
+          (fun l idx ->
+            let addr = ubase + (idx * Isa.instr_size) in
+            if Hashtbl.mem symbols l then raise (Duplicate_symbol l);
+            Hashtbl.replace symbols l addr;
+            if not (Hashtbl.mem sym_of_addr addr) then
+              Hashtbl.replace sym_of_addr addr l)
+          labels;
+        cursor := !cursor + (Array.length instrs * Isa.instr_size);
+        (ubase, instrs))
+      units
+    |> fun placed_units -> (placed_units, !cursor)
+  in
+  let placed_units, limit = placed in
+  let resolve_sym s =
+    match Hashtbl.find_opt symbols s with
+    | Some a -> a
+    | None -> (
+      match extern s with
+      | Some a -> a
+      | None -> raise (Undefined_symbol s))
+  in
+  let resolve_operand = function
+    | Isa.Sym s -> Isa.Imm (resolve_sym s)
+    | (Isa.Imm _ | Isa.Reg _) as op -> op
+  in
+  let resolve_target = function
+    | Isa.Lbl l -> Isa.Addr (resolve_sym l)
+    | Isa.Addr _ as t -> t
+  in
+  let resolve_instr (i : Isa.instr) : Isa.instr =
+    match i with
+    | Mov (r, op) -> Mov (r, resolve_operand op)
+    | Bin (op, r, o) -> Bin (op, r, resolve_operand o)
+    | Push op -> Push (resolve_operand op)
+    | Cmp (r, op) -> Cmp (r, resolve_operand op)
+    | Jmp t -> Jmp (resolve_target t)
+    | Jcc (c, t) -> Jcc (c, resolve_target t)
+    | Call t -> Call (resolve_target t)
+    | Not _ | Neg _ | Load _ | Loadb _ | Store _ | Storeb _ | Pop _
+    | CallInd _ | Ret | Syscall _ | Halt | Nop ->
+      i
+  in
+  List.iter
+    (fun (ubase, instrs) ->
+      Array.iteri
+        (fun idx ins ->
+          Hashtbl.replace code (ubase + (idx * Isa.instr_size)) (resolve_instr ins))
+        instrs)
+    placed_units;
+  { base; limit; code; symbols; sym_of_addr }
+
+(** Address of [sym] in a loaded image. Raises {!Undefined_symbol}. *)
+let symbol img sym =
+  match Hashtbl.find_opt img.symbols sym with
+  | Some a -> a
+  | None -> raise (Undefined_symbol sym)
+
+(** The function symbol covering [addr]: the greatest non-local symbol
+    (local labels start with '.') whose address is [<= addr], with the
+    offset. Used to attribute faulting instructions to functions in
+    analysis reports ("0x4f0f0907 in strcat"). *)
+let symbolize img addr =
+  let best = ref None in
+  Hashtbl.iter
+    (fun name a ->
+      if a <= addr && String.length name > 0 && name.[0] <> '.' then
+        match !best with
+        | Some (_, ba) when ba >= a -> ()
+        | _ -> best := Some (name, a))
+    img.symbols;
+  match !best with
+  | Some (name, a) when addr < img.limit -> Some (name, addr - a)
+  | _ -> None

@@ -1,0 +1,43 @@
+(** Relocatable code units and the loader/linker.
+
+    A {!unit_} is assembled once (by hand or by the MiniC code generator)
+    with symbolic labels; it is loaded into a process at a base address
+    chosen by the layout — which is how the same library code lands at a
+    different randomized base in every process instance. *)
+
+type item =
+  | Label of string
+  | Ins of Isa.instr
+
+type unit_ = {
+  unit_name : string;
+  items : item list;
+}
+
+(** A loaded, fully-resolved code segment. *)
+type image = {
+  base : int;
+  limit : int;  (** exclusive *)
+  code : (int, Isa.instr) Hashtbl.t;      (** address -> instruction *)
+  symbols : (string, int) Hashtbl.t;      (** label -> absolute address *)
+  sym_of_addr : (int, string) Hashtbl.t;  (** first label at an address *)
+}
+
+exception Undefined_symbol of string
+exception Duplicate_symbol of string
+
+val make_unit : string -> item list -> unit_
+
+val load :
+  ?extern:(string -> int option) -> base:int -> unit_ list -> image
+(** Load units contiguously at [base], resolving symbols across them and
+    through [extern] (e.g. application code calling an already-loaded
+    libc image, or data-segment symbols). *)
+
+val symbol : image -> string -> int
+(** Address of a symbol; raises {!Undefined_symbol}. *)
+
+val symbolize : image -> int -> (string * int) option
+(** The function symbol covering an address — the greatest non-local label
+    (local labels start with '.') at or below it, with the offset. Used to
+    attribute faulting instructions: "0x4f0f0907 in strcat". *)

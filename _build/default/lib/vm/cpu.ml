@@ -1,0 +1,356 @@
+(** The CPU interpreter with dynamic instrumentation.
+
+    Execution is two-phase: each step first {e computes} the full effect
+    record of the current instruction (operand values, memory addresses,
+    would-be writes, control destination) without touching machine state,
+    then presents it to the registered pre-hooks, and only then commits.
+    This is what lets a VSEF veto a single store or control transfer before
+    the corruption happens, and is the analogue of attaching PIN
+    instrumentation to a running process. *)
+
+type hook = Event.effect_ -> unit
+
+type hooks = {
+  mutable pre_all : (int * hook) list;
+  mutable post_all : (int * hook) list;
+  pre_at : (int, (int * hook) list) Hashtbl.t;   (** keyed by pc *)
+  post_at : (int, (int * hook) list) Hashtbl.t;  (** keyed by pc *)
+  mutable next_id : int;
+}
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable flags : int * int;  (** operands of the last [Cmp] *)
+  mem : Memory.t;
+  code : (int, Isa.instr) Hashtbl.t;
+  layout : Layout.t;
+  mutable sys_handler : t -> Event.effect_ -> int -> unit;
+      (** OS services; fills [e_sys] of the effect it is given *)
+  mutable halted : bool;
+  mutable icount : int;  (** dynamic instructions executed *)
+  hooks : hooks;
+}
+
+type outcome =
+  | Halted
+  | Blocked  (** a syscall would block; re-run when input is available *)
+  | Faulted of Event.fault
+  | Out_of_fuel
+
+let create ~mem ~layout ~code =
+  {
+    regs = Array.make Isa.num_regs 0;
+    pc = 0;
+    flags = (0, 0);
+    mem;
+    code;
+    layout;
+    sys_handler = (fun _ _ _ -> ());
+    halted = false;
+    icount = 0;
+    hooks =
+      { pre_all = []; post_all = []; pre_at = Hashtbl.create 16;
+        post_at = Hashtbl.create 16; next_id = 0 };
+  }
+
+let get_reg cpu r = cpu.regs.(Isa.reg_index r)
+let set_reg cpu r v = cpu.regs.(Isa.reg_index r) <- Isa.to_u32 v
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation hook management                                     *)
+(* ------------------------------------------------------------------ *)
+
+type hook_id =
+  | Pre of int
+  | Post of int
+  | Pre_pc of int * int
+  | Post_pc of int * int
+
+(** Register a hook on every instruction, before state commit. *)
+let add_pre_hook cpu f =
+  let id = cpu.hooks.next_id in
+  cpu.hooks.next_id <- id + 1;
+  cpu.hooks.pre_all <- (id, f) :: cpu.hooks.pre_all;
+  Pre id
+
+(** Register a hook on every instruction, after state commit (syscall
+    effects are visible here). *)
+let add_post_hook cpu f =
+  let id = cpu.hooks.next_id in
+  cpu.hooks.next_id <- id + 1;
+  cpu.hooks.post_all <- (id, f) :: cpu.hooks.post_all;
+  Post id
+
+(** Register a pre-hook that fires only at [pc] — the cheap, targeted
+    instrumentation VSEFs are made of. *)
+let add_pc_hook cpu ~pc f =
+  let id = cpu.hooks.next_id in
+  cpu.hooks.next_id <- id + 1;
+  let existing = Option.value ~default:[] (Hashtbl.find_opt cpu.hooks.pre_at pc) in
+  Hashtbl.replace cpu.hooks.pre_at pc ((id, f) :: existing);
+  Pre_pc (pc, id)
+
+(** Register a post-commit hook that fires only at [pc] — used by VSEFs
+    that must observe a syscall's result (e.g. allocation tracking). *)
+let add_pc_post_hook cpu ~pc f =
+  let id = cpu.hooks.next_id in
+  cpu.hooks.next_id <- id + 1;
+  let existing =
+    Option.value ~default:[] (Hashtbl.find_opt cpu.hooks.post_at pc)
+  in
+  Hashtbl.replace cpu.hooks.post_at pc ((id, f) :: existing);
+  Post_pc (pc, id)
+
+let remove_from_table tbl pc id =
+  match Hashtbl.find_opt tbl pc with
+  | None -> ()
+  | Some l -> (
+    match List.filter (fun (i, _) -> i <> id) l with
+    | [] -> Hashtbl.remove tbl pc
+    | l' -> Hashtbl.replace tbl pc l')
+
+let remove_hook cpu = function
+  | Pre id -> cpu.hooks.pre_all <- List.filter (fun (i, _) -> i <> id) cpu.hooks.pre_all
+  | Post id ->
+    cpu.hooks.post_all <- List.filter (fun (i, _) -> i <> id) cpu.hooks.post_all
+  | Pre_pc (pc, id) -> remove_from_table cpu.hooks.pre_at pc id
+  | Post_pc (pc, id) -> remove_from_table cpu.hooks.post_at pc id
+
+(** Total number of per-pc hooks currently installed (VSEF footprint). *)
+let pc_hook_count cpu =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) cpu.hooks.pre_at 0
+
+(* ------------------------------------------------------------------ *)
+(* Step                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let operand_value cpu = function
+  | Isa.Imm v -> Isa.to_u32 v
+  | Isa.Reg r -> get_reg cpu r
+  | Isa.Sym s -> invalid_arg ("Cpu: unresolved symbol " ^ s)
+
+let operand_regs = function
+  | Isa.Reg r -> [ r ]
+  | Isa.Imm _ | Isa.Sym _ -> []
+
+let fetch cpu pc =
+  match Hashtbl.find_opt cpu.code pc with
+  | Some i -> i
+  | None -> raise (Event.Fault (Event.Exec_violation pc))
+
+(* Compute the effect of [instr] at the current state, without mutating.
+   Invalid accesses and invalid control targets are recorded in [e_fault]
+   (first one wins) rather than raised, so that pre-hooks — in particular
+   VSEFs installed at the very instruction that would crash — get to see
+   and veto the instruction; {!commit} raises the fault. *)
+let compute_effect cpu instr : Event.effect_ =
+  let open Isa in
+  let open Event in
+  let pc = cpu.pc in
+  let pending_fault = ref None in
+  let note_fault f = if !pending_fault = None then pending_fault := Some f in
+  let mk ?(rr = []) ?(rw = []) ?(mr = []) ?(mw = []) ?(fr = false) ?(fw = false)
+      ?(ctrl = Next) () =
+    {
+      e_seq = cpu.icount;
+      e_pc = pc;
+      e_instr = instr;
+      e_regs_read = rr;
+      e_regs_written = rw;
+      e_mem_reads = mr;
+      e_mem_writes = mw;
+      e_flags_read = fr;
+      e_flags_written = fw;
+      e_ctrl = ctrl;
+      e_sys = Io_none;
+      e_fault = !pending_fault;
+    }
+  in
+  let read_word addr =
+    if not (Layout.valid_data cpu.layout addr) then begin
+      note_fault (Segv_read addr);
+      { a_addr = addr; a_size = 4; a_value = 0 }
+    end
+    else { a_addr = addr; a_size = 4; a_value = Memory.load_word cpu.mem addr }
+  in
+  let read_byte addr =
+    if not (Layout.valid_data cpu.layout addr) then begin
+      note_fault (Segv_read addr);
+      { a_addr = addr; a_size = 1; a_value = 0 }
+    end
+    else { a_addr = addr; a_size = 1; a_value = Memory.load_byte cpu.mem addr }
+  in
+  let write_word addr v =
+    if not (Layout.valid_data cpu.layout addr) then note_fault (Segv_write addr);
+    { a_addr = addr; a_size = 4; a_value = Isa.to_u32 v }
+  in
+  let write_byte addr v =
+    if not (Layout.valid_data cpu.layout addr) then note_fault (Segv_write addr);
+    { a_addr = addr; a_size = 1; a_value = v land 0xff }
+  in
+  let check_exec_target addr =
+    if not (Layout.valid_code cpu.layout addr) then
+      note_fault (Exec_violation addr)
+  in
+  match instr with
+  | Mov (rd, op) ->
+    mk ~rr:(operand_regs op) ~rw:[ (rd, operand_value cpu op) ] ()
+  | Bin (op, rd, src) ->
+    let v =
+      try eval_binop op (get_reg cpu rd) (operand_value cpu src)
+      with Division_by_zero ->
+        note_fault Div_zero;
+        0
+    in
+    mk ~rr:(rd :: operand_regs src) ~rw:[ (rd, v) ] ()
+  | Not rd -> mk ~rr:[ rd ] ~rw:[ (rd, Isa.to_u32 (lnot (get_reg cpu rd))) ] ()
+  | Neg rd -> mk ~rr:[ rd ] ~rw:[ (rd, Isa.to_u32 (-get_reg cpu rd)) ] ()
+  | Load (rd, rs, off) ->
+    let acc = read_word (Isa.to_u32 (get_reg cpu rs + off)) in
+    mk ~rr:[ rs ] ~rw:[ (rd, acc.a_value) ] ~mr:[ acc ] ()
+  | Loadb (rd, rs, off) ->
+    let acc = read_byte (Isa.to_u32 (get_reg cpu rs + off)) in
+    mk ~rr:[ rs ] ~rw:[ (rd, acc.a_value) ] ~mr:[ acc ] ()
+  | Store (rbase, off, rs) ->
+    let acc = write_word (Isa.to_u32 (get_reg cpu rbase + off)) (get_reg cpu rs) in
+    mk ~rr:[ rbase; rs ] ~mw:[ acc ] ()
+  | Storeb (rbase, off, rs) ->
+    let acc = write_byte (Isa.to_u32 (get_reg cpu rbase + off)) (get_reg cpu rs) in
+    mk ~rr:[ rbase; rs ] ~mw:[ acc ] ()
+  | Push op ->
+    let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
+    let acc = write_word sp' (operand_value cpu op) in
+    mk ~rr:(SP :: operand_regs op) ~rw:[ (SP, sp') ] ~mw:[ acc ] ()
+  | Pop rd ->
+    let sp = get_reg cpu SP in
+    let acc = read_word sp in
+    mk ~rr:[ SP ] ~rw:[ (rd, acc.a_value); (SP, Isa.to_u32 (sp + 4)) ] ~mr:[ acc ] ()
+  | Cmp (r, op) -> mk ~rr:(r :: operand_regs op) ~fw:true ()
+  | Jmp (Addr a) -> mk ~ctrl:(Jump a) ()
+  | Jcc (c, Addr a) ->
+    let x, y = cpu.flags in
+    let taken = eval_cond c x y in
+    mk ~fr:true ~ctrl:(if taken then Jump a else Next) ()
+  | Call (Addr a) ->
+    let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
+    let ret = pc + Isa.instr_size in
+    let acc = write_word sp' ret in
+    mk ~rr:[ SP ] ~rw:[ (SP, sp') ] ~mw:[ acc ]
+      ~ctrl:(Call_to { target = a; ret }) ()
+  | CallInd r ->
+    let target = get_reg cpu r in
+    check_exec_target target;
+    let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
+    let ret = pc + Isa.instr_size in
+    let acc = write_word sp' ret in
+    mk ~rr:[ r; SP ] ~rw:[ (SP, sp') ] ~mw:[ acc ]
+      ~ctrl:(Call_to { target; ret }) ()
+  | Ret ->
+    let sp = get_reg cpu SP in
+    let acc = read_word sp in
+    check_exec_target acc.a_value;
+    mk ~rr:[ SP ] ~rw:[ (SP, Isa.to_u32 (sp + 4)) ] ~mr:[ acc ]
+      ~ctrl:(Ret_to acc.a_value) ()
+  | Syscall n -> mk ~rr:[ R0; R1; R2; R3 ] ~ctrl:(Sys n) ()
+  | Halt -> mk ~ctrl:Stop ()
+  | Nop -> mk ()
+  | Jmp (Lbl s) | Jcc (_, Lbl s) | Call (Lbl s) ->
+    invalid_arg ("Cpu: unresolved label " ^ s)
+
+let run_hooks hooks eff =
+  (* Hooks registered earlier run first. *)
+  List.iter (fun (_, f) -> f eff) (List.rev hooks)
+
+(* Commit an effect: apply register writes, memory writes, pc update.
+   A pending fault is raised first, before any state changes. *)
+let commit cpu (eff : Event.effect_) =
+  (match eff.e_fault with
+  | Some f -> raise (Event.Fault f)
+  | None -> ());
+  List.iter
+    (fun (a : Event.access) ->
+      if a.a_size = 4 then Memory.store_word cpu.mem a.a_addr a.a_value
+      else Memory.store_byte cpu.mem a.a_addr a.a_value)
+    eff.e_mem_writes;
+  List.iter (fun (r, v) -> set_reg cpu r v) eff.e_regs_written;
+  if eff.e_flags_written then begin
+    match eff.e_instr with
+    | Isa.Cmp (r, op) ->
+      (* Flag semantics: record the compared values. The register write
+         above cannot alias these (Cmp writes no registers). *)
+      cpu.flags <- (get_reg cpu r, operand_value cpu op)
+    | _ -> ()
+  end;
+  match eff.e_ctrl with
+  | Next -> cpu.pc <- cpu.pc + Isa.instr_size
+  | Jump a | Ret_to a -> cpu.pc <- a
+  | Call_to { target; _ } -> cpu.pc <- target
+  | Sys n ->
+    cpu.sys_handler cpu eff n;
+    cpu.pc <- cpu.pc + Isa.instr_size
+  | Stop -> cpu.halted <- true
+
+(** Execute one instruction. Returns the committed effect. Raises
+    [Event.Fault] on machine faults, [Event.Blocked] when a syscall would
+    block (state unchanged, pc still at the syscall), and propagates any
+    exception raised by a hook (detections) before commit. *)
+let step cpu =
+  let pc = cpu.pc in
+  let instr = fetch cpu pc in
+  let eff = compute_effect cpu instr in
+  (match Hashtbl.find_opt cpu.hooks.pre_at pc with
+  | Some hs -> run_hooks hs eff
+  | None -> ());
+  run_hooks cpu.hooks.pre_all eff;
+  commit cpu eff;
+  cpu.icount <- cpu.icount + 1;
+  (match Hashtbl.find_opt cpu.hooks.post_at pc with
+  | Some hs -> run_hooks hs eff
+  | None -> ());
+  run_hooks cpu.hooks.post_all eff;
+  eff
+
+(** Run until halt, fault, block, or [fuel] instructions. Fault state is
+    preserved (pc stays at the faulting instruction) so the core-dump
+    analyzer can inspect it. *)
+let run ?(fuel = max_int) cpu =
+  let rec go n =
+    if cpu.halted then Halted
+    else if n <= 0 then Out_of_fuel
+    else
+      match step cpu with
+      | _ -> go (n - 1)
+      | exception Event.Fault f -> Faulted f
+      | exception Event.Blocked -> Blocked
+  in
+  go fuel
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot/restore of CPU register state (memory snapshots live in     *)
+(* Memory; the OS layer combines both into checkpoints).                *)
+(* ------------------------------------------------------------------ *)
+
+type reg_snapshot = {
+  s_regs : int array;
+  s_pc : int;
+  s_flags : int * int;
+  s_halted : bool;
+  s_icount : int;
+}
+
+let snapshot_regs cpu =
+  {
+    s_regs = Array.copy cpu.regs;
+    s_pc = cpu.pc;
+    s_flags = cpu.flags;
+    s_halted = cpu.halted;
+    s_icount = cpu.icount;
+  }
+
+let restore_regs cpu s =
+  Array.blit s.s_regs 0 cpu.regs 0 Isa.num_regs;
+  cpu.pc <- s.s_pc;
+  cpu.flags <- s.s_flags;
+  cpu.halted <- s.s_halted;
+  cpu.icount <- s.s_icount

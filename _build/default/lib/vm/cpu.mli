@@ -1,0 +1,77 @@
+(** The CPU interpreter with dynamic instrumentation.
+
+    Execution is two-phase: each step first {e computes} the full effect
+    record of the current instruction (operand values, memory addresses,
+    would-be writes, control destination, even the fault it is about to
+    raise) without touching machine state, then presents it to the
+    registered pre-hooks, and only then commits. This is what lets a VSEF
+    veto a single store or control transfer before the corruption happens —
+    the analogue of attaching PIN instrumentation to a running process. *)
+
+type hook = Event.effect_ -> unit
+
+type hooks
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable flags : int * int;  (** operands of the last [Cmp] *)
+  mem : Memory.t;
+  code : (int, Isa.instr) Hashtbl.t;
+  layout : Layout.t;
+  mutable sys_handler : t -> Event.effect_ -> int -> unit;
+      (** OS services; fills [e_sys] of the effect it is given *)
+  mutable halted : bool;
+  mutable icount : int;  (** dynamic instructions executed *)
+  hooks : hooks;
+}
+
+type outcome =
+  | Halted
+  | Blocked  (** a syscall would block; re-run when input is available *)
+  | Faulted of Event.fault
+  | Out_of_fuel
+
+val create :
+  mem:Memory.t -> layout:Layout.t -> code:(int, Isa.instr) Hashtbl.t -> t
+
+val get_reg : t -> Isa.reg -> int
+val set_reg : t -> Isa.reg -> int -> unit
+
+(** Opaque handle for removing an installed hook. *)
+type hook_id
+
+val add_pre_hook : t -> hook -> hook_id
+(** Hook every instruction, before state commit. *)
+
+val add_post_hook : t -> hook -> hook_id
+(** Hook every instruction, after commit (syscall effects visible). *)
+
+val add_pc_hook : t -> pc:int -> hook -> hook_id
+(** Pre-commit hook firing only at [pc] — the cheap, targeted
+    instrumentation VSEFs are made of. *)
+
+val add_pc_post_hook : t -> pc:int -> hook -> hook_id
+(** Post-commit hook at one [pc] — for observing a syscall's result. *)
+
+val remove_hook : t -> hook_id -> unit
+
+val pc_hook_count : t -> int
+(** Per-pc pre-hooks currently installed (the VSEF footprint). *)
+
+val step : t -> Event.effect_
+(** Execute one instruction. Raises [Event.Fault] on machine faults (state
+    unchanged, pc at the faulting instruction), [Event.Blocked] when a
+    syscall would block, and propagates exceptions raised by hooks
+    (detections) before commit. *)
+
+val run : ?fuel:int -> t -> outcome
+(** Run until halt, fault, block, or [fuel] instructions. Fault state is
+    preserved so the core-dump analyzer can inspect it. *)
+
+(** Register-file snapshots (memory snapshots live in {!Memory}; the OS
+    layer combines both into checkpoints). *)
+type reg_snapshot
+
+val snapshot_regs : t -> reg_snapshot
+val restore_regs : t -> reg_snapshot -> unit

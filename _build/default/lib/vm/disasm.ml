@@ -1,0 +1,54 @@
+(** Pretty-printing of instructions and addresses, for analysis reports. *)
+
+let operand_to_string = function
+  | Isa.Imm v -> Printf.sprintf "0x%x" (Isa.to_u32 v)
+  | Isa.Reg r -> Isa.reg_name r
+  | Isa.Sym s -> "$" ^ s
+
+let target_to_string = function
+  | Isa.Addr a -> Printf.sprintf "0x%x" a
+  | Isa.Lbl l -> "$" ^ l
+
+let instr_to_string (i : Isa.instr) =
+  let rn = Isa.reg_name in
+  let op = operand_to_string in
+  let tg = target_to_string in
+  match i with
+  | Mov (r, o) -> Printf.sprintf "mov %s, %s" (rn r) (op o)
+  | Bin (b, r, o) -> Printf.sprintf "%s %s, %s" (Isa.binop_name b) (rn r) (op o)
+  | Not r -> Printf.sprintf "not %s" (rn r)
+  | Neg r -> Printf.sprintf "neg %s" (rn r)
+  | Load (rd, rs, off) -> Printf.sprintf "ld %s, [%s%+d]" (rn rd) (rn rs) off
+  | Loadb (rd, rs, off) -> Printf.sprintf "ldb %s, [%s%+d]" (rn rd) (rn rs) off
+  | Store (rb, off, rs) -> Printf.sprintf "st [%s%+d], %s" (rn rb) off (rn rs)
+  | Storeb (rb, off, rs) -> Printf.sprintf "stb [%s%+d], %s" (rn rb) off (rn rs)
+  | Push o -> Printf.sprintf "push %s" (op o)
+  | Pop r -> Printf.sprintf "pop %s" (rn r)
+  | Cmp (r, o) -> Printf.sprintf "cmp %s, %s" (rn r) (op o)
+  | Jmp t -> Printf.sprintf "jmp %s" (tg t)
+  | Jcc (c, t) -> Printf.sprintf "j%s %s" (Isa.cond_name c) (tg t)
+  | Call t -> Printf.sprintf "call %s" (tg t)
+  | CallInd r -> Printf.sprintf "call *%s" (rn r)
+  | Ret -> "ret"
+  | Syscall n -> Printf.sprintf "syscall %d" n
+  | Halt -> "halt"
+  | Nop -> "nop"
+
+(** "0x4f0f0907 (strcat+0x1c)" — attribute an address to a symbol using the
+    loaded images' symbol tables. *)
+let addr_to_string ?images addr =
+  let sym =
+    match images with
+    | None -> None
+    | Some imgs ->
+      List.find_map
+        (fun img ->
+          if addr >= img.Asm.base && addr < img.Asm.limit then
+            Asm.symbolize img addr
+          else None)
+        imgs
+  in
+  match sym with
+  | Some (name, 0) -> Printf.sprintf "0x%x (%s)" addr name
+  | Some (name, off) -> Printf.sprintf "0x%x (%s+0x%x)" addr name off
+  | None -> Printf.sprintf "0x%x" addr

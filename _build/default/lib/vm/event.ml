@@ -1,0 +1,83 @@
+(** Execution events: the per-instruction effect records that instrumentation
+    hooks observe, and the machine faults that lightweight monitoring turns
+    into attack detections.
+
+    Every analysis in Sweeper — memory-bug detection, taint tracking,
+    backward slicing, VSEF filters — consumes exactly these records, which
+    is the moral equivalent of the paper's PIN instrumentation API. *)
+
+(** One memory access performed by an instruction. *)
+type access = {
+  a_addr : int;
+  a_size : int;  (** 1 or 4 bytes *)
+  a_value : int;
+}
+
+(** Where control goes after the instruction. *)
+type ctrl =
+  | Next
+  | Jump of int
+  | Call_to of { target : int; ret : int }
+  | Ret_to of int
+  | Sys of int
+  | Stop
+
+(** Side effects of a syscall, reported by the OS layer so that analyses can
+    see I/O (taint sources, allocation events, infection attempts). *)
+type sys_io =
+  | Io_none
+  | Io_recv of { buf : int; len : int; msg_id : int }
+      (** [len] network bytes of message [msg_id] written at [buf] *)
+  | Io_send of { buf : int; len : int }
+  | Io_alloc of { ptr : int; size : int }
+  | Io_free of { ptr : int; status : [ `Ok | `Double_free | `Bad_pointer ] }
+  | Io_exec of { cmd : string }  (** arbitrary code execution — infection *)
+  | Io_exit of int
+  | Io_other of string
+
+(** Machine faults. These are what address-space randomization converts an
+    exploit attempt into, and hence what the lightweight monitor sees. *)
+type fault =
+  | Segv_read of int   (** load from an unmapped/unreadable address *)
+  | Segv_write of int  (** store to an unmapped/unwritable address *)
+  | Exec_violation of int
+      (** control transfer to a non-code address (smashed return address,
+          corrupted function pointer) *)
+  | Div_zero
+
+(** The effect record for one executed instruction. Pre-hooks observe it
+    {e before} the machine state is updated (so a filter can veto the
+    instruction); post-hooks observe it afterwards, with [e_sys] filled in
+    for syscalls. *)
+type effect_ = {
+  e_seq : int;  (** dynamic instruction number *)
+  e_pc : int;
+  e_instr : Isa.instr;
+  e_regs_read : Isa.reg list;
+  e_regs_written : (Isa.reg * int) list;  (** with the values being written *)
+  e_mem_reads : access list;
+  e_mem_writes : access list;
+  e_flags_read : bool;
+  e_flags_written : bool;
+  e_ctrl : ctrl;
+  mutable e_sys : sys_io;
+  mutable e_fault : fault option;
+      (** the fault this instruction is about to raise. Pre-hooks see it
+          before it happens — a VSEF can veto the very instruction that
+          would have crashed — and commit raises it without mutating any
+          state. *)
+}
+
+exception Fault of fault
+
+(** Raised by the OS layer when a syscall cannot complete yet (e.g. [recv]
+    with no pending input); the CPU run loop yields without advancing. *)
+exception Blocked
+
+let fault_to_string = function
+  | Segv_read a -> Printf.sprintf "SIGSEGV (read 0x%x)" a
+  | Segv_write a -> Printf.sprintf "SIGSEGV (write 0x%x)" a
+  | Exec_violation a -> Printf.sprintf "SIGSEGV (exec 0x%x)" a
+  | Div_zero -> "SIGFPE (division by zero)"
+
+let pp_fault fmt f = Format.pp_print_string fmt (fault_to_string f)

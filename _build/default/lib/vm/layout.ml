@@ -1,0 +1,126 @@
+(** Address-space layout, including randomization.
+
+    The layout mirrors a classic 32-bit Linux process: non-PIE application
+    code and globals at fixed low addresses, shared-library code in the
+    0x4f...... range, the heap in the middle, and a downward-growing stack
+    near the top. Address space randomization perturbs the library, heap and
+    stack bases by 12 bits of page-granular entropy, so an exploit that
+    guesses a library address succeeds with probability 2^-12 — the ρ used
+    by the paper's hit-list analysis (Section 6.3). *)
+
+type region_kind =
+  | App_code
+  | Lib_code
+  | Data
+  | Heap
+  | Stack
+
+type t = {
+  app_code_base : int;
+  app_code_limit : int;  (** exclusive; set once app code is loaded *)
+  lib_code_base : int;
+  lib_code_limit : int;
+  data_base : int;
+  data_limit : int;
+  heap_base : int;
+  mutable heap_brk : int;  (** exclusive end of the mapped heap *)
+  heap_max : int;
+  stack_top : int;         (** exclusive; sp starts here *)
+  stack_limit : int;       (** lowest mapped stack address *)
+  aslr : bool;
+  entropy_bits : int;
+}
+
+let entropy_bits_default = 12
+
+(** Probability that a single guessed randomized address is correct. *)
+let guess_probability = 1.0 /. float_of_int (1 lsl entropy_bits_default)
+
+let default_stack_size = 64 * 1024
+let default_heap_max = 1024 * 1024
+
+(** Create a layout. [rand] supplies the randomized page offsets (pass a
+    seeded PRNG draw for reproducible experiments); with [aslr:false] all
+    bases sit at their canonical positions, modelling a legacy host. The
+    code limits are placeholders until {!set_code_limits} is called by the
+    loader. *)
+let create ?(aslr = true) ?(rand = fun bits -> Random.int (1 lsl bits))
+    ?(stack_size = default_stack_size) ?(heap_max = default_heap_max) () =
+  let bits = entropy_bits_default in
+  let page = Memory.page_size in
+  let slide () = if aslr then rand bits * page else 0 in
+  let lib_code_base = 0x4f770000 + slide () in
+  let heap_base = 0x10000000 + slide () in
+  let stack_top = 0xbf000000 - slide () in
+  {
+    app_code_base = 0x08048000;
+    app_code_limit = 0x08048000;
+    lib_code_base;
+    lib_code_limit = lib_code_base;
+    data_base = 0x08100000;
+    data_limit = 0x08100000 + 64 * 1024;
+    heap_base;
+    heap_brk = heap_base;
+    heap_max = heap_base + heap_max;
+    stack_top;
+    stack_limit = stack_top - stack_size;
+    aslr;
+    entropy_bits = bits;
+  }
+
+(** Record the end of loaded code segments (called by the loader). *)
+let set_code_limits t ~app_limit ~lib_limit =
+  { t with app_code_limit = app_limit; lib_code_limit = lib_limit }
+
+(** Grow the mapped heap to at least [addr]. Returns [false] when the heap
+    arena is exhausted. *)
+let grow_heap t addr =
+  if addr > t.heap_max then false
+  else begin
+    if addr > t.heap_brk then t.heap_brk <- addr;
+    true
+  end
+
+(** Heap pages are mapped at page granularity, as a real kernel maps them:
+    the bytes between the break and the end of its page are accessible
+    (which is why a heap overflow can corrupt neighbours silently for a
+    while) and the first touch past that page faults. *)
+let heap_mapped_limit t =
+  (t.heap_brk + Memory.page_size - 1) land lnot (Memory.page_size - 1)
+
+(** Classify an address; [None] means unmapped (access faults). The low
+    64 KiB is never mapped, so NULL-pointer dereferences fault exactly as
+    they do on a real OS. *)
+let region t addr =
+  if addr < 0x10000 then None
+  else if addr >= t.app_code_base && addr < t.app_code_limit then Some App_code
+  else if addr >= t.lib_code_base && addr < t.lib_code_limit then Some Lib_code
+  else if addr >= t.data_base && addr < t.data_limit then Some Data
+  else if addr >= t.heap_base && addr < heap_mapped_limit t then Some Heap
+  else if addr >= t.stack_limit && addr < t.stack_top then Some Stack
+  else None
+
+(** Is [addr] readable/writable data (code segments are not writable)? *)
+let valid_data t addr =
+  match region t addr with
+  | Some (Data | Heap | Stack) -> true
+  | Some (App_code | Lib_code) | None -> false
+
+(** Is [addr] a fetchable code address? *)
+let valid_code t addr =
+  match region t addr with
+  | Some (App_code | Lib_code) -> true
+  | Some (Data | Heap | Stack) | None -> false
+
+let region_name = function
+  | App_code -> "app-code"
+  | Lib_code -> "lib-code"
+  | Data -> "data"
+  | Heap -> "heap"
+  | Stack -> "stack"
+
+(** Human-readable placement of an address, for reports. *)
+let describe t addr =
+  match region t addr with
+  | Some k -> region_name k
+  | None -> "unmapped"

@@ -1,0 +1,76 @@
+(** Address-space layout, including randomization.
+
+    The layout mirrors a classic 32-bit Linux process: non-PIE application
+    code and globals at fixed low addresses, shared-library code high, the
+    heap in the middle, a downward-growing stack near the top. Address
+    space randomization perturbs the library, heap and stack bases by
+    {!entropy_bits_default} bits of page-granular entropy, so an exploit
+    that guesses a library address succeeds with probability
+    {!guess_probability} — the ρ of the paper's hit-list analysis. *)
+
+type region_kind =
+  | App_code
+  | Lib_code
+  | Data
+  | Heap
+  | Stack
+
+type t = {
+  app_code_base : int;
+  app_code_limit : int;  (** exclusive; set once app code is loaded *)
+  lib_code_base : int;
+  lib_code_limit : int;
+  data_base : int;
+  data_limit : int;
+  heap_base : int;
+  mutable heap_brk : int;  (** exclusive end of the allocated heap *)
+  heap_max : int;
+  stack_top : int;   (** exclusive; sp starts just below *)
+  stack_limit : int; (** lowest mapped stack address *)
+  aslr : bool;
+  entropy_bits : int;
+}
+
+val entropy_bits_default : int
+
+val guess_probability : float
+(** Probability that one guessed randomized address is correct (2⁻¹²). *)
+
+val default_stack_size : int
+val default_heap_max : int
+
+val create :
+  ?aslr:bool ->
+  ?rand:(int -> int) ->
+  ?stack_size:int ->
+  ?heap_max:int ->
+  unit ->
+  t
+(** Create a layout. [rand] supplies the randomized page offsets (pass a
+    seeded PRNG draw for reproducible experiments); with [aslr:false] all
+    bases sit at their canonical positions, modelling a legacy host. *)
+
+val set_code_limits : t -> app_limit:int -> lib_limit:int -> t
+(** Record the end of the loaded code segments (called by the loader). *)
+
+val grow_heap : t -> int -> bool
+(** Grow the allocated heap to cover the given address; [false] when the
+    arena is exhausted. *)
+
+val heap_mapped_limit : t -> int
+(** End of the mapped heap, rounded up to a page — accesses between the
+    break and this limit succeed silently, past it they fault, exactly as
+    with a real kernel's page-granular mappings. *)
+
+val region : t -> int -> region_kind option
+(** Classify an address; [None] is unmapped. The low 64 KiB is never
+    mapped, so NULL dereferences fault. *)
+
+val valid_data : t -> int -> bool
+(** Readable/writable data address (code segments are not writable). *)
+
+val valid_code : t -> int -> bool
+(** Fetchable code address. *)
+
+val region_name : region_kind -> string
+val describe : t -> int -> string

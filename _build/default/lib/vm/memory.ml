@@ -1,0 +1,159 @@
+(** Byte-addressable paged memory with copy-on-write snapshots.
+
+    This is the substrate for Sweeper's lightweight checkpointing: taking a
+    snapshot is O(mapped pages) pointer copies, and the cost of keeping a
+    snapshot alive is one page copy per page subsequently dirtied — the same
+    cost model as the fork()-based shadow processes of Rx/FlashBack, which
+    is what makes the checkpoint-interval/overhead curve of the paper's
+    Figure 4 reproducible. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits (* 4096 *)
+let page_mask = page_size - 1
+
+type page = {
+  mutable data : Bytes.t;
+  mutable epoch : int;  (** epoch in which this page copy was created *)
+}
+
+type t = {
+  mutable pages : (int, page) Hashtbl.t;
+  mutable cur_epoch : int;
+  mutable cow_copies : int;    (** pages copied due to snapshot sharing *)
+  mutable pages_mapped : int;  (** pages ever materialized *)
+}
+
+(** An immutable snapshot of the whole address space. Restoring it is a
+    shallow table copy; pages stay shared until written. *)
+type snapshot = {
+  snap_pages : (int, page) Hashtbl.t;
+  snap_epoch : int;
+}
+
+let create () =
+  { pages = Hashtbl.create 256; cur_epoch = 0; cow_copies = 0; pages_mapped = 0 }
+
+let stats mem = (mem.cow_copies, mem.pages_mapped)
+
+let reset_stats mem =
+  mem.cow_copies <- 0;
+  mem.pages_mapped <- 0
+
+let fresh_page mem =
+  mem.pages_mapped <- mem.pages_mapped + 1;
+  { data = Bytes.make page_size '\000'; epoch = mem.cur_epoch }
+
+(* Fetch the page containing [addr], materializing a zero page on demand.
+   Validity of the address is the CPU's concern, not the memory's. *)
+let page_for_read mem addr =
+  let idx = addr lsr page_bits in
+  match Hashtbl.find_opt mem.pages idx with
+  | Some p -> p
+  | None ->
+    let p = fresh_page mem in
+    Hashtbl.replace mem.pages idx p;
+    p
+
+(* Fetch the page for writing, copying it first if it may be shared with a
+   live snapshot (its epoch predates the current one). *)
+let page_for_write mem addr =
+  let idx = addr lsr page_bits in
+  match Hashtbl.find_opt mem.pages idx with
+  | Some p ->
+    if p.epoch < mem.cur_epoch then begin
+      let copy = { data = Bytes.copy p.data; epoch = mem.cur_epoch } in
+      mem.cow_copies <- mem.cow_copies + 1;
+      Hashtbl.replace mem.pages idx copy;
+      copy
+    end
+    else p
+  | None ->
+    let p = fresh_page mem in
+    Hashtbl.replace mem.pages idx p;
+    p
+
+let load_byte mem addr =
+  let p = page_for_read mem addr in
+  Char.code (Bytes.get p.data (addr land page_mask))
+
+let store_byte mem addr v =
+  let p = page_for_write mem addr in
+  Bytes.set p.data (addr land page_mask) (Char.chr (v land 0xff))
+
+(** Little-endian 32-bit load. Crosses page boundaries correctly. *)
+let load_word mem addr =
+  if addr land page_mask <= page_size - 4 then begin
+    let p = page_for_read mem addr in
+    let off = addr land page_mask in
+    Int32.to_int (Bytes.get_int32_le p.data off) land Isa.word_mask
+  end
+  else
+    let b0 = load_byte mem addr in
+    let b1 = load_byte mem (addr + 1) in
+    let b2 = load_byte mem (addr + 2) in
+    let b3 = load_byte mem (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+(** Little-endian 32-bit store. *)
+let store_word mem addr v =
+  if addr land page_mask <= page_size - 4 then begin
+    let p = page_for_write mem addr in
+    let off = addr land page_mask in
+    Bytes.set_int32_le p.data off (Int32.of_int (Isa.to_s32 v))
+  end
+  else begin
+    store_byte mem addr v;
+    store_byte mem (addr + 1) (v lsr 8);
+    store_byte mem (addr + 2) (v lsr 16);
+    store_byte mem (addr + 3) (v lsr 24)
+  end
+
+(** Read [len] bytes starting at [addr]. *)
+let load_bytes mem addr len =
+  String.init len (fun i -> Char.chr (load_byte mem (addr + i)))
+
+(** Write the whole string at [addr]. *)
+let store_bytes mem addr s =
+  String.iteri (fun i c -> store_byte mem (addr + i) (Char.code c)) s
+
+(** Read the NUL-terminated string at [addr], up to [limit] bytes
+    (default 64 KiB) as a safety net for corrupted memory. *)
+let load_cstring ?(limit = 65536) mem addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= limit then Buffer.contents buf
+    else
+      let b = load_byte mem (addr + i) in
+      if b = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr b);
+        go (i + 1)
+      end
+  in
+  go 0
+
+(** Take a copy-on-write snapshot. All current pages become shared; the
+    next write to any of them pays one page copy. With [eager:true] every
+    page is deep-copied up front instead — the full-copy baseline that the
+    checkpointing ablation compares against. *)
+let snapshot ?(eager = false) mem =
+  mem.cur_epoch <- mem.cur_epoch + 1;
+  if eager then begin
+    let pages = Hashtbl.create (Hashtbl.length mem.pages) in
+    Hashtbl.iter
+      (fun idx p ->
+        Hashtbl.replace pages idx { data = Bytes.copy p.data; epoch = p.epoch })
+      mem.pages;
+    { snap_pages = pages; snap_epoch = mem.cur_epoch }
+  end
+  else { snap_pages = Hashtbl.copy mem.pages; snap_epoch = mem.cur_epoch }
+
+(** Restore a snapshot taken earlier on this memory. The snapshot remains
+    valid and can be restored again (analysis re-executes from the same
+    checkpoint repeatedly). *)
+let restore mem snap =
+  mem.cur_epoch <- mem.cur_epoch + 1;
+  mem.pages <- Hashtbl.copy snap.snap_pages
+
+(** Number of pages currently mapped. *)
+let mapped_pages mem = Hashtbl.length mem.pages

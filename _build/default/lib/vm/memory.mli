@@ -1,0 +1,56 @@
+(** Byte-addressable paged memory with copy-on-write snapshots.
+
+    This is the substrate for Sweeper's lightweight checkpointing: taking a
+    snapshot is O(mapped pages) pointer copies, and keeping it alive costs
+    one page copy per page subsequently dirtied — the cost model of the
+    fork()-based shadow processes of Rx/FlashBack, which is what makes the
+    checkpoint-interval/overhead curve of the paper's Figure 4
+    reproducible. *)
+
+val page_bits : int
+val page_size : int
+
+type t
+(** A mutable address space. Validity of addresses is the CPU's concern
+    (see {!Layout}); the memory itself materializes zero pages on demand. *)
+
+type snapshot
+(** An immutable snapshot of a whole address space. *)
+
+val create : unit -> t
+
+val stats : t -> int * int
+(** [(cow_copies, pages_mapped)] counters since the last {!reset_stats}. *)
+
+val reset_stats : t -> unit
+
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val load_word : t -> int -> int
+(** Little-endian 32-bit load; handles page-crossing addresses. *)
+
+val store_word : t -> int -> int -> unit
+
+val load_bytes : t -> int -> int -> string
+(** [load_bytes mem addr len] reads [len] raw bytes. *)
+
+val store_bytes : t -> int -> string -> unit
+
+val load_cstring : ?limit:int -> t -> int -> string
+(** The NUL-terminated string at the address, up to [limit] bytes
+    (default 64 KiB) as a safety net against corrupted memory. *)
+
+val snapshot : ?eager:bool -> t -> snapshot
+(** Take a copy-on-write snapshot: current pages become shared, the next
+    write to any of them pays one page copy. [eager:true] deep-copies every
+    page up front instead — the full-copy baseline of the checkpointing
+    ablation. *)
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken on this memory. The snapshot stays valid and
+    can be restored again (analysis re-executes from the same checkpoint
+    repeatedly). *)
+
+val mapped_pages : t -> int
+(** Number of pages currently materialized. *)

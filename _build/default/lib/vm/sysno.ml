@@ -1,0 +1,36 @@
+(** System call numbers, shared between the code generator (which emits
+    [Syscall n]) and the OS layer (which implements them).
+
+    Conventions: arguments in [r0]..[r3], result (if any) in [r0].
+    - [sys_exit]: r0 = exit code.
+    - [sys_recv]: r0 = buffer, r1 = max length; returns bytes read.
+    - [sys_send]: r0 = buffer, r1 = length.
+    - [sys_malloc]: r0 = size; returns user pointer, 0 on exhaustion.
+    - [sys_free]: r0 = user pointer.
+    - [sys_log]: r0 = NUL-terminated string.
+    - [sys_exec]: r0 = command string — arbitrary code execution, the
+      infection event every exploit is trying to reach.
+    - [sys_random]: returns a pseudo-random word (logged for replay).
+    - [sys_time]: returns a logical clock value (logged for replay). *)
+
+let sys_exit = 0
+let sys_recv = 1
+let sys_send = 2
+let sys_malloc = 3
+let sys_free = 4
+let sys_log = 5
+let sys_exec = 6
+let sys_random = 7
+let sys_time = 8
+
+let name = function
+  | 0 -> "exit"
+  | 1 -> "recv"
+  | 2 -> "send"
+  | 3 -> "malloc"
+  | 4 -> "free"
+  | 5 -> "log"
+  | 6 -> "exec"
+  | 7 -> "random"
+  | 8 -> "time"
+  | n -> Printf.sprintf "sys%d" n

@@ -1,0 +1,236 @@
+(* Tests for the victim applications: each compiles, serves its benign
+   workload correctly, and crashes (or is compromised) in exactly the way
+   its planted vulnerability dictates. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let boot ?(aslr = true) ?(seed = 42) key =
+  let entry = Apps.Registry.find key in
+  let proc = Osim.Process.load ~aslr ~seed (entry.r_compile ()) in
+  let server = Osim.Server.create proc in
+  (match Osim.Server.run server with
+  | Osim.Server.Idle -> ()
+  | _ -> Alcotest.fail (key ^ ": server did not boot to idle"));
+  (proc, server)
+
+let crash_fn proc =
+  let pc = proc.Osim.Process.cpu.Vm.Cpu.pc in
+  let s = Osim.Process.describe_addr proc pc in
+  match String.index_opt s '(' with
+  | Some i ->
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let stop =
+      match (String.index_opt rest '+', String.index_opt rest ')') with
+      | Some a, Some b -> min a b
+      | Some a, None -> a
+      | None, Some b -> b
+      | None, None -> String.length rest
+    in
+    String.sub rest 0 stop
+  | None -> s
+
+(* ------------------------------------------------------------------ *)
+(* Benign service                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_benign_service key () =
+  let proc, server = boot key in
+  let n = 30 in
+  List.iter
+    (fun m ->
+      match Osim.Server.handle server m with
+      | `Served _ -> ()
+      | `Crashed (_, f) ->
+        Alcotest.fail
+          (Printf.sprintf "%s crashed on benign input: %s" key
+             (Vm.Event.fault_to_string f))
+      | _ -> Alcotest.fail (key ^ ": benign request not served"))
+    (Apps.Registry.workload key n);
+  check_int "one response per request" n
+    (List.length (Osim.Process.committed_outputs proc))
+
+(* ------------------------------------------------------------------ *)
+(* Exploit behaviour under ASLR: crash at the canonical sites          *)
+(* ------------------------------------------------------------------ *)
+
+let fire key server =
+  let exploit = Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 key in
+  let last = ref `None in
+  List.iter
+    (fun m ->
+      match Osim.Server.handle server m with
+      | `Crashed (_, f) -> last := `Crashed f
+      | `Infected (_, c) -> last := `Infected c
+      | `Served _ -> ()
+      | _ -> ())
+    exploit.Apps.Exploits.x_messages;
+  !last
+
+let test_apache1_crash () =
+  let proc, server = boot "apache1" in
+  (match fire "apache1" server with
+  | `Crashed (Vm.Event.Exec_violation _) -> ()
+  | _ -> Alcotest.fail "expected exec violation from smashed return");
+  check Alcotest.string "faulting ret in try_alias_list" "try_alias_list"
+    (crash_fn proc)
+
+let test_apache2_crash () =
+  let proc, server = boot "apache2" in
+  (match fire "apache2" server with
+  | `Crashed (Vm.Event.Segv_read a) -> check_bool "NULL page" true (a < 0x10000)
+  | _ -> Alcotest.fail "expected NULL read");
+  check Alcotest.string "faulting load in is_ip" "is_ip" (crash_fn proc)
+
+let test_cvs_crash () =
+  let proc, server = boot "cvs" in
+  (match fire "cvs" server with
+  | `Crashed (Vm.Event.Segv_write 4) -> ()
+  | _ -> Alcotest.fail "expected abort in free");
+  check Alcotest.string "crash in lib free" "free" (crash_fn proc)
+
+let test_cvs_single_message_harmless () =
+  let _, server = boot "cvs" in
+  (* The empty dirswitch alone (cur_dir = NULL) must not crash. *)
+  match Osim.Server.handle server "Directory " with
+  | `Served _ -> ()
+  | _ -> Alcotest.fail "empty dirswitch without state should be harmless"
+
+let test_squid_crash () =
+  let proc, server = boot "squid" in
+  (match fire "squid" server with
+  | `Crashed (Vm.Event.Segv_write _) -> ()
+  | _ -> Alcotest.fail "expected wild store");
+  check Alcotest.string "crash inside strcat" "strcat" (crash_fn proc);
+  (* And the heap metadata was trampled on the way out. *)
+  check_bool "heap inconsistent" false
+    (Vm.Alloc.heap_consistent proc.Osim.Process.mem proc.Osim.Process.layout)
+
+let test_squid_short_ftp_url_safe () =
+  let _, server = boot "squid" in
+  match Osim.Server.handle server "GET ftp://tilde~user@host/x\n" with
+  | `Served _ -> ()
+  | _ -> Alcotest.fail "short escaped URL must be served"
+
+(* ------------------------------------------------------------------ *)
+(* Infection without ASLR (the worm's view)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_apache1_infection_no_aslr () =
+  let proc, server = boot ~aslr:false "apache1" in
+  let system = Osim.Process.system_addr proc in
+  check_bool "address encodable" true (Apps.Exploits.encodable system);
+  let reqbuf = Hashtbl.find proc.Osim.Process.data_symbols "reqbuf" in
+  let exploit =
+    Apps.Exploits.apache1_against ~worm_body:"launch-the-worm"
+      ~system_guess:system ~reqbuf_addr:reqbuf ()
+  in
+  match
+    List.map (Osim.Server.handle server) exploit.Apps.Exploits.x_messages
+  with
+  | [ `Infected (_, cmd) ] ->
+    check Alcotest.string "worm body executed" "launch-the-worm" cmd
+  | _ -> Alcotest.fail "expected infection with the exact system address"
+
+let test_apache1_wrong_guess_crashes () =
+  let _, server = boot ~aslr:true ~seed:123 "apache1" in
+  let exploit =
+    Apps.Exploits.apache1_against ~system_guess:0x4f771234
+      ~reqbuf_addr:0x08100000 ()
+  in
+  match
+    List.map (Osim.Server.handle server) exploit.Apps.Exploits.x_messages
+  with
+  | [ `Crashed _ ] -> ()
+  | [ `Infected _ ] ->
+    Alcotest.fail "a fixed guess should not beat randomization (seed 123)"
+  | _ -> Alcotest.fail "expected crash"
+
+(* ------------------------------------------------------------------ *)
+(* Exploit construction helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_encodable () =
+  check_bool "nul byte" false (Apps.Exploits.encodable 0x00112233);
+  check_bool "newline byte" false (Apps.Exploits.encodable 0x0a112233);
+  check_bool "clean" true (Apps.Exploits.encodable 0x4f771122)
+
+let test_variants_shapes () =
+  List.iter
+    (fun key ->
+      let vs = Apps.Exploits.variants ~system_guess:1 ~cmd_ptr:1 key in
+      check_bool (key ^ " has variants") true (List.length vs >= 3);
+      let payloads = List.map (fun v -> v.Apps.Exploits.x_messages) vs in
+      check_bool (key ^ " variants differ") true
+        (List.length (List.sort_uniq compare payloads) = List.length payloads))
+    [ "apache1"; "apache2"; "cvs"; "squid" ]
+
+let test_workloads_are_deterministic () =
+  List.iter
+    (fun key ->
+      check_bool (key ^ " deterministic") true
+        (Apps.Registry.workload ~seed:3 key 10 = Apps.Registry.workload ~seed:3 key 10);
+      check_bool (key ^ " seed-sensitive") true
+        (Apps.Registry.workload ~seed:3 key 10 <> Apps.Registry.workload ~seed:4 key 10))
+    [ "apache1"; "cvs"; "squid" ]
+
+let test_registry_complete () =
+  check_int "four applications" 4 (List.length Apps.Registry.all);
+  List.iter
+    (fun (e : Apps.Registry.entry) ->
+      check_bool (e.r_key ^ " has CVE") true (String.length e.r_cve > 0);
+      (* Compiles and exposes the request buffer symbol. *)
+      let proc = Osim.Process.load ~seed:1 (e.r_compile ()) in
+      check_bool
+        (e.r_key ^ " exposes reqbuf")
+        true
+        (Hashtbl.mem proc.Osim.Process.data_symbols e.r_reqbuf_symbol))
+    Apps.Registry.all
+
+(* qcheck: no benign workload of any seed crashes any server. *)
+let prop_benign_never_crashes =
+  QCheck.Test.make ~name:"benign traffic never crashes any app" ~count:8
+    QCheck.(pair (int_bound 1000) (int_bound 3))
+    (fun (seed, which) ->
+      let key = List.nth [ "apache1"; "apache2"; "cvs"; "squid" ] which in
+      let _, server = boot ~seed key in
+      List.for_all
+        (fun m ->
+          match Osim.Server.handle server m with `Served _ -> true | _ -> false)
+        (Apps.Registry.workload ~seed key 15))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "apps"
+    [
+      ( "benign",
+        [
+          Alcotest.test_case "apache1" `Quick (test_benign_service "apache1");
+          Alcotest.test_case "apache2" `Quick (test_benign_service "apache2");
+          Alcotest.test_case "cvs" `Quick (test_benign_service "cvs");
+          Alcotest.test_case "squid" `Quick (test_benign_service "squid");
+          qt prop_benign_never_crashes;
+        ] );
+      ( "exploits",
+        [
+          Alcotest.test_case "apache1 smashes the stack" `Quick test_apache1_crash;
+          Alcotest.test_case "apache2 derefs NULL" `Quick test_apache2_crash;
+          Alcotest.test_case "cvs double-frees" `Quick test_cvs_crash;
+          Alcotest.test_case "cvs needs state" `Quick test_cvs_single_message_harmless;
+          Alcotest.test_case "squid overflows the heap" `Quick test_squid_crash;
+          Alcotest.test_case "squid short url safe" `Quick test_squid_short_ftp_url_safe;
+          Alcotest.test_case "apache1 infects without aslr" `Quick
+            test_apache1_infection_no_aslr;
+          Alcotest.test_case "wrong guess crashes" `Quick
+            test_apache1_wrong_guess_crashes;
+        ] );
+      ( "tooling",
+        [
+          Alcotest.test_case "encodable" `Quick test_encodable;
+          Alcotest.test_case "variants" `Quick test_variants_shapes;
+          Alcotest.test_case "workload determinism" `Quick
+            test_workloads_are_deterministic;
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+        ] );
+    ]

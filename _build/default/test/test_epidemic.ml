@@ -1,0 +1,311 @@
+(* Tests for the community-defense models: the RK4 integrator, the SI ODE
+   system, the stochastic outbreak simulator, and the figure sweeps. *)
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let close ?(eps = 1e-3) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* ODE integrator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ode_exponential () =
+  (* y' = y, y(0) = 1  =>  y(1) = e *)
+  let f _t y = [| y.(0) |] in
+  let y = Epidemic.Ode.integrate ~f ~y0:[| 1.0 |] ~t0:0. ~t1:1. ~dt:0.01 in
+  close ~eps:1e-6 "e" (exp 1.) y.(0)
+
+let test_ode_linear () =
+  (* y' = 2t  =>  y(3) = 9 *)
+  let f t _ = [| 2. *. t |] in
+  let y = Epidemic.Ode.integrate ~f ~y0:[| 0. |] ~t0:0. ~t1:3. ~dt:0.05 in
+  close ~eps:1e-9 "t^2" 9. y.(0)
+
+let test_ode_system () =
+  (* Harmonic oscillator: x'' = -x; energy conserved. *)
+  let f _t y = [| y.(1); -.y.(0) |] in
+  let y = Epidemic.Ode.integrate ~f ~y0:[| 1.; 0. |] ~t0:0. ~t1:(2. *. Float.pi) ~dt:0.001 in
+  close ~eps:1e-3 "full period x" 1. y.(0);
+  close ~eps:1e-3 "full period v" 0. y.(1)
+
+let test_ode_until () =
+  let f _t y = [| y.(0) |] in
+  match
+    Epidemic.Ode.integrate_until ~f ~y0:[| 1. |] ~t0:0. ~dt:0.001 ~t_max:10.
+      ~stop:(fun _ y -> y.(0) >= 2.)
+  with
+  | Some (t, _) -> close ~eps:1e-2 "doubling time = ln 2" (log 2.) t
+  | None -> Alcotest.fail "never reached"
+
+let test_ode_trajectory_sampling () =
+  let f _t _y = [| 1. |] in
+  let tr =
+    Epidemic.Ode.trajectory ~f ~y0:[| 0. |] ~t0:0. ~t1:1. ~dt:0.01 ~sample_dt:0.25
+  in
+  check_bool "has samples" true (List.length tr >= 4);
+  let t_last, y_last = List.nth tr (List.length tr - 1) in
+  close ~eps:0.02 "last sample time" 1. t_last;
+  close ~eps:0.02 "integrates identity" 1. y_last.(0)
+
+(* ------------------------------------------------------------------ *)
+(* SI model                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_si_slammer_headline () =
+  (* Paper Section 6.2: alpha = 0.0001, gamma = 5 s -> ~15 % infected. *)
+  let p = { Epidemic.Si.slammer with alpha = 0.0001 } in
+  let r = Epidemic.Si.infection_ratio p ~gamma:5. in
+  check_bool "around 15%" true (r > 0.10 && r < 0.20)
+
+let test_si_slammer_higher_alpha () =
+  (* alpha = 0.001, gamma = 20 s -> all but ~5-7 %. *)
+  let p = { Epidemic.Si.slammer with alpha = 0.001 } in
+  let r = Epidemic.Si.infection_ratio p ~gamma:20. in
+  check_bool "under 10%" true (r < 0.10)
+
+let test_si_hitlist_gamma5_contained () =
+  (* Section 6.3: gamma = 5 contains even beta = 4000 hit-list worms. *)
+  List.iter
+    (fun beta ->
+      let p = { (Epidemic.Si.hitlist ~beta ()) with alpha = 0.0001 } in
+      check_bool
+        (Printf.sprintf "beta=%g contained at gamma=5" beta)
+        true
+        (Epidemic.Si.infection_ratio p ~gamma:5. < 0.01))
+    [ 1000.; 4000. ]
+
+let test_si_hitlist_cliffs () =
+  (* Fig 7: gamma=50 much worse than gamma=30 at beta=1000;
+     Fig 8: gamma=20 much worse than gamma=10 at beta=4000. *)
+  let p1000 = { (Epidemic.Si.hitlist ()) with alpha = 0.0001 } in
+  let r30 = Epidemic.Si.infection_ratio p1000 ~gamma:30. in
+  let r50 = Epidemic.Si.infection_ratio p1000 ~gamma:50. in
+  check_bool "beta=1000 cliff" true (r50 > 5. *. r30);
+  let p4000 = { (Epidemic.Si.hitlist ~beta:4000. ()) with alpha = 0.0001 } in
+  let r10 = Epidemic.Si.infection_ratio p4000 ~gamma:10. in
+  let r20 = Epidemic.Si.infection_ratio p4000 ~gamma:20. in
+  check_bool "beta=4000 cliff" true (r20 > 2. *. r10)
+
+let test_si_monotone_in_gamma () =
+  let p = { Epidemic.Si.slammer with alpha = 0.001 } in
+  let prev = ref 0. in
+  List.iter
+    (fun g ->
+      let r = Epidemic.Si.infection_ratio p ~gamma:g in
+      check_bool "nondecreasing in gamma" true (r >= !prev -. 1e-9);
+      prev := r)
+    [ 1.; 5.; 10.; 30.; 60.; 120. ]
+
+let test_si_monotone_in_alpha () =
+  let p = Epidemic.Si.slammer in
+  let prev = ref 1.1 in
+  List.iter
+    (fun a ->
+      let r = Epidemic.Si.infection_ratio { p with alpha = a } ~gamma:10. in
+      check_bool "nonincreasing in alpha" true (r <= !prev +. 1e-9);
+      prev := r)
+    [ 0.0001; 0.001; 0.01; 0.1 ]
+
+let test_si_proactive_slows_worm () =
+  let base = { Epidemic.Si.beta = 1000.; rho = 1.; alpha = 0.0001; n = 100_000.; i0 = 1. } in
+  let unprotected = Epidemic.Si.infection_ratio base ~gamma:10. in
+  let protected_ =
+    Epidemic.Si.infection_ratio { base with rho = Epidemic.Si.rho_aslr } ~gamma:10.
+  in
+  check_bool "ASLR reduces infections" true (protected_ < unprotected /. 10.)
+
+let test_si_no_producers () =
+  let p = { Epidemic.Si.slammer with alpha = 0. } in
+  close ~eps:1e-9 "everyone vulnerable falls" 1.
+    (Epidemic.Si.infection_ratio p ~gamma:5.)
+
+let test_si_t0_decreases_with_alpha () =
+  let p = Epidemic.Si.slammer in
+  let t_small = Epidemic.Si.t0 { p with alpha = 0.0001 } in
+  let t_big = Epidemic.Si.t0 { p with alpha = 0.01 } in
+  match (t_small, t_big) with
+  | Some a, Some b -> check_bool "more producers, earlier detection" true (b < a)
+  | _ -> Alcotest.fail "t0 should exist"
+
+let test_si_max_gamma () =
+  let p = { (Epidemic.Si.hitlist ()) with alpha = 0.0001 } in
+  match Epidemic.Si.max_gamma_for_ratio p ~target:0.05 with
+  | Some g ->
+    check_bool "budget in the cliff region" true (g > 10. && g < 60.);
+    check_bool "budget is safe" true
+      (Epidemic.Si.infection_ratio p ~gamma:g <= 0.05 +. 1e-6)
+  | None -> Alcotest.fail "expected a gamma budget"
+
+(* qcheck: ratio always within [0, 1] for random parameters. *)
+let prop_ratio_bounded =
+  QCheck.Test.make ~name:"infection ratio bounded" ~count:40
+    QCheck.(triple (float_bound_exclusive 100.) (float_bound_exclusive 0.5) (float_bound_exclusive 60.))
+    (fun (beta, alpha, gamma) ->
+      QCheck.assume (beta > 0.01);
+      let p = { Epidemic.Si.beta; rho = 0.1; alpha; n = 10_000.; i0 = 1. } in
+      let r = Epidemic.Si.infection_ratio p ~gamma in
+      r >= 0. && r <= 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Discrete stochastic model                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_discrete_deterministic_seed () =
+  let c =
+    { Epidemic.Discrete.n = 10_000; producers = 10; beta = 10.; rho = 0.01;
+      gamma = 5.; dt = 0.01; t_max = 500.; seed = 3 }
+  in
+  let a = Epidemic.Discrete.run c in
+  let b = Epidemic.Discrete.run c in
+  check_int "same seed, same outcome" a.Epidemic.Discrete.o_infected
+    b.Epidemic.Discrete.o_infected
+
+let test_discrete_gamma_effect () =
+  let base =
+    { Epidemic.Discrete.n = 10_000; producers = 100; beta = 10.; rho = 1.;
+      gamma = 1.; dt = 0.01; t_max = 500.; seed = 7 }
+  in
+  let fast = Epidemic.Discrete.mean_ratio ~runs:3 base in
+  let slow = Epidemic.Discrete.mean_ratio ~runs:3 { base with gamma = 5. } in
+  check_bool "slower response, more infections" true (slow >= fast)
+
+let test_discrete_matches_ode_when_stable () =
+  (* Away from the cliff, the stochastic mean tracks the ODE. *)
+  let alpha = 0.01 and gamma = 2. and beta = 10. and rho = 1. in
+  let ode =
+    Epidemic.Si.infection_ratio
+      { Epidemic.Si.beta; rho; alpha; n = 10_000.; i0 = 1. }
+      ~gamma
+  in
+  let sim =
+    Epidemic.Discrete.mean_ratio ~runs:5
+      { Epidemic.Discrete.n = 10_000; producers = 100; beta; rho; gamma;
+        dt = 0.005; t_max = 1_000.; seed = 5 }
+  in
+  check_bool
+    (Printf.sprintf "ODE %.4f vs sim %.4f within 3x" ode sim)
+    true
+    (sim < 3. *. ode +. 0.01 && ode < 3. *. sim +. 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Community sweeps                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_figures_shape () =
+  let fig = Epidemic.Community.figure6 () in
+  check_int "six gamma lines" 6 (List.length fig.Epidemic.Community.f_series);
+  List.iter
+    (fun (s : Epidemic.Community.series) ->
+      check_int "seven alphas" 7 (List.length s.s_points);
+      List.iter
+        (fun (_, r) -> check_bool "ratio bounded" true (r >= 0. && r <= 1.))
+        s.s_points)
+    fig.Epidemic.Community.f_series
+
+let test_hitlist_summary_contained () =
+  List.iter
+    (fun (_, _, contained) -> check_bool "gamma=5 contains" true contained)
+    (Epidemic.Community.hitlist_response_summary ())
+
+(* qcheck: the binomial sampler has the right mean in all three regimes. *)
+let prop_binomial_mean =
+  QCheck.Test.make ~name:"binomial mean within tolerance" ~count:20
+    QCheck.(pair (int_range 1 5000) (float_bound_exclusive 1.))
+    (fun (n, p) ->
+      QCheck.assume (p > 0.001);
+      let rng = Random.State.make [| n; int_of_float (p *. 1e6) |] in
+      let runs = 300 in
+      let total = ref 0 in
+      for _ = 1 to runs do
+        total := !total + Epidemic.Discrete.binomial rng n p
+      done;
+      let mean = float_of_int !total /. float_of_int runs in
+      let expected = float_of_int n *. p in
+      let sd = sqrt (float_of_int n *. p *. (1. -. p)) in
+      Float.abs (mean -. expected) < (4. *. sd /. sqrt (float_of_int runs)) +. 1.)
+
+let test_poisson_mean () =
+  let rng = Random.State.make [| 5 |] in
+  let runs = 2000 in
+  let total = ref 0 in
+  for _ = 1 to runs do
+    total := !total + Epidemic.Discrete.poisson rng 3.0
+  done;
+  let mean = float_of_int !total /. float_of_int runs in
+  check_bool "poisson(3) mean near 3" true (Float.abs (mean -. 3.0) < 0.2)
+
+let test_binomial_edges () =
+  let rng = Random.State.make [| 1 |] in
+  check_int "p=0" 0 (Epidemic.Discrete.binomial rng 100 0.);
+  check_int "p=1" 100 (Epidemic.Discrete.binomial rng 100 1.);
+  check_int "n=0" 0 (Epidemic.Discrete.binomial rng 0 0.5)
+
+let test_trajectory_of_outbreak_is_sigmoid () =
+  (* The SI trajectory rises monotonically and saturates below (1-alpha)N. *)
+  let p = { Epidemic.Si.slammer with alpha = 0.001 } in
+  let traj =
+    Epidemic.Ode.trajectory ~f:(Epidemic.Si.derivatives p) ~y0:[| 1.; 0. |]
+      ~t0:0. ~t1:400. ~dt:0.05 ~sample_dt:20.
+  in
+  let infected = List.map (fun (_, y) -> y.(0)) traj in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-6 && monotone rest
+    | _ -> true
+  in
+  check_bool "monotone growth" true (monotone infected);
+  let final = List.nth infected (List.length infected - 1) in
+  check_bool "saturates below (1-alpha)N" true
+    (final <= (1. -. p.Epidemic.Si.alpha) *. p.Epidemic.Si.n +. 1.);
+  check_bool "it did grow" true (final > 0.9 *. (1. -. p.Epidemic.Si.alpha) *. p.Epidemic.Si.n)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "epidemic"
+    [
+      ( "ode",
+        [
+          Alcotest.test_case "exponential" `Quick test_ode_exponential;
+          Alcotest.test_case "linear" `Quick test_ode_linear;
+          Alcotest.test_case "oscillator" `Quick test_ode_system;
+          Alcotest.test_case "integrate until" `Quick test_ode_until;
+          Alcotest.test_case "trajectory" `Quick test_ode_trajectory_sampling;
+        ] );
+      ( "si",
+        [
+          Alcotest.test_case "slammer 15%" `Quick test_si_slammer_headline;
+          Alcotest.test_case "slammer alpha=0.001" `Quick test_si_slammer_higher_alpha;
+          Alcotest.test_case "hitlist gamma=5 contained" `Quick
+            test_si_hitlist_gamma5_contained;
+          Alcotest.test_case "hitlist cliffs" `Quick test_si_hitlist_cliffs;
+          Alcotest.test_case "monotone in gamma" `Quick test_si_monotone_in_gamma;
+          Alcotest.test_case "monotone in alpha" `Quick test_si_monotone_in_alpha;
+          Alcotest.test_case "proactive protection" `Quick test_si_proactive_slows_worm;
+          Alcotest.test_case "no producers" `Quick test_si_no_producers;
+          Alcotest.test_case "t0 vs alpha" `Quick test_si_t0_decreases_with_alpha;
+          Alcotest.test_case "max gamma budget" `Quick test_si_max_gamma;
+          qt prop_ratio_bounded;
+        ] );
+      ( "discrete",
+        [
+          Alcotest.test_case "deterministic seed" `Quick test_discrete_deterministic_seed;
+          Alcotest.test_case "gamma effect" `Quick test_discrete_gamma_effect;
+          Alcotest.test_case "matches ode" `Quick test_discrete_matches_ode_when_stable;
+        ] );
+      ( "community",
+        [
+          Alcotest.test_case "figure shapes" `Quick test_figures_shape;
+          Alcotest.test_case "hitlist summary" `Quick test_hitlist_summary_contained;
+        ] );
+      ( "statistics",
+        [
+          qt prop_binomial_mean;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+          Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
+          Alcotest.test_case "sigmoid trajectory" `Quick
+            test_trajectory_of_outbreak_is_sigmoid;
+        ] );
+    ]

@@ -1,0 +1,634 @@
+(* Tests for the MiniC compiler: lexer, parser, semantic analysis, and —
+   most importantly — compile-and-run integration tests that execute small
+   programs on the VM and check their results. *)
+
+module Lexer = Minic.Lexer
+module Parser = Minic.Parser
+module Ast = Minic.Ast
+module Sema = Minic.Sema
+module Driver = Minic.Driver
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lex_basic () =
+  check_int "token count" 6 (List.length (toks "int x = 42;"));
+  (match toks "int x = 42;" with
+  | [ Lexer.INT_KW; Lexer.IDENT "x"; Lexer.ASSIGN; Lexer.NUM 42; Lexer.SEMI;
+      Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens");
+  match toks "0x1F" with
+  | [ Lexer.NUM 31; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hex literal"
+
+let test_lex_comments () =
+  (match toks "a // comment\n b" with
+  | [ Lexer.IDENT "a"; Lexer.IDENT "b"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "line comment");
+  match toks "a /* multi\nline */ b" with
+  | [ Lexer.IDENT "a"; Lexer.IDENT "b"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "block comment"
+
+let test_lex_strings_and_chars () =
+  (match toks {|"a\nb" 'x' '\0'|} with
+  | [ Lexer.STRING "a\nb"; Lexer.CHARLIT 'x'; Lexer.CHARLIT '\000'; Lexer.EOF ]
+    -> ()
+  | _ -> Alcotest.fail "string/char literals");
+  match toks {|"\x41"|} with
+  | [ Lexer.STRING "A"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hex escape"
+
+let test_lex_operators () =
+  match toks "a->b == c && d <= e << 1" with
+  | [ Lexer.IDENT "a"; Lexer.ARROW_T; Lexer.IDENT "b"; Lexer.EQ_T;
+      Lexer.IDENT "c"; Lexer.ANDAND; Lexer.IDENT "d"; Lexer.LE_T;
+      Lexer.IDENT "e"; Lexer.SHL_T; Lexer.NUM 1; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "operators"
+
+let test_lex_errors () =
+  let fails s =
+    match Lexer.tokenize s with
+    | exception Lexer.Lex_error _ -> true
+    | _ -> false
+  in
+  check_bool "unterminated string" true (fails "\"abc");
+  check_bool "unterminated comment" true (fails "/* abc");
+  check_bool "bad char" true (fails "`")
+
+let test_lex_line_numbers () =
+  match Lexer.tokenize "a\nb\n\nc" with
+  | [ (_, 1); (_, 2); (_, 4); (Lexer.EOF, _) ] -> ()
+  | _ -> Alcotest.fail "line numbers"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_expr_of src =
+  match Parser.parse (Printf.sprintf "int f() { return %s; }" src) with
+  | [ Ast.Gfunc { f_body = [ Ast.Sreturn (Some e) ]; _ } ] -> e
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let test_parse_precedence () =
+  (match parse_expr_of "1 + 2 * 3" with
+  | Ast.Bin (Ast.Add, Ast.Num 1, Ast.Bin (Ast.Mul, Ast.Num 2, Ast.Num 3)) -> ()
+  | _ -> Alcotest.fail "mul binds tighter than add");
+  (match parse_expr_of "1 < 2 && 3 < 4" with
+  | Ast.Bin (Ast.Land, Ast.Bin (Ast.Lt, _, _), Ast.Bin (Ast.Lt, _, _)) -> ()
+  | _ -> Alcotest.fail "comparison binds tighter than &&");
+  match parse_expr_of "a = b = 1" with
+  | Ast.Assign (Ast.Var "a", Ast.Assign (Ast.Var "b", Ast.Num 1)) -> ()
+  | _ -> Alcotest.fail "assignment is right associative"
+
+let test_parse_unary_and_postfix () =
+  (match parse_expr_of "*p + a[2]" with
+  | Ast.Bin (Ast.Add, Ast.Un (Ast.Deref, Ast.Var "p"),
+             Ast.Index (Ast.Var "a", Ast.Num 2)) -> ()
+  | _ -> Alcotest.fail "deref/index");
+  (match parse_expr_of "&x" with
+  | Ast.Un (Ast.Addr_of, Ast.Var "x") -> ()
+  | _ -> Alcotest.fail "addr-of");
+  match parse_expr_of "s->next" with
+  | Ast.Arrow (Ast.Var "s", "next") -> ()
+  | _ -> Alcotest.fail "arrow"
+
+let test_parse_cast_and_sizeof () =
+  (match parse_expr_of "(char*)p" with
+  | Ast.Cast (Ast.Tptr Ast.Tchar, Ast.Var "p") -> ()
+  | _ -> Alcotest.fail "cast");
+  (match parse_expr_of "sizeof(int)" with
+  | Ast.Sizeof Ast.Tint -> ()
+  | _ -> Alcotest.fail "sizeof");
+  (* A parenthesized expression is not a cast. *)
+  match parse_expr_of "(p)" with
+  | Ast.Var "p" -> ()
+  | _ -> Alcotest.fail "parens"
+
+let test_parse_ternary () =
+  match parse_expr_of "a ? 1 : 2" with
+  | Ast.Cond (Ast.Var "a", Ast.Num 1, Ast.Num 2) -> ()
+  | _ -> Alcotest.fail "ternary"
+
+let test_parse_stmts () =
+  let src =
+    {|
+    int f(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        if (i == 3) { continue; }
+        while (acc > 100) { break; }
+        acc = acc + i;
+      }
+      return acc;
+    }
+  |}
+  in
+  match Parser.parse src with
+  | [ Ast.Gfunc { f_params = [ (Ast.Tint, "n") ]; f_body; _ } ] ->
+    check_int "three statements" 3 (List.length f_body)
+  | _ -> Alcotest.fail "function shape"
+
+let test_parse_struct_def () =
+  let src =
+    {|
+    struct point { int x; int y; char tag; };
+    int f(struct point *p) { return p->x; }
+  |}
+  in
+  match Parser.parse src with
+  | [ Ast.Gstruct { s_name = "point"; s_fields }; Ast.Gfunc _ ] ->
+    check_int "fields" 3 (List.length s_fields)
+  | _ -> Alcotest.fail "struct shape"
+
+let test_parse_globals_and_arrays () =
+  match Parser.parse "int g = 7; char buf[64];" with
+  | [ Ast.Gvar (Ast.Tint, "g", Some (Ast.Num 7));
+      Ast.Gvar (Ast.Tarray (Ast.Tchar, 64), "buf", None) ] -> ()
+  | _ -> Alcotest.fail "globals"
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse s with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "missing semi" true (fails "int f() { return 1 }");
+  check_bool "missing brace" true (fails "int f() { return 1;");
+  check_bool "bad expr" true (fails "int f() { return +; }")
+
+(* ------------------------------------------------------------------ *)
+(* Sema                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sema src = Sema.check (Parser.parse src)
+
+let test_sema_frame_layout () =
+  let tp = sema "int f() { char buf[64]; int n; n = 0; return n; }" in
+  match tp.Sema.tp_funcs with
+  | [ f ] -> check_int "frame = 64 + 4" 68 f.Sema.tf_frame_size
+  | _ -> Alcotest.fail "one function"
+
+let test_sema_struct_layout () =
+  let tp =
+    sema
+      {|
+      struct s { char a; int b; char c; char d; int e; };
+      int f() { struct s v; return 0; }
+    |}
+  in
+  match tp.Sema.tp_funcs with
+  | [ f ] ->
+    (* a@0 (pad) b@4 c@8 d@9 (pad) e@12 -> size 16 *)
+    check_int "struct local frame" 16 f.Sema.tf_frame_size
+  | _ -> Alcotest.fail "one function"
+
+let test_sema_string_dedup () =
+  let tp = sema {| char *f() { return "abc"; } char *g() { return "abc"; } |} in
+  let strings =
+    List.filter (fun d -> d.Sema.d_init = Some "abc\000") tp.Sema.tp_data
+  in
+  check_int "identical literals shared" 1 (List.length strings)
+
+let test_sema_errors () =
+  let fails s =
+    match sema s with exception Sema.Error _ -> true | _ -> false
+  in
+  check_bool "unknown variable" true (fails "int f() { return nope; }");
+  check_bool "unknown function" true (fails "int f() { return g(); }");
+  check_bool "arity mismatch" true
+    (fails "int g(int a) { return a; } int f() { return g(); }");
+  check_bool "unknown field" true
+    (fails "struct s { int a; }; int f(struct s *p) { return p->b; }")
+
+(* ------------------------------------------------------------------ *)
+(* Compile-and-run integration                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile a source with a main(), run it, return the (signed) exit code. *)
+let run_main ?(fuel = 5_000_000) src =
+  let compiled = Driver.compile_app ~name:"t" src in
+  let proc = Osim.Process.load ~aslr:false ~seed:1 compiled in
+  match Osim.Process.run ~fuel proc with
+  | Vm.Cpu.Halted -> (
+    match proc.Osim.Process.exit_code with
+    | Some c -> Vm.Isa.to_s32 c
+    | None -> Alcotest.fail "no exit code")
+  | Vm.Cpu.Faulted f -> Alcotest.fail ("faulted: " ^ Vm.Event.fault_to_string f)
+  | Vm.Cpu.Blocked -> Alcotest.fail "blocked"
+  | Vm.Cpu.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let test_run_return_constant () =
+  check_int "constant" 42 (run_main "int main() { return 42; }")
+
+let test_run_arith () =
+  check_int "arith" 17 (run_main "int main() { return 2 + 3 * 5; }");
+  check_int "parens" 25 (run_main "int main() { return (2 + 3) * 5; }");
+  check_int "negative" (-7) (run_main "int main() { return 3 - 10; }");
+  check_int "div" 3 (run_main "int main() { return 17 / 5; }");
+  check_int "mod" 2 (run_main "int main() { return 17 % 5; }");
+  check_int "bitwise" 6 (run_main "int main() { return (12 & 7) ^ 2; }");
+  check_int "shifts" 20 (run_main "int main() { return (5 << 3) >> 1; }");
+  check_int "unary minus" (-5) (run_main "int main() { int x = 5; return -x; }");
+  check_int "bitwise not" (-1) (run_main "int main() { return ~0; }")
+
+let test_run_locals_and_assign () =
+  check_int "locals" 30
+    (run_main "int main() { int a = 10; int b; b = 20; return a + b; }");
+  check_int "chained assign" 14
+    (run_main "int main() { int a; int b; a = b = 7; return a + b; }")
+
+let test_run_if_else () =
+  check_int "taken" 1 (run_main "int main() { if (2 > 1) { return 1; } return 0; }");
+  check_int "not taken" 0
+    (run_main "int main() { if (1 > 2) { return 1; } return 0; }");
+  check_int "else" 5
+    (run_main "int main() { if (1 > 2) { return 1; } else { return 5; } }")
+
+let test_run_loops () =
+  check_int "while sum" 45
+    (run_main
+       "int main() { int s = 0; int i = 0; while (i < 10) { s = s + i; i = i \
+        + 1; } return s; }");
+  check_int "for sum" 45
+    (run_main
+       "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + \
+        i; } return s; }");
+  check_int "break" 5
+    (run_main
+       "int main() { int i = 0; while (1) { if (i == 5) { break; } i = i + 1; \
+        } return i; }");
+  check_int "continue" 25
+    (run_main
+       "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % \
+        2 == 0) { continue; } s = s + i; } return s; }")
+
+let test_run_functions () =
+  check_int "two args" 7
+    (run_main
+       "int add(int a, int b) { return a + b; } int main() { return add(3, 4); }");
+  check_int "arg order" 2
+    (run_main
+       "int sub(int a, int b) { return a - b; } int main() { return sub(5, 3); }");
+  check_int "recursion (factorial)" 120
+    (run_main
+       "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } \
+        int main() { return fact(5); }");
+  check_int "fibonacci" 55
+    (run_main
+       "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - \
+        2); } int main() { return fib(10); }")
+
+let test_run_pointers () =
+  check_int "deref write" 9
+    (run_main "int main() { int x = 1; int *p = &x; *p = 9; return x; }");
+  check_int "pointer arith scales" 30
+    (run_main
+       "int g[3]; int main() { g[0] = 10; g[1] = 20; int *p = g; return *(p \
+        + 1) + g[0]; }");
+  check_int "char pointer is bytewise" 98
+    (run_main
+       "int main() { char buf[4]; char *p = buf; buf[0] = 'a'; *(p + 1) = \
+        'b'; return buf[1]; }");
+  check_int "pointer difference" 2
+    (run_main "int g[5]; int main() { int *a = g; int *b = g + 2; return b - a; }");
+  check_int "out param" 77
+    (run_main
+       "void set(int *p) { *p = 77; } int main() { int x = 0; set(&x); return x; }")
+
+let test_run_arrays () =
+  check_int "local array" 6
+    (run_main
+       "int main() { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3; return a[0] + \
+        a[1] + a[2]; }");
+  check_int "global array" 55
+    (run_main
+       "int g[10]; int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) \
+        { g[i] = i + 1; } for (int i = 0; i < 10; i = i + 1) { s = s + g[i]; \
+        } return s; }");
+  check_int "array decays to pointer arg" 3
+    (run_main
+       "int first(int *a) { return a[0]; } int main() { int v[2]; v[0] = 3; \
+        return first(v); }")
+
+let test_run_structs () =
+  check_int "field access" 30
+    (run_main
+       "struct p { int x; int y; }; int main() { struct p v; v.x = 10; v.y = \
+        20; return v.x + v.y; }");
+  check_int "arrow on address" 12
+    (run_main
+       "struct p { int x; char t; }; int set(struct p *p) { p->x = 12; p->t \
+        = 'z'; return p->t; } int main() { struct p v; set(&v); return v.x; }");
+  check_int "byte field does not clobber" 0x5A
+    (run_main
+       "struct p { char a; char b; }; int main() { struct p v; v.a = 0x5A; \
+        v.b = 0xFF; return v.a; }");
+  check_int "heap struct" 21
+    (run_main
+       "struct node { int v; struct node *next; }; int main() { struct node \
+        *n = (struct node*)malloc(8); n->v = 21; n->next = (struct node*)0; \
+        return n->v; }")
+
+let test_run_function_pointers () =
+  check_int "call through int-cast pointer" 21
+    (run_main
+       "int triple(int x) { return 3 * x; } int main() { int f = (int)triple; \
+        return f(7); }")
+
+let test_run_logical_ops () =
+  check_int "short circuit and" 0
+    (run_main
+       "int g; int boom() { g = 1; return 1; } int main() { int r = 0 && \
+        boom(); return g + r; }");
+  check_int "short circuit or" 1
+    (run_main
+       "int g; int boom() { g = 5; return 1; } int main() { int r = 1 || \
+        boom(); return g + r; }");
+  check_int "not" 1 (run_main "int main() { return !0; }");
+  check_int "not nonzero" 0 (run_main "int main() { return !7; }");
+  check_int "ternary" 4 (run_main "int main() { return 1 < 2 ? 4 : 9; }")
+
+let test_run_char_semantics () =
+  check_int "char literal" 65 (run_main "int main() { return 'A'; }");
+  check_int "string literal chars" 108
+    (run_main "int main() { char *s = \"hello\"; return s[3]; }")
+
+let test_run_globals_init () =
+  check_int "initialized global" 99 (run_main "int g = 99; int main() { return g; }");
+  check_int "zeroed global" 0 (run_main "int g; int main() { return g; }")
+
+let test_run_sizeof_struct () =
+  check_int "sizeof struct" 8
+    (run_main
+       "struct p { int a; char b; }; int main() { return sizeof(struct p); }");
+  check_int "sizeof int" 4 (run_main "int main() { return sizeof(int); }");
+  check_int "sizeof char" 1 (run_main "int main() { return sizeof(char); }")
+
+(* ------------------------------------------------------------------ *)
+(* libc behavior                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_libc_strings () =
+  check_int "strlen" 5 (run_main {| int main() { return strlen("hello"); } |});
+  check_int "strcpy" 5
+    (run_main {| int main() { char b[16]; strcpy(b, "hello"); return strlen(b); } |});
+  check_int "strcat" 8
+    (run_main
+       {| int main() { char b[16]; strcpy(b, "hey"); strcat(b, "there"); return strlen(b); } |});
+  check_int "strcmp equal" 0 (run_main {| int main() { return strcmp("abc", "abc"); } |});
+  check_bool "strcmp less" true
+    (run_main {| int main() { return strcmp("abc", "abd"); } |} < 0);
+  check_int "strncmp prefix" 0
+    (run_main {| int main() { return strncmp("abcX", "abcY", 3); } |});
+  check_int "strncpy bounded" 3
+    (run_main
+       {| int main() { char b[8]; memset(b, 0, 8); strncpy(b, "abcdef", 3);
+          return strlen(b) > 3 ? 0 - 1 : strlen(b); } |});
+  check_int "atoi" 1234 (run_main {| int main() { return atoi("1234"); } |});
+  check_int "atoi negative" (-42) (run_main {| int main() { return atoi("-42xyz"); } |})
+
+let test_libc_strchr_strstr () =
+  check_int "strchr found offset" 2
+    (run_main {| int main() { char *s = "hello"; return strchr(s, 'l') - s; } |});
+  check_int "strchr missing" 0
+    (run_main {| int main() { return (int)strchr("hello", 'z'); } |});
+  check_int "strstr found offset" 2
+    (run_main {| int main() { char *s = "ababc"; return strstr(s, "abc") - s; } |});
+  check_int "strstr missing" 0
+    (run_main {| int main() { return (int)strstr("hello", "xyz"); } |});
+  check_int "strstr empty needle" 0
+    (run_main {| int main() { char *s = "abc"; return strstr(s, "") - s; } |})
+
+let test_libc_mem () =
+  check_int "memset+memcpy" 21
+    (run_main
+       {| int main() { char a[8]; char b[8]; memset(a, 7, 8);
+          memcpy(b, a, 8); return b[0] + b[3] + b[7]; } |})
+
+let test_libc_malloc_free () =
+  check_int "malloc usable" 123
+    (run_main
+       {| int main() { int *p = (int*)malloc(8); p[0] = 123; int v = p[0];
+          free((char*)p); return v; } |});
+  check_int "xcalloc zeroes" 0
+    (run_main
+       {| int main() { char *p = xcalloc(16, 1); int s = 0;
+          for (int i = 0; i < 16; i = i + 1) { s = s + p[i]; } return s; } |});
+  check_int "free(NULL) ok" 3
+    (run_main {| int main() { free((char*)0); return 3; } |})
+
+let test_libc_double_free_aborts () =
+  let compiled =
+    Driver.compile_app ~name:"t"
+      {| int main() { char *p = malloc(8); free(p); free(p); return 0; } |}
+  in
+  let proc = Osim.Process.load ~aslr:false ~seed:1 compiled in
+  match Osim.Process.run proc with
+  | Vm.Cpu.Faulted (Vm.Event.Segv_write 4) ->
+    let pc = proc.Osim.Process.cpu.Vm.Cpu.pc in
+    let here = Osim.Process.describe_addr proc pc in
+    check_bool "crash attributed inside free" true
+      (match String.index_opt here '(' with
+      | Some i -> String.length here >= i + 5 && String.sub here (i + 1) 4 = "free"
+      | None -> false)
+  | _ -> Alcotest.fail "expected abort in free"
+
+let test_libc_escape () =
+  check_int "safe chars unchanged" 3
+    (run_main {| int main() { return strlen(rfc1738_escape_part("abc")); } |});
+  check_int "unsafe chars tripled" 9
+    (run_main {| int main() { return strlen(rfc1738_escape_part("~~~")); } |});
+  check_int "escape starts with %" 37
+    (run_main {| int main() { return rfc1738_escape_part("~")[0]; } |})
+
+let test_intrinsic_time () =
+  check_int "time advances" 1
+    (run_main {| int main() { int a = _time(); int b = _time(); return b - a; } |})
+
+let test_libc_extensions () =
+  check_int "strncat bounded" 5
+    (run_main
+       {| int main() { char b[16]; strcpy(b, "ab"); strncat(b, "cdefg", 3);
+          return strlen(b); } |});
+  check_int "strrchr finds last" 3
+    (run_main {| int main() { char *s = "abca"; return strrchr(s, 'a') - s; } |});
+  check_int "strrchr missing" 0
+    (run_main {| int main() { return (int)strrchr("abc", 'z'); } |});
+  check_int "memcmp equal" 0
+    (run_main {| int main() { return memcmp("abc", "abc", 3); } |});
+  check_bool "memcmp differs" true
+    (run_main {| int main() { return memcmp("abc", "abd", 3); } |} < 0);
+  check_int "strdup copies" 0
+    (run_main
+       {| int main() { char *d = strdup("hello"); return strcmp(d, "hello"); } |});
+  check_int "tolower" 97 (run_main {| int main() { return tolower('A'); } |});
+  check_int "tolower idempotent" 97 (run_main {| int main() { return tolower('a'); } |});
+  check_int "toupper" 90 (run_main {| int main() { return toupper('z'); } |});
+  check_int "isdigit yes" 1 (run_main {| int main() { return isdigit('7'); } |});
+  check_int "isdigit no" 0 (run_main {| int main() { return isdigit('x'); } |});
+  check_int "isalpha" 1 (run_main {| int main() { return isalpha('q'); } |});
+  check_int "isspace" 1 (run_main {| int main() { return isspace(' '); } |});
+  check_int "itoa roundtrip" 0
+    (run_main
+       {| int main() { char b[16]; itoa(12345, b); return strcmp(b, "12345"); } |});
+  check_int "itoa negative" 0
+    (run_main
+       {| int main() { char b[16]; itoa(0 - 42, b); return strcmp(b, "-42"); } |});
+  check_int "itoa zero" 0
+    (run_main {| int main() { char b[4]; itoa(0, b); return strcmp(b, "0"); } |});
+  check_int "itoa atoi roundtrip" 987
+    (run_main {| int main() { char b[16]; itoa(987, b); return atoi(b); } |})
+
+(* ------------------------------------------------------------------ *)
+(* Language semantics corners                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_arg_evaluation_order () =
+  (* Arguments are evaluated right-to-left (documented calling-convention
+     behaviour, as on many C compilers). *)
+  check_int "right to left" 21
+    (run_main
+       "int g; int bump(int v) { g = g * 10 + v; return v; } int pair(int a, \
+        int b) { return g; } int main() { g = 0; return pair(bump(1), \
+        bump(2)); }")
+
+let test_nested_call_expressions () =
+  check_int "calls as arguments" 14
+    (run_main
+       "int dbl(int x) { return 2 * x; } int add(int a, int b) { return a + \
+        b; } int main() { return add(dbl(3), dbl(add(1, 3))); }")
+
+let test_deep_recursion_within_stack () =
+  check_int "500 frames fit" 125250
+    (run_main
+       "int sum(int n) { if (n == 0) { return 0; } return n + sum(n - 1); } \
+        int main() { return sum(500); }")
+
+let test_negative_division_semantics () =
+  (* Truncated (round-toward-zero) division and matching remainder. *)
+  check_int "neg div" (-3) (run_main "int main() { return (0 - 7) / 2; }");
+  check_int "neg mod" (-1) (run_main "int main() { return (0 - 7) % 2; }")
+
+let test_char_is_unsigned_byte () =
+  (* Loadb zero-extends: a 0xFF byte reads back as 255, not -1. *)
+  check_int "unsigned char semantics" 255
+    (run_main
+       "int main() { char c = (char)0xFF; return c; }")
+
+let test_pointer_comparisons () =
+  check_int "pointer order" 1
+    (run_main "int g[4]; int main() { int *a = g; int *b = g + 2; return a < b; }")
+
+let test_global_negative_init () =
+  check_int "negative global" (-5) (run_main "int g = -5; int main() { return g; }")
+    [@warning "-26"]
+
+(* qcheck: the compiler computes the same arithmetic OCaml does. *)
+let prop_arith_matches_ocaml =
+  QCheck.Test.make ~name:"compiled arithmetic matches host semantics" ~count:50
+    QCheck.(triple (int_bound 10000) (int_bound 10000) (int_bound 3))
+    (fun (a, b, op) ->
+      let ops = [| "+"; "-"; "*"; "/" |] in
+      let b = if op = 3 then b + 1 else b in
+      let expected =
+        match op with
+        | 0 -> a + b
+        | 1 -> a - b
+        | 2 -> Vm.Isa.to_s32 (Vm.Isa.to_u32 (a * b))
+        | _ -> a / b
+      in
+      let src = Printf.sprintf "int main() { return %d %s %d; }" a ops.(op) b in
+      run_main src = expected)
+
+let prop_strlen_matches =
+  QCheck.Test.make ~name:"compiled strlen = String.length" ~count:25
+    QCheck.(string_gen_of_size (Gen.int_bound 40) Gen.printable)
+    (fun s ->
+      QCheck.assume (not (String.contains s '"'));
+      QCheck.assume (not (String.contains s '\\'));
+      QCheck.assume (not (String.contains s '\000'));
+      run_main (Printf.sprintf {| int main() { return strlen("%s"); } |} s)
+      = String.length s)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "strings/chars" `Quick test_lex_strings_and_chars;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "line numbers" `Quick test_lex_line_numbers;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "unary/postfix" `Quick test_parse_unary_and_postfix;
+          Alcotest.test_case "cast/sizeof" `Quick test_parse_cast_and_sizeof;
+          Alcotest.test_case "ternary" `Quick test_parse_ternary;
+          Alcotest.test_case "statements" `Quick test_parse_stmts;
+          Alcotest.test_case "struct def" `Quick test_parse_struct_def;
+          Alcotest.test_case "globals/arrays" `Quick test_parse_globals_and_arrays;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "sema",
+        [
+          Alcotest.test_case "frame layout" `Quick test_sema_frame_layout;
+          Alcotest.test_case "struct layout" `Quick test_sema_struct_layout;
+          Alcotest.test_case "string dedup" `Quick test_sema_string_dedup;
+          Alcotest.test_case "errors" `Quick test_sema_errors;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "argument order" `Quick test_arg_evaluation_order;
+          Alcotest.test_case "nested calls" `Quick test_nested_call_expressions;
+          Alcotest.test_case "deep recursion" `Quick test_deep_recursion_within_stack;
+          Alcotest.test_case "negative division" `Quick
+            test_negative_division_semantics;
+          Alcotest.test_case "unsigned char" `Quick test_char_is_unsigned_byte;
+          Alcotest.test_case "pointer comparisons" `Quick test_pointer_comparisons;
+          Alcotest.test_case "negative global init" `Quick test_global_negative_init;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "constant" `Quick test_run_return_constant;
+          Alcotest.test_case "arith" `Quick test_run_arith;
+          Alcotest.test_case "locals/assign" `Quick test_run_locals_and_assign;
+          Alcotest.test_case "if/else" `Quick test_run_if_else;
+          Alcotest.test_case "loops" `Quick test_run_loops;
+          Alcotest.test_case "functions" `Quick test_run_functions;
+          Alcotest.test_case "pointers" `Quick test_run_pointers;
+          Alcotest.test_case "arrays" `Quick test_run_arrays;
+          Alcotest.test_case "structs" `Quick test_run_structs;
+          Alcotest.test_case "function pointers" `Quick test_run_function_pointers;
+          Alcotest.test_case "logical ops" `Quick test_run_logical_ops;
+          Alcotest.test_case "char semantics" `Quick test_run_char_semantics;
+          Alcotest.test_case "globals init" `Quick test_run_globals_init;
+          Alcotest.test_case "sizeof" `Quick test_run_sizeof_struct;
+          qt prop_arith_matches_ocaml;
+        ] );
+      ( "libc",
+        [
+          Alcotest.test_case "strings" `Quick test_libc_strings;
+          Alcotest.test_case "strchr/strstr" `Quick test_libc_strchr_strstr;
+          Alcotest.test_case "mem ops" `Quick test_libc_mem;
+          Alcotest.test_case "malloc/free" `Quick test_libc_malloc_free;
+          Alcotest.test_case "double free aborts" `Quick test_libc_double_free_aborts;
+          Alcotest.test_case "escape" `Quick test_libc_escape;
+          Alcotest.test_case "time" `Quick test_intrinsic_time;
+          Alcotest.test_case "extensions" `Quick test_libc_extensions;
+          qt prop_strlen_matches;
+        ] );
+    ]

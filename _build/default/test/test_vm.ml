@@ -1,0 +1,822 @@
+(* Tests for the VM substrate: ISA arithmetic, paged COW memory, address
+   layout/ASLR, assembler/linker, allocator, and the CPU interpreter with
+   its instrumentation hooks. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Isa arithmetic                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_u32_s32 () =
+  check_int "u32 wraps" 0 (Vm.Isa.to_u32 0x100000000);
+  check_int "u32 keeps 32 bits" 0xFFFFFFFF (Vm.Isa.to_u32 (-1));
+  check_int "s32 of 0xFFFFFFFF" (-1) (Vm.Isa.to_s32 0xFFFFFFFF);
+  check_int "s32 positive" 5 (Vm.Isa.to_s32 5);
+  check_int "s32 of 0x80000000" (-0x80000000) (Vm.Isa.to_s32 0x80000000)
+
+let test_binops () =
+  let e = Vm.Isa.eval_binop in
+  check_int "add wraps" 0 (e Vm.Isa.Add 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (e Vm.Isa.Sub 0 1);
+  check_int "mul" 42 (e Vm.Isa.Mul 6 7);
+  check_int "div signed" 0xFFFFFFFE (e Vm.Isa.Div 0xFFFFFFFC 2);
+  (* -4 / 2 = -2 *)
+  check_int "mod" 1 (e Vm.Isa.Mod 7 3);
+  check_int "and" 0b100 (e Vm.Isa.And 0b110 0b101);
+  check_int "or" 0b111 (e Vm.Isa.Or 0b110 0b101);
+  check_int "xor" 0b011 (e Vm.Isa.Xor 0b110 0b101);
+  check_int "shl" 8 (e Vm.Isa.Shl 1 3);
+  check_int "shr is logical" 0x7FFFFFFF (e Vm.Isa.Shr 0xFFFFFFFF 1);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (e Vm.Isa.Div 1 0));
+  Alcotest.check_raises "mod by zero" Division_by_zero (fun () ->
+      ignore (e Vm.Isa.Mod 1 0))
+
+let test_conds () =
+  let c = Vm.Isa.eval_cond in
+  check_bool "eq" true (c Vm.Isa.Eq 3 3);
+  check_bool "ne" true (c Vm.Isa.Ne 3 4);
+  check_bool "lt signed" true (c Vm.Isa.Lt 0xFFFFFFFF 0);
+  (* -1 < 0 *)
+  check_bool "ult unsigned" false (c Vm.Isa.Ult 0xFFFFFFFF 0);
+  check_bool "ge" true (c Vm.Isa.Ge 5 5);
+  check_bool "le" true (c Vm.Isa.Le 4 5);
+  check_bool "gt" false (c Vm.Isa.Gt 4 5);
+  check_bool "uge" true (c Vm.Isa.Uge 0xFFFFFFFF 1)
+
+let test_reg_index_roundtrip () =
+  for i = 0 to Vm.Isa.num_regs - 1 do
+    check_int "reg index roundtrip" i
+      (Vm.Isa.reg_index (Vm.Isa.reg_of_index i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_byte_roundtrip () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_byte m 0x1000 0xAB;
+  check_int "byte" 0xAB (Vm.Memory.load_byte m 0x1000);
+  check_int "neighbour zero" 0 (Vm.Memory.load_byte m 0x1001);
+  Vm.Memory.store_byte m 0x1000 0x1FF;
+  check_int "byte truncated" 0xFF (Vm.Memory.load_byte m 0x1000)
+
+let test_mem_word_roundtrip () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x2000 0xDEADBEEF;
+  check_int "word" 0xDEADBEEF (Vm.Memory.load_word m 0x2000);
+  check_int "little endian byte 0" 0xEF (Vm.Memory.load_byte m 0x2000);
+  check_int "little endian byte 3" 0xDE (Vm.Memory.load_byte m 0x2003)
+
+let test_mem_cross_page () =
+  let m = Vm.Memory.create () in
+  let addr = Vm.Memory.page_size - 2 in
+  Vm.Memory.store_word m addr 0x11223344;
+  check_int "cross-page word" 0x11223344 (Vm.Memory.load_word m addr);
+  check_int "cross-page low byte" 0x44 (Vm.Memory.load_byte m addr);
+  check_int "cross-page high byte" 0x11 (Vm.Memory.load_byte m (addr + 3))
+
+let test_mem_strings () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_bytes m 0x3000 "hello\000world";
+  check Alcotest.string "cstring stops at NUL" "hello"
+    (Vm.Memory.load_cstring m 0x3000);
+  check Alcotest.string "bytes are raw" "hello\000world"
+    (Vm.Memory.load_bytes m 0x3000 11)
+
+let test_mem_snapshot_restore () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x1000 1;
+  let snap = Vm.Memory.snapshot m in
+  Vm.Memory.store_word m 0x1000 2;
+  Vm.Memory.store_word m 0x9000 3;
+  check_int "mutated" 2 (Vm.Memory.load_word m 0x1000);
+  Vm.Memory.restore m snap;
+  check_int "restored" 1 (Vm.Memory.load_word m 0x1000);
+  check_int "late page gone or zero" 0 (Vm.Memory.load_word m 0x9000)
+
+let test_mem_snapshot_isolated_from_writes () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x1000 0xAAAA;
+  let snap = Vm.Memory.snapshot m in
+  (* Write to the same page: COW must copy, leaving the snapshot intact. *)
+  Vm.Memory.store_word m 0x1004 0xBBBB;
+  Vm.Memory.store_word m 0x1000 0xCCCC;
+  Vm.Memory.restore m snap;
+  check_int "snapshot kept old value" 0xAAAA (Vm.Memory.load_word m 0x1000);
+  check_int "snapshot without later write" 0 (Vm.Memory.load_word m 0x1004)
+
+let test_mem_repeated_restore () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x1000 7;
+  let snap = Vm.Memory.snapshot m in
+  for i = 1 to 3 do
+    Vm.Memory.store_word m 0x1000 (100 + i);
+    Vm.Memory.restore m snap;
+    check_int "restore is repeatable" 7 (Vm.Memory.load_word m 0x1000)
+  done
+
+let test_mem_cow_stats () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x1000 1;
+  Vm.Memory.reset_stats m;
+  ignore (Vm.Memory.snapshot m);
+  let cow0, _ = Vm.Memory.stats m in
+  check_int "no copies before write" 0 cow0;
+  Vm.Memory.store_word m 0x1004 2;
+  Vm.Memory.store_word m 0x1008 3;
+  let cow1, _ = Vm.Memory.stats m in
+  check_int "one copy for one dirty page" 1 cow1
+
+let test_eager_snapshot () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x1000 5;
+  let snap = Vm.Memory.snapshot ~eager:true m in
+  Vm.Memory.store_word m 0x1000 6;
+  Vm.Memory.restore m snap;
+  check_int "eager snapshot restores" 5 (Vm.Memory.load_word m 0x1000)
+
+(* qcheck: random write/read round trips, with and without a snapshot. *)
+let prop_mem_roundtrip =
+  QCheck.Test.make ~name:"memory word roundtrip" ~count:200
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFFFFF))
+    (fun (off, v) ->
+      let m = Vm.Memory.create () in
+      let addr = 0x1000 + off in
+      Vm.Memory.store_word m addr v;
+      Vm.Memory.load_word m addr = Vm.Isa.to_u32 v)
+
+let prop_mem_snapshot_transparent =
+  QCheck.Test.make ~name:"snapshot/restore is identity" ~count:100
+    QCheck.(small_list (pair (int_bound 0x7FFF) (int_bound 255)))
+    (fun writes ->
+      let m = Vm.Memory.create () in
+      List.iter (fun (a, v) -> Vm.Memory.store_byte m (0x1000 + a) v) writes;
+      let reference =
+        List.map (fun (a, _) -> Vm.Memory.load_byte m (0x1000 + a)) writes
+      in
+      let snap = Vm.Memory.snapshot m in
+      List.iter (fun (a, v) -> Vm.Memory.store_byte m (0x1000 + a) (v lxor 0xFF)) writes;
+      Vm.Memory.restore m snap;
+      reference
+      = List.map (fun (a, _) -> Vm.Memory.load_byte m (0x1000 + a)) writes)
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_null_guard () =
+  let l = Vm.Layout.create ~aslr:false () in
+  check_bool "NULL page invalid" false (Vm.Layout.valid_data l 0);
+  check_bool "low page invalid" false (Vm.Layout.valid_data l 0xFFFF);
+  check_bool "code not writable data" false
+    (Vm.Layout.valid_data l l.Vm.Layout.app_code_base)
+
+let test_layout_stack_and_heap () =
+  let l = Vm.Layout.create ~aslr:false () in
+  check_bool "stack top-4 valid" true
+    (Vm.Layout.valid_data l (l.Vm.Layout.stack_top - 4));
+  check_bool "below stack invalid" false
+    (Vm.Layout.valid_data l (l.Vm.Layout.stack_limit - 4));
+  check_bool "heap unmapped before grow" false
+    (Vm.Layout.valid_data l l.Vm.Layout.heap_base);
+  check_bool "grow heap" true (Vm.Layout.grow_heap l (l.Vm.Layout.heap_base + 64));
+  check_bool "heap mapped after grow" true
+    (Vm.Layout.valid_data l l.Vm.Layout.heap_base);
+  (* page-granular mapping: the rest of the page is accessible *)
+  check_bool "rest of page mapped" true
+    (Vm.Layout.valid_data l (l.Vm.Layout.heap_base + 4095));
+  check_bool "next page unmapped" false
+    (Vm.Layout.valid_data l (l.Vm.Layout.heap_base + 4096))
+
+let test_layout_heap_exhaustion () =
+  let l = Vm.Layout.create ~aslr:false ~heap_max:8192 () in
+  check_bool "within arena" true (Vm.Layout.grow_heap l (l.Vm.Layout.heap_base + 8192));
+  check_bool "beyond arena" false (Vm.Layout.grow_heap l (l.Vm.Layout.heap_base + 8193))
+
+let test_layout_aslr_randomizes () =
+  let mk seed =
+    let rng = Random.State.make [| seed |] in
+    Vm.Layout.create ~aslr:true ~rand:(fun b -> Random.State.int rng (1 lsl b)) ()
+  in
+  let l1 = mk 1 and l2 = mk 2 in
+  check_bool "lib bases differ across processes" true
+    (l1.Vm.Layout.lib_code_base <> l2.Vm.Layout.lib_code_base);
+  let l3 = Vm.Layout.create ~aslr:false () in
+  let l4 = Vm.Layout.create ~aslr:false () in
+  check_int "no aslr is deterministic" l3.Vm.Layout.lib_code_base
+    l4.Vm.Layout.lib_code_base
+
+let test_layout_region_names () =
+  let l = Vm.Layout.create ~aslr:false () in
+  check Alcotest.string "unmapped" "unmapped" (Vm.Layout.describe l 4);
+  check Alcotest.string "stack" "stack"
+    (Vm.Layout.describe l (l.Vm.Layout.stack_top - 8))
+
+(* ------------------------------------------------------------------ *)
+(* Asm: assembly and linking                                           *)
+(* ------------------------------------------------------------------ *)
+
+let simple_unit =
+  Vm.Asm.make_unit "u"
+    [
+      Vm.Asm.Label "start";
+      Vm.Asm.Ins (Vm.Isa.Mov (Vm.Isa.R0, Vm.Isa.Imm 1));
+      Vm.Asm.Label "mid";
+      Vm.Asm.Ins (Vm.Isa.Jmp (Vm.Isa.Lbl "start"));
+      Vm.Asm.Ins Vm.Isa.Halt;
+    ]
+
+let test_asm_load_resolves () =
+  let img = Vm.Asm.load ~base:0x1000 [ simple_unit ] in
+  check_int "start at base" 0x1000 (Vm.Asm.symbol img "start");
+  check_int "mid offset" 0x1004 (Vm.Asm.symbol img "mid");
+  (match Hashtbl.find img.Vm.Asm.code 0x1004 with
+  | Vm.Isa.Jmp (Vm.Isa.Addr a) -> check_int "jmp resolved" 0x1000 a
+  | _ -> Alcotest.fail "expected resolved jmp");
+  check_int "limit" (0x1000 + (3 * 4)) img.Vm.Asm.limit
+
+let test_asm_undefined_symbol () =
+  let u =
+    Vm.Asm.make_unit "u" [ Vm.Asm.Ins (Vm.Isa.Call (Vm.Isa.Lbl "nowhere")) ]
+  in
+  Alcotest.check_raises "undefined" (Vm.Asm.Undefined_symbol "nowhere")
+    (fun () -> ignore (Vm.Asm.load ~base:0 [ u ]))
+
+let test_asm_extern_resolution () =
+  let u =
+    Vm.Asm.make_unit "u" [ Vm.Asm.Ins (Vm.Isa.Call (Vm.Isa.Lbl "libfn")) ]
+  in
+  let img =
+    Vm.Asm.load ~extern:(fun s -> if s = "libfn" then Some 0x4000 else None)
+      ~base:0 [ u ]
+  in
+  match Hashtbl.find img.Vm.Asm.code 0 with
+  | Vm.Isa.Call (Vm.Isa.Addr a) -> check_int "extern resolved" 0x4000 a
+  | _ -> Alcotest.fail "expected resolved call"
+
+let test_asm_duplicate_symbol () =
+  let u =
+    Vm.Asm.make_unit "u"
+      [ Vm.Asm.Label "x"; Vm.Asm.Ins Vm.Isa.Nop; Vm.Asm.Label "x" ]
+  in
+  Alcotest.check_raises "duplicate" (Vm.Asm.Duplicate_symbol "x") (fun () ->
+      ignore (Vm.Asm.load ~base:0 [ u ]))
+
+let test_asm_symbolize () =
+  let u =
+    Vm.Asm.make_unit "u"
+      [
+        Vm.Asm.Label "f";
+        Vm.Asm.Ins Vm.Isa.Nop;
+        Vm.Asm.Ins Vm.Isa.Nop;
+        Vm.Asm.Label ".Lf_local";
+        Vm.Asm.Ins Vm.Isa.Nop;
+        Vm.Asm.Label "g";
+        Vm.Asm.Ins Vm.Isa.Ret;
+      ]
+  in
+  let img = Vm.Asm.load ~base:0x100 [ u ] in
+  (match Vm.Asm.symbolize img 0x108 with
+  | Some (name, off) ->
+    check Alcotest.string "local labels skipped" "f" name;
+    check_int "offset" 8 off
+  | None -> Alcotest.fail "expected symbol");
+  match Vm.Asm.symbolize img 0x10C with
+  | Some (name, 0) -> check Alcotest.string "next function" "g" name
+  | _ -> Alcotest.fail "expected g"
+
+(* ------------------------------------------------------------------ *)
+(* Allocator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_fixture () =
+  let l = Vm.Layout.create ~aslr:false () in
+  let m = Vm.Memory.create () in
+  Vm.Alloc.init m l;
+  (m, l)
+
+let test_alloc_basic () =
+  let m, l = alloc_fixture () in
+  let p1 = Option.get (Vm.Alloc.malloc m l 16) in
+  let p2 = Option.get (Vm.Alloc.malloc m l 32) in
+  check_bool "distinct chunks" true (p2 >= p1 + 16 + 8);
+  Vm.Memory.store_bytes m p1 "0123456789abcdef";
+  check Alcotest.string "payload intact" "0123456789abcdef"
+    (Vm.Memory.load_bytes m p1 16)
+
+let test_alloc_free_and_reuse () =
+  let m, l = alloc_fixture () in
+  let p1 = Option.get (Vm.Alloc.malloc m l 24) in
+  check_bool "free ok" true (Vm.Alloc.free m l p1 = `Ok);
+  let p2 = Option.get (Vm.Alloc.malloc m l 24) in
+  check_int "freed chunk reused" p1 p2
+
+let test_alloc_double_free () =
+  let m, l = alloc_fixture () in
+  let p = Option.get (Vm.Alloc.malloc m l 8) in
+  check_bool "first free" true (Vm.Alloc.free m l p = `Ok);
+  check_bool "second free flagged" true (Vm.Alloc.free m l p = `Double_free)
+
+let test_alloc_bad_pointer () =
+  let m, l = alloc_fixture () in
+  ignore (Vm.Alloc.malloc m l 8);
+  check_bool "wild free flagged" true
+    (Vm.Alloc.free m l (l.Vm.Layout.heap_base + 100000) = `Bad_pointer)
+
+let test_alloc_chunk_walk () =
+  let m, l = alloc_fixture () in
+  let p1 = Option.get (Vm.Alloc.malloc m l 16) in
+  let p2 = Option.get (Vm.Alloc.malloc m l 16) in
+  ignore (Vm.Alloc.free m l p1);
+  let chunks = Vm.Alloc.chunks m l in
+  check_int "two chunks" 2 (List.length chunks);
+  (match chunks with
+  | [ c1; c2 ] ->
+    check_int "first chunk ptr" p1 c1.Vm.Alloc.c_ptr;
+    check_bool "first freed" true (c1.Vm.Alloc.c_state = Vm.Alloc.Chunk_freed);
+    check_int "second chunk ptr" p2 c2.Vm.Alloc.c_ptr;
+    check_bool "second live" true (c2.Vm.Alloc.c_state = Vm.Alloc.Chunk_alloc)
+  | _ -> Alcotest.fail "expected 2 chunks");
+  check_bool "consistent" true (Vm.Alloc.heap_consistent m l)
+
+let test_alloc_corruption_detected () =
+  let m, l = alloc_fixture () in
+  let p1 = Option.get (Vm.Alloc.malloc m l 16) in
+  let _p2 = Option.get (Vm.Alloc.malloc m l 16) in
+  (* Overflow p1 into p2's header. *)
+  Vm.Memory.store_word m (p1 + 16 + 4) 0xBAD;
+  check_bool "inconsistent after overflow" false (Vm.Alloc.heap_consistent m l)
+
+let test_alloc_exhaustion () =
+  let l = Vm.Layout.create ~aslr:false ~heap_max:4096 () in
+  let m = Vm.Memory.create () in
+  Vm.Alloc.init m l;
+  check_bool "big allocation fails" true (Vm.Alloc.malloc m l 100_000 = None);
+  check_bool "small still works" true (Vm.Alloc.malloc m l 64 <> None)
+
+let prop_alloc_no_overlap =
+  QCheck.Test.make ~name:"live chunks never overlap" ~count:60
+    QCheck.(small_list (int_bound 200))
+    (fun sizes ->
+      let m, l = alloc_fixture () in
+      let ptrs =
+        List.filter_map (fun s -> Vm.Alloc.malloc m l (1 + s)) sizes
+      in
+      (* Free every other pointer, then allocate again. *)
+      List.iteri (fun i p -> if i mod 2 = 0 then ignore (Vm.Alloc.free m l p)) ptrs;
+      let more = List.filter_map (fun s -> Vm.Alloc.malloc m l (1 + s)) sizes in
+      ignore more;
+      let chunks = Vm.Alloc.chunks m l in
+      let live =
+        List.filter_map
+          (fun c ->
+            match c.Vm.Alloc.c_state with
+            | Vm.Alloc.Chunk_alloc -> Some (c.Vm.Alloc.c_ptr, c.Vm.Alloc.c_size)
+            | _ -> None)
+          chunks
+      in
+      let rec no_overlap = function
+        | [] | [ _ ] -> true
+        | (p1, s1) :: ((p2, _) :: _ as rest) ->
+          p1 + s1 <= p2 && no_overlap rest
+      in
+      Vm.Alloc.heap_consistent m l && no_overlap live)
+
+(* ------------------------------------------------------------------ *)
+(* CPU                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Build a CPU executing [items] at the app code base, with stack ready. *)
+let cpu_fixture items =
+  let l = Vm.Layout.create ~aslr:false () in
+  let m = Vm.Memory.create () in
+  let img =
+    Vm.Asm.load ~base:l.Vm.Layout.app_code_base [ Vm.Asm.make_unit "t" items ]
+  in
+  let l =
+    Vm.Layout.set_code_limits l ~app_limit:img.Vm.Asm.limit
+      ~lib_limit:l.Vm.Layout.lib_code_base
+  in
+  Vm.Alloc.init m l;
+  let cpu = Vm.Cpu.create ~mem:m ~layout:l ~code:img.Vm.Asm.code in
+  cpu.Vm.Cpu.pc <- l.Vm.Layout.app_code_base;
+  Vm.Cpu.set_reg cpu Vm.Isa.SP (l.Vm.Layout.stack_top - 16);
+  (cpu, img)
+
+let ins l = List.map (fun i -> Vm.Asm.Ins i) l
+
+let test_cpu_mov_arith () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture
+      (ins
+         [
+           Mov (R0, Imm 10); Mov (R1, Imm 4); Bin (Sub, R0, Reg R1);
+           Bin (Mul, R0, Imm 7); Halt;
+         ])
+  in
+  check_bool "halted" true (Vm.Cpu.run cpu = Vm.Cpu.Halted);
+  check_int "result" 42 (Vm.Cpu.get_reg cpu Vm.Isa.R0)
+
+let test_cpu_load_store () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture
+      (ins
+         [
+           Mov (R1, Imm 0x08100000); Mov (R0, Imm 0x1234);
+           Store (R1, 8, R0); Load (R2, R1, 8); Storeb (R1, 0, R0);
+           Loadb (R3, R1, 0); Halt;
+         ])
+  in
+  ignore (Vm.Cpu.run cpu);
+  check_int "word roundtrip" 0x1234 (Vm.Cpu.get_reg cpu Vm.Isa.R2);
+  check_int "byte truncation" 0x34 (Vm.Cpu.get_reg cpu Vm.Isa.R3)
+
+let test_cpu_push_pop () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture
+      (ins [ Push (Imm 7); Push (Imm 9); Pop R0; Pop R1; Halt ])
+  in
+  ignore (Vm.Cpu.run cpu);
+  check_int "lifo top" 9 (Vm.Cpu.get_reg cpu Vm.Isa.R0);
+  check_int "lifo bottom" 7 (Vm.Cpu.get_reg cpu Vm.Isa.R1)
+
+let test_cpu_cmp_jcc () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture
+      [
+        Vm.Asm.Ins (Mov (R0, Imm 5));
+        Vm.Asm.Ins (Cmp (R0, Imm 5));
+        Vm.Asm.Ins (Jcc (Eq, Lbl "yes"));
+        Vm.Asm.Ins (Mov (R1, Imm 0));
+        Vm.Asm.Ins Halt;
+        Vm.Asm.Label "yes";
+        Vm.Asm.Ins (Mov (R1, Imm 1));
+        Vm.Asm.Ins Halt;
+      ]
+  in
+  ignore (Vm.Cpu.run cpu);
+  check_int "branch taken" 1 (Vm.Cpu.get_reg cpu Vm.Isa.R1)
+
+let test_cpu_call_ret_via_stack () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture
+      [
+        Vm.Asm.Ins (Call (Lbl "f"));
+        Vm.Asm.Ins Halt;
+        Vm.Asm.Label "f";
+        Vm.Asm.Ins (Mov (R0, Imm 99));
+        Vm.Asm.Ins Ret;
+      ]
+  in
+  check_bool "halted" true (Vm.Cpu.run cpu = Vm.Cpu.Halted);
+  check_int "callee ran" 99 (Vm.Cpu.get_reg cpu Vm.Isa.R0)
+
+let test_cpu_smashed_return_faults () =
+  let open Vm.Isa in
+  (* Overwrite the return address on the stack before returning. *)
+  let cpu, _ =
+    cpu_fixture
+      [
+        Vm.Asm.Ins (Call (Lbl "f"));
+        Vm.Asm.Ins Halt;
+        Vm.Asm.Label "f";
+        Vm.Asm.Ins (Mov (R1, Imm 0x666));
+        Vm.Asm.Ins (Store (SP, 0, R1));
+        Vm.Asm.Ins Ret;
+      ]
+  in
+  match Vm.Cpu.run cpu with
+  | Vm.Cpu.Faulted (Vm.Event.Exec_violation a) ->
+    check_int "jumps to overwritten value" 0x666 a
+  | _ -> Alcotest.fail "expected exec violation"
+
+let test_cpu_null_deref_faults () =
+  let open Vm.Isa in
+  let cpu, _ = cpu_fixture (ins [ Mov (R1, Imm 0); Load (R0, R1, 0); Halt ]) in
+  match Vm.Cpu.run cpu with
+  | Vm.Cpu.Faulted (Vm.Event.Segv_read 0) -> ()
+  | _ -> Alcotest.fail "expected segv read 0"
+
+let test_cpu_wild_store_faults () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture (ins [ Mov (R1, Imm 0x60000000); Store (R1, 0, R0); Halt ])
+  in
+  match Vm.Cpu.run cpu with
+  | Vm.Cpu.Faulted (Vm.Event.Segv_write 0x60000000) -> ()
+  | _ -> Alcotest.fail "expected segv write"
+
+let test_cpu_div_zero_faults () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture (ins [ Mov (R0, Imm 1); Mov (R1, Imm 0); Bin (Div, R0, Reg R1); Halt ])
+  in
+  ignore cpu;
+  match Vm.Cpu.run cpu with
+  | Vm.Cpu.Faulted Vm.Event.Div_zero -> ()
+  | _ -> Alcotest.fail "expected div-zero fault"
+
+let test_cpu_fault_preserves_pc () =
+  let open Vm.Isa in
+  let cpu, img = cpu_fixture (ins [ Nop; Mov (R1, Imm 0); Load (R0, R1, 0) ]) in
+  ignore (Vm.Cpu.run cpu);
+  check_int "pc at faulting instruction" (img.Vm.Asm.base + 8) cpu.Vm.Cpu.pc
+
+let test_cpu_fuel () =
+  let open Vm.Isa in
+  let cpu, _ =
+    cpu_fixture
+      [ Vm.Asm.Label "loop"; Vm.Asm.Ins (Jmp (Lbl "loop")) ]
+  in
+  check_bool "runs out of fuel" true (Vm.Cpu.run ~fuel:100 cpu = Vm.Cpu.Out_of_fuel);
+  check_int "exactly fuel instructions" 100 cpu.Vm.Cpu.icount
+
+let test_cpu_hooks_fire_and_remove () =
+  let open Vm.Isa in
+  let cpu, _ = cpu_fixture (ins [ Nop; Nop; Nop; Halt ]) in
+  let pre = ref 0 and post = ref 0 in
+  let h1 = Vm.Cpu.add_pre_hook cpu (fun _ -> incr pre) in
+  let h2 = Vm.Cpu.add_post_hook cpu (fun _ -> incr post) in
+  ignore (Vm.Cpu.run cpu);
+  check_int "pre saw all" 4 !pre;
+  check_int "post saw all" 4 !post;
+  Vm.Cpu.remove_hook cpu h1;
+  Vm.Cpu.remove_hook cpu h2;
+  cpu.Vm.Cpu.halted <- false;
+  cpu.Vm.Cpu.pc <- cpu.Vm.Cpu.pc;
+  ignore (Vm.Cpu.run cpu);
+  check_int "removed hooks silent" 4 !pre
+
+let test_cpu_pc_hook_only_at_pc () =
+  let open Vm.Isa in
+  let cpu, img = cpu_fixture (ins [ Nop; Nop; Nop; Halt ]) in
+  let hits = ref 0 in
+  ignore (Vm.Cpu.add_pc_hook cpu ~pc:(img.Vm.Asm.base + 4) (fun _ -> incr hits));
+  ignore (Vm.Cpu.run cpu);
+  check_int "pc hook fired once" 1 !hits;
+  check_int "one pc hook installed" 1 (Vm.Cpu.pc_hook_count cpu)
+
+let test_cpu_pre_hook_veto () =
+  let open Vm.Isa in
+  (* A pre-hook that raises prevents the store from committing. *)
+  let cpu, img =
+    cpu_fixture
+      (ins [ Mov (R1, Imm 0x08100000); Mov (R0, Imm 7); Store (R1, 0, R0); Halt ])
+  in
+  let exception Veto in
+  ignore
+    (Vm.Cpu.add_pc_hook cpu ~pc:(img.Vm.Asm.base + 8) (fun _ -> raise Veto));
+  (try ignore (Vm.Cpu.run cpu) with Veto -> ());
+  check_int "store vetoed" 0 (Vm.Memory.load_word cpu.Vm.Cpu.mem 0x08100000)
+
+let test_cpu_reg_snapshot_restore () =
+  let open Vm.Isa in
+  let cpu, _ = cpu_fixture (ins [ Mov (R0, Imm 5); Halt ]) in
+  let snap = Vm.Cpu.snapshot_regs cpu in
+  ignore (Vm.Cpu.run cpu);
+  check_int "mutated" 5 (Vm.Cpu.get_reg cpu Vm.Isa.R0);
+  Vm.Cpu.restore_regs cpu snap;
+  check_int "restored" 0 (Vm.Cpu.get_reg cpu Vm.Isa.R0);
+  check_bool "halted flag restored" false cpu.Vm.Cpu.halted
+
+let test_cpu_flags_survive_intervening_instrs () =
+  let open Vm.Isa in
+  (* Flags are set by Cmp and must survive unrelated instructions until the
+     Jcc reads them (only Cmp writes flags on this machine). *)
+  let cpu, _ =
+    cpu_fixture
+      [
+        Vm.Asm.Ins (Mov (R0, Imm 1));
+        Vm.Asm.Ins (Cmp (R0, Imm 1));
+        Vm.Asm.Ins (Mov (R2, Imm 99));
+        Vm.Asm.Ins (Bin (Add, R2, Imm 1));
+        Vm.Asm.Ins (Jcc (Eq, Lbl "hit"));
+        Vm.Asm.Ins (Mov (R1, Imm 0));
+        Vm.Asm.Ins Halt;
+        Vm.Asm.Label "hit";
+        Vm.Asm.Ins (Mov (R1, Imm 1));
+        Vm.Asm.Ins Halt;
+      ]
+  in
+  ignore (Vm.Cpu.run cpu);
+  check_int "flags preserved across instructions" 1 (Vm.Cpu.get_reg cpu Vm.Isa.R1)
+
+let test_cpu_callind_valid_target () =
+  let open Vm.Isa in
+  let cpu, img =
+    cpu_fixture
+      [
+        Vm.Asm.Ins (Mov (R4, Sym "fn"));
+        Vm.Asm.Ins (CallInd R4);
+        Vm.Asm.Ins Halt;
+        Vm.Asm.Label "fn";
+        Vm.Asm.Ins (Mov (R0, Imm 55));
+        Vm.Asm.Ins Ret;
+      ]
+  in
+  ignore img;
+  check_bool "halted" true (Vm.Cpu.run cpu = Vm.Cpu.Halted);
+  check_int "indirect call executed" 55 (Vm.Cpu.get_reg cpu Vm.Isa.R0)
+
+let test_cpu_stack_overflow_faults () =
+  let open Vm.Isa in
+  (* Infinite recursion: call pushes run the stack pointer below the
+     mapped stack and the push faults. *)
+  let cpu, _ =
+    cpu_fixture [ Vm.Asm.Label "f"; Vm.Asm.Ins (Call (Lbl "f")) ]
+  in
+  match Vm.Cpu.run ~fuel:1_000_000 cpu with
+  | Vm.Cpu.Faulted (Vm.Event.Segv_write a) ->
+    check_bool "fault below the stack" true
+      (a < cpu.Vm.Cpu.layout.Vm.Layout.stack_limit)
+  | _ -> Alcotest.fail "expected stack exhaustion fault"
+
+let test_cpu_pre_pc_hook_runs_before_global_pre () =
+  let open Vm.Isa in
+  let cpu, img = cpu_fixture (ins [ Nop; Halt ]) in
+  let order = ref [] in
+  ignore
+    (Vm.Cpu.add_pc_hook cpu ~pc:img.Vm.Asm.base (fun _ -> order := "pc" :: !order));
+  let g = Vm.Cpu.add_pre_hook cpu (fun _ -> order := "global" :: !order) in
+  ignore (Vm.Cpu.step cpu);
+  Vm.Cpu.remove_hook cpu g;
+  check Alcotest.(list string) "pc hook first" [ "pc"; "global" ]
+    (List.rev !order)
+
+let test_cpu_vetoed_fault_instruction_retries () =
+  let open Vm.Isa in
+  (* A hook that vetoes once: the instruction commits on the second try
+     (e.g. after a filter decides to allow it). *)
+  let cpu, img =
+    cpu_fixture (ins [ Mov (R1, Imm 0x08100000); Store (R1, 0, R0); Halt ])
+  in
+  let exception Veto in
+  let armed = ref true in
+  ignore
+    (Vm.Cpu.add_pc_hook cpu ~pc:(img.Vm.Asm.base + 4) (fun _ ->
+         if !armed then begin
+           armed := false;
+           raise Veto
+         end));
+  (try ignore (Vm.Cpu.run cpu) with Veto -> ());
+  check_int "pc still at the vetoed instruction" (img.Vm.Asm.base + 4)
+    cpu.Vm.Cpu.pc;
+  check_bool "second run completes" true (Vm.Cpu.run cpu = Vm.Cpu.Halted)
+
+let test_alloc_first_fit_reuse_order () =
+  let m, l = alloc_fixture () in
+  let p1 = Option.get (Vm.Alloc.malloc m l 32) in
+  let p2 = Option.get (Vm.Alloc.malloc m l 32) in
+  ignore (Vm.Alloc.free m l p1);
+  ignore (Vm.Alloc.free m l p2);
+  (* Free list is LIFO: the most recently freed chunk is first-fit. *)
+  let p3 = Option.get (Vm.Alloc.malloc m l 32) in
+  check_int "LIFO reuse" p2 p3;
+  let p4 = Option.get (Vm.Alloc.malloc m l 32) in
+  check_int "then the older one" p1 p4
+
+let test_alloc_round_size () =
+  check_int "zero rounds to 8" 8 (Vm.Alloc.round_size 0);
+  check_int "1 rounds to 8" 8 (Vm.Alloc.round_size 1);
+  check_int "8 stays" 8 (Vm.Alloc.round_size 8);
+  check_int "9 rounds to 16" 16 (Vm.Alloc.round_size 9)
+
+let test_alloc_big_chunk_not_split_for_small () =
+  let m, l = alloc_fixture () in
+  let big = Option.get (Vm.Alloc.malloc m l 256) in
+  ignore (Vm.Alloc.free m l big);
+  let small = Option.get (Vm.Alloc.malloc m l 8) in
+  (* First-fit without splitting: the small request reuses the big chunk. *)
+  check_int "reuses the big chunk" big small
+
+let test_layout_heap_mapped_limit () =
+  let l = Vm.Layout.create ~aslr:false () in
+  ignore (Vm.Layout.grow_heap l (l.Vm.Layout.heap_base + 10));
+  check_int "rounded to page" (l.Vm.Layout.heap_base + 4096)
+    (Vm.Layout.heap_mapped_limit l)
+
+let test_memory_reset_stats () =
+  let m = Vm.Memory.create () in
+  Vm.Memory.store_word m 0x1000 1;
+  ignore (Vm.Memory.snapshot m);
+  Vm.Memory.store_word m 0x1000 2;
+  Vm.Memory.reset_stats m;
+  check_bool "counters cleared" true (Vm.Memory.stats m = (0, 0))
+
+let test_disasm_strings () =
+  let open Vm.Isa in
+  check Alcotest.string "mov" "mov r0, 0x2a"
+    (Vm.Disasm.instr_to_string (Mov (R0, Imm 42)));
+  check Alcotest.string "store" "st [fp-8], r1"
+    (Vm.Disasm.instr_to_string (Store (FP, -8, R1)));
+  check Alcotest.string "jcc" "jeq $x"
+    (Vm.Disasm.instr_to_string (Jcc (Eq, Lbl "x")))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vm"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "u32/s32" `Quick test_u32_s32;
+          Alcotest.test_case "binops" `Quick test_binops;
+          Alcotest.test_case "conds" `Quick test_conds;
+          Alcotest.test_case "reg index roundtrip" `Quick test_reg_index_roundtrip;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "byte roundtrip" `Quick test_mem_byte_roundtrip;
+          Alcotest.test_case "word roundtrip" `Quick test_mem_word_roundtrip;
+          Alcotest.test_case "cross page" `Quick test_mem_cross_page;
+          Alcotest.test_case "strings" `Quick test_mem_strings;
+          Alcotest.test_case "snapshot/restore" `Quick test_mem_snapshot_restore;
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_mem_snapshot_isolated_from_writes;
+          Alcotest.test_case "repeated restore" `Quick test_mem_repeated_restore;
+          Alcotest.test_case "cow stats" `Quick test_mem_cow_stats;
+          Alcotest.test_case "eager snapshot" `Quick test_eager_snapshot;
+          qt prop_mem_roundtrip;
+          qt prop_mem_snapshot_transparent;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "null guard" `Quick test_layout_null_guard;
+          Alcotest.test_case "stack and heap" `Quick test_layout_stack_and_heap;
+          Alcotest.test_case "heap exhaustion" `Quick test_layout_heap_exhaustion;
+          Alcotest.test_case "aslr randomizes" `Quick test_layout_aslr_randomizes;
+          Alcotest.test_case "region names" `Quick test_layout_region_names;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "load resolves" `Quick test_asm_load_resolves;
+          Alcotest.test_case "undefined symbol" `Quick test_asm_undefined_symbol;
+          Alcotest.test_case "extern resolution" `Quick test_asm_extern_resolution;
+          Alcotest.test_case "duplicate symbol" `Quick test_asm_duplicate_symbol;
+          Alcotest.test_case "symbolize" `Quick test_asm_symbolize;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "free and reuse" `Quick test_alloc_free_and_reuse;
+          Alcotest.test_case "double free" `Quick test_alloc_double_free;
+          Alcotest.test_case "bad pointer" `Quick test_alloc_bad_pointer;
+          Alcotest.test_case "chunk walk" `Quick test_alloc_chunk_walk;
+          Alcotest.test_case "corruption detected" `Quick
+            test_alloc_corruption_detected;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+          qt prop_alloc_no_overlap;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "mov/arith" `Quick test_cpu_mov_arith;
+          Alcotest.test_case "load/store" `Quick test_cpu_load_store;
+          Alcotest.test_case "push/pop" `Quick test_cpu_push_pop;
+          Alcotest.test_case "cmp/jcc" `Quick test_cpu_cmp_jcc;
+          Alcotest.test_case "call/ret via stack" `Quick test_cpu_call_ret_via_stack;
+          Alcotest.test_case "smashed return faults" `Quick
+            test_cpu_smashed_return_faults;
+          Alcotest.test_case "null deref faults" `Quick test_cpu_null_deref_faults;
+          Alcotest.test_case "wild store faults" `Quick test_cpu_wild_store_faults;
+          Alcotest.test_case "div zero faults" `Quick test_cpu_div_zero_faults;
+          Alcotest.test_case "fault preserves pc" `Quick test_cpu_fault_preserves_pc;
+          Alcotest.test_case "fuel" `Quick test_cpu_fuel;
+          Alcotest.test_case "hooks fire and remove" `Quick
+            test_cpu_hooks_fire_and_remove;
+          Alcotest.test_case "pc hook" `Quick test_cpu_pc_hook_only_at_pc;
+          Alcotest.test_case "pre hook veto" `Quick test_cpu_pre_hook_veto;
+          Alcotest.test_case "reg snapshot" `Quick test_cpu_reg_snapshot_restore;
+          Alcotest.test_case "disasm" `Quick test_disasm_strings;
+          Alcotest.test_case "flags survive intervening" `Quick
+            test_cpu_flags_survive_intervening_instrs;
+          Alcotest.test_case "callind valid target" `Quick
+            test_cpu_callind_valid_target;
+          Alcotest.test_case "stack overflow faults" `Quick
+            test_cpu_stack_overflow_faults;
+          Alcotest.test_case "pc hook ordering" `Quick
+            test_cpu_pre_pc_hook_runs_before_global_pre;
+          Alcotest.test_case "vetoed instruction retries" `Quick
+            test_cpu_vetoed_fault_instruction_retries;
+        ] );
+      ( "alloc-extra",
+        [
+          Alcotest.test_case "first-fit reuse order" `Quick
+            test_alloc_first_fit_reuse_order;
+          Alcotest.test_case "round size" `Quick test_alloc_round_size;
+          Alcotest.test_case "no splitting" `Quick
+            test_alloc_big_chunk_not_split_for_small;
+          Alcotest.test_case "heap mapped limit" `Quick test_layout_heap_mapped_limit;
+          Alcotest.test_case "reset stats" `Quick test_memory_reset_stats;
+        ] );
+    ]
