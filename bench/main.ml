@@ -500,10 +500,121 @@ let ablations () =
   Printf.printf "(without ASLR slowing the worm, no gamma is fast enough)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter microbenchmark: ns/instr under the three monitoring      *)
+(* tiers (none / one pc-hook / global hook), the number the paper's     *)
+(* "overhead proportional to hooked instructions" claim rests on.       *)
+(* ------------------------------------------------------------------ *)
+
+let json_output = ref false
+
+(* A tight 9-instruction loop mixing ALU, word/byte memory traffic and a
+   conditional branch — the interpreter's steady-state diet. *)
+let vm_loop_cpu () =
+  let open Vm.Isa in
+  let l = Vm.Layout.create ~aslr:false () in
+  let m = Vm.Memory.create () in
+  let items =
+    [
+      Vm.Asm.Label "_start";
+      Vm.Asm.Ins (Mov (R4, Imm 0x08100000));
+      Vm.Asm.Label "loop";
+      Vm.Asm.Ins (Bin (Add, R0, Imm 1));
+      Vm.Asm.Ins (Store (R4, 0, R0));
+      Vm.Asm.Ins (Load (R2, R4, 0));
+      Vm.Asm.Ins (Bin (Add, R2, Reg R0));
+      Vm.Asm.Ins (Storeb (R4, 5, R2));
+      Vm.Asm.Ins (Loadb (R3, R4, 5));
+      Vm.Asm.Ins (Cmp (R0, Imm 0x7FFFFFFF));
+      Vm.Asm.Ins (Jcc (Lt, Lbl "loop"));
+      Vm.Asm.Ins Halt;
+    ]
+  in
+  let img =
+    Vm.Asm.load ~base:l.Vm.Layout.app_code_base [ Vm.Asm.make_unit "bench" items ]
+  in
+  let l =
+    Vm.Layout.set_code_limits l ~app_limit:img.Vm.Asm.limit
+      ~lib_limit:l.Vm.Layout.lib_code_base
+  in
+  let cpu = Vm.Cpu.create ~mem:m ~layout:l ~code:img.Vm.Asm.code in
+  cpu.Vm.Cpu.pc <- l.Vm.Layout.app_code_base;
+  Vm.Cpu.set_reg cpu Vm.Isa.SP (l.Vm.Layout.stack_top - 16);
+  (cpu, img)
+
+let ns_per_instr prepare =
+  let fuel = 3_000_000 in
+  let best = ref infinity in
+  for _ = 1 to 7 do
+    let cpu, img = vm_loop_cpu () in
+    prepare cpu img;
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Vm.Cpu.run ~fuel cpu);
+    let dt = Unix.gettimeofday () -. t0 in
+    best := min !best (dt *. 1e9 /. float_of_int cpu.Vm.Cpu.icount)
+  done;
+  !best
+
+let micro_vm () =
+  section_header "Interpreter tiers: ns/instr vs installed instrumentation";
+  let uninstr = ns_per_instr (fun _ _ -> ()) in
+  (* One targeted hook: the hooked pc (1 of the 9 in the loop) pays the
+     instrumented path, every other instruction stays on the fast path. *)
+  let one_pc =
+    ns_per_instr (fun cpu img ->
+        ignore
+          (Vm.Cpu.add_pc_hook cpu ~pc:(img.Vm.Asm.base + 8) (fun _ -> ())))
+  in
+  (* A global pre-hook (the shape of a whole-execution taint monitor)
+     forces every instruction through the effect-record path. *)
+  let global =
+    ns_per_instr (fun cpu _ ->
+        let writes = ref 0 in
+        ignore
+          (Vm.Cpu.add_post_hook cpu (fun eff ->
+               writes := !writes + List.length eff.Vm.Event.e_mem_writes)))
+  in
+  (* Checkpoint cost in pages actually copied (COW faults / checkpoint). *)
+  let _, cks, cow, _, _ =
+    run_workload
+      ~config:{ Osim.Server.checkpoint_interval_ms = 40; keep_checkpoints = 20 }
+      "squid" 300 11
+  in
+  let pages_per_ck =
+    if cks = 0 then 0.0 else float_of_int cow /. float_of_int cks
+  in
+  Printf.printf "uninstrumented        : %8.1f ns/instr\n" uninstr;
+  Printf.printf "1 pc-hook (1/9 pcs)   : %8.1f ns/instr (%+.1f%%)\n" one_pc
+    ((one_pc /. uninstr -. 1.) *. 100.);
+  Printf.printf "global taint-style hook: %8.1f ns/instr (%.1fx)\n" global
+    (global /. uninstr);
+  Printf.printf "pages copied/checkpoint: %7.1f (over %d checkpoints)\n"
+    pages_per_ck cks;
+  if !json_output then begin
+    let oc = open_out "BENCH_vm.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"ns_per_instr_uninstrumented\": %.2f,\n\
+      \  \"ns_per_instr_one_pc_hook\": %.2f,\n\
+      \  \"ns_per_instr_global_taint_hook\": %.2f,\n\
+      \  \"one_pc_hook_overhead_pct\": %.2f,\n\
+      \  \"global_hook_slowdown_x\": %.2f,\n\
+      \  \"pages_copied_per_checkpoint\": %.2f,\n\
+      \  \"checkpoints\": %d\n\
+       }\n"
+      uninstr one_pc global
+      ((one_pc /. uninstr -. 1.) *. 100.)
+      (global /. uninstr) pages_per_ck cks;
+    close_out oc;
+    Printf.printf "(wrote BENCH_vm.json)\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the primitives                          *)
 (* ------------------------------------------------------------------ *)
 
 let micro () =
+  micro_vm ();
   section_header "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let entry = Apps.Registry.find "squid" in
@@ -583,10 +694,20 @@ let all_sections =
   ]
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_output := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_sections
+    match args with
+    | _ :: _ as names -> names
+    | [] -> List.map fst all_sections
   in
   List.iter
     (fun name ->

@@ -89,7 +89,7 @@ let analyze (p : Osim.Process.t) (fault : Vm.Event.fault) : report =
   let crash_fn = symbol_at p pc in
   let frames, stack_consistent = stack_walk p in
   let heap_ok = Vm.Alloc.heap_consistent p.mem p.layout in
-  let instr = Hashtbl.find_opt cpu.Vm.Cpu.code pc in
+  let instr = Vm.Program.fetch cpu.Vm.Cpu.code pc in
   let describe a = Osim.Process.describe_addr p a in
   (* The caller of the faulting function, from the first walked frame. *)
   let caller_fn =

@@ -121,7 +121,7 @@ let fault_deps st =
       | None -> ()
     done
   in
-  (match Hashtbl.find_opt cpu.Vm.Cpu.code pc with
+  (match Vm.Program.fetch cpu.Vm.Cpu.code pc with
   | Some (Vm.Isa.Ret) ->
     add_reg Vm.Isa.SP;
     add_mem (Vm.Cpu.get_reg cpu Vm.Isa.SP) 4

@@ -178,7 +178,7 @@ let classify_fault st (outcome : Vm.Cpu.outcome) : verdict =
   in
   match outcome with
   | Vm.Cpu.Faulted _ -> (
-    match Hashtbl.find_opt cpu.Vm.Cpu.code pc with
+    match Vm.Program.fetch cpu.Vm.Cpu.code pc with
     | Some Vm.Isa.Ret ->
       let sp = Vm.Cpu.get_reg cpu Vm.Isa.SP in
       let t = word_at sp in

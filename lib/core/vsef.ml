@@ -156,7 +156,7 @@ let syscall_sites (p : Osim.Process.t) sysnos =
   let sites = ref [] in
   List.iter
     (fun (img : Vm.Asm.image) ->
-      Hashtbl.iter
+      Vm.Program.iteri
         (fun pc instr ->
           match instr with
           | Vm.Isa.Syscall n when List.mem n sysnos -> sites := pc :: !sites

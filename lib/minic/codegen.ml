@@ -10,10 +10,13 @@
 
 open Sema
 
+(* One ctx is threaded through the whole translation unit; its reversed
+   item accumulator is shared by every function and reversed once at the
+   end, instead of per-function reverse-and-concatenate passes. *)
 type ctx = {
   mutable items : Vm.Asm.item list;  (** reversed *)
-  mutable label_count : int;
-  fname : string;
+  mutable label_count : int;  (** reset per function to keep names stable *)
+  mutable fname : string;
   mutable break_labels : string list;
   mutable continue_labels : string list;
 }
@@ -282,11 +285,14 @@ let rec gen_stmt ctx ret_label (s : tstmt) =
     | l :: _ -> emit ctx (Jmp (Lbl l))
     | [] -> invalid_arg "continue outside loop")
 
-let gen_func (f : tfunc) : Vm.Asm.item list =
-  let ctx =
-    { items = []; label_count = 0; fname = f.tf_name;
-      break_labels = []; continue_labels = [] }
-  in
+(* Emit one function into the shared accumulator. Labels embed the
+   function name and restart their counter here, so the names generated
+   are identical to compiling the function in isolation. *)
+let gen_func ctx (f : tfunc) : unit =
+  ctx.fname <- f.tf_name;
+  ctx.label_count <- 0;
+  ctx.break_labels <- [];
+  ctx.continue_labels <- [];
   let ret_label = Printf.sprintf ".Lret_%s" f.tf_name in
   emit_label ctx f.tf_name;
   emit ctx (Push (Reg FP));
@@ -296,8 +302,7 @@ let gen_func (f : tfunc) : Vm.Asm.item list =
   emit_label ctx ret_label;
   emit ctx (Mov (SP, Reg FP));
   emit ctx (Pop FP);
-  emit ctx Ret;
-  List.rev ctx.items
+  emit ctx Ret
 
 (** The result of compiling one translation unit. *)
 type compiled = {
@@ -308,7 +313,12 @@ type compiled = {
 
 (** Generate code for an analyzed program. *)
 let gen ~name (tp : tprog) : compiled =
-  let items = List.concat_map gen_func tp.tp_funcs in
+  let ctx =
+    { items = []; label_count = 0; fname = "";
+      break_labels = []; continue_labels = [] }
+  in
+  List.iter (gen_func ctx) tp.tp_funcs;
+  let items = List.rev ctx.items in
   {
     unit_ = Vm.Asm.make_unit name items;
     data = tp.tp_data;

@@ -207,10 +207,8 @@ let load ?(aslr = true) ?(seed = 0) (app : Minic.Codegen.compiled) =
       ~lib_limit:lib_image.Vm.Asm.limit
   in
   Vm.Alloc.init mem layout;
-  (* Merge code tables for the CPU. *)
-  let code = Hashtbl.create 4096 in
-  Hashtbl.iter (Hashtbl.replace code) lib_image.Vm.Asm.code;
-  Hashtbl.iter (Hashtbl.replace code) app_image.Vm.Asm.code;
+  (* The CPU's code store: both images' dense segments. *)
+  let code = Vm.Program.merge [ lib_image.Vm.Asm.code; app_image.Vm.Asm.code ] in
   let cpu = Vm.Cpu.create ~mem ~layout ~code in
   cpu.Vm.Cpu.pc <- Vm.Asm.symbol app_image "_start";
   Vm.Cpu.set_reg cpu Vm.Isa.SP (layout.Vm.Layout.stack_top - 16);

@@ -15,11 +15,14 @@ type unit_ = {
   items : item list;
 }
 
-(** An image is a loaded, fully-resolved code segment. *)
+(** An image is a loaded, fully-resolved code segment. Units load
+    contiguously, so the decoded instructions form a single dense
+    {!Program.t} segment — the CPU fetches from it by index, not by
+    hashing. *)
 type image = {
   base : int;
   limit : int;  (** exclusive *)
-  code : (int, Isa.instr) Hashtbl.t;       (** address -> instruction *)
+  code : Program.t;                        (** dense decoded instructions *)
   symbols : (string, int) Hashtbl.t;       (** label -> absolute address *)
   sym_of_addr : (int, string) Hashtbl.t;   (** first label at an address *)
 }
@@ -50,7 +53,6 @@ let index_unit u =
     across the units being loaded and may also refer to [extern] symbols
     (e.g. app code calling into an already-loaded libc image). *)
 let load ?(extern = fun (_ : string) -> (None : int option)) ~base units =
-  let code = Hashtbl.create 1024 in
   let symbols = Hashtbl.create 64 in
   let sym_of_addr = Hashtbl.create 64 in
   (* Place every unit, collecting absolute symbol addresses. *)
@@ -103,13 +105,14 @@ let load ?(extern = fun (_ : string) -> (None : int option)) ~base units =
     | CallInd _ | Ret | Syscall _ | Halt | Nop ->
       i
   in
-  List.iter
-    (fun (ubase, instrs) ->
-      Array.iteri
-        (fun idx ins ->
-          Hashtbl.replace code (ubase + (idx * Isa.instr_size)) (resolve_instr ins))
-        instrs)
-    placed_units;
+  (* Units were placed back to back, so the resolved instructions of all of
+     them form one contiguous segment starting at [base]. *)
+  let code =
+    Program.of_instrs ~base
+      (Array.concat
+         (List.map (fun (_, instrs) -> Array.map resolve_instr instrs)
+            placed_units))
+  in
   { base; limit; code; symbols; sym_of_addr }
 
 (** Address of [sym] in a loaded image. Raises {!Undefined_symbol}. *)

@@ -14,11 +14,12 @@ type unit_ = {
   items : item list;
 }
 
-(** A loaded, fully-resolved code segment. *)
+(** A loaded, fully-resolved code segment. Units load contiguously, so the
+    decoded instructions form a single dense {!Program.t} segment. *)
 type image = {
   base : int;
   limit : int;  (** exclusive *)
-  code : (int, Isa.instr) Hashtbl.t;      (** address -> instruction *)
+  code : Program.t;                       (** dense decoded instructions *)
   symbols : (string, int) Hashtbl.t;      (** label -> absolute address *)
   sym_of_addr : (int, string) Hashtbl.t;  (** first label at an address *)
 }

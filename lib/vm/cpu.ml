@@ -6,13 +6,30 @@
     then presents it to the registered pre-hooks, and only then commits.
     This is what lets a VSEF veto a single store or control transfer before
     the corruption happens, and is the analogue of attaching PIN
-    instrumentation to a running process. *)
+    instrumentation to a running process.
+
+    That effect record is pure overhead when nobody is listening, so the
+    interpreter is tiered: {!run} consults cached hook counters and a
+    per-pc presence mask, and executes unhooked instructions by direct
+    interpretation ({!exec_fast}) with no intermediate record. Any
+    condition the fast path cannot reproduce exactly — a syscall, a
+    failing address-validity check, an unresolved symbol — makes it
+    decline {e before mutating any state}, and the instruction re-executes
+    on the instrumented path, so deferred-fault semantics (faults recorded
+    in [e_fault], raised at commit, vetoable by a VSEF) are preserved
+    byte for byte. A VSEF-hardened server therefore pays slow-path cost
+    only at its hooked pcs: overhead proportional to hooked instructions. *)
 
 type hook = Event.effect_ -> unit
 
+(* [pre_all]/[post_all] are kept in execution (registration) order, and
+   [n_pre_all]/[n_post_all] cache their lengths so the dispatcher can test
+   "any global hooks?" without touching the lists. *)
 type hooks = {
   mutable pre_all : (int * hook) list;
   mutable post_all : (int * hook) list;
+  mutable n_pre_all : int;
+  mutable n_post_all : int;
   pre_at : (int, (int * hook) list) Hashtbl.t;   (** keyed by pc *)
   post_at : (int, (int * hook) list) Hashtbl.t;  (** keyed by pc *)
   mutable next_id : int;
@@ -21,15 +38,19 @@ type hooks = {
 type t = {
   regs : int array;
   mutable pc : int;
-  mutable flags : int * int;  (** operands of the last [Cmp] *)
+  mutable flag_a : int;  (** first operand of the last [Cmp] *)
+  mutable flag_b : int;  (** second operand of the last [Cmp] *)
   mem : Memory.t;
-  code : (int, Isa.instr) Hashtbl.t;
+  code : Program.t;
   layout : Layout.t;
   mutable sys_handler : t -> Event.effect_ -> int -> unit;
       (** OS services; fills [e_sys] of the effect it is given *)
   mutable halted : bool;
   mutable icount : int;  (** dynamic instructions executed *)
   hooks : hooks;
+  pc_hook_mask : Bytes.t array;
+      (** parallel to [code.segments]: byte [i] is non-zero iff some per-pc
+          hook (pre or post) is installed at that instruction *)
 }
 
 type outcome =
@@ -42,7 +63,8 @@ let create ~mem ~layout ~code =
   {
     regs = Array.make Isa.num_regs 0;
     pc = 0;
-    flags = (0, 0);
+    flag_a = 0;
+    flag_b = 0;
     mem;
     code;
     layout;
@@ -50,8 +72,12 @@ let create ~mem ~layout ~code =
     halted = false;
     icount = 0;
     hooks =
-      { pre_all = []; post_all = []; pre_at = Hashtbl.create 16;
-        post_at = Hashtbl.create 16; next_id = 0 };
+      { pre_all = []; post_all = []; n_pre_all = 0; n_post_all = 0;
+        pre_at = Hashtbl.create 16; post_at = Hashtbl.create 16; next_id = 0 };
+    pc_hook_mask =
+      Array.map
+        (fun s -> Bytes.make (Array.length s.Program.seg_instrs) '\000')
+        code.Program.segments;
   }
 
 let get_reg cpu r = cpu.regs.(Isa.reg_index r)
@@ -67,11 +93,24 @@ type hook_id =
   | Pre_pc of int * int
   | Post_pc of int * int
 
+(* Keep the presence mask in sync with the pre_at/post_at tables. A pc
+   outside every code segment has no mask slot — harmless, since such a
+   pc can only be reached through the slow path's fetch fault anyway. *)
+let sync_mask cpu pc =
+  match Program.locate cpu.code pc with
+  | None -> ()
+  | Some (si, ii) ->
+    let present =
+      Hashtbl.mem cpu.hooks.pre_at pc || Hashtbl.mem cpu.hooks.post_at pc
+    in
+    Bytes.set cpu.pc_hook_mask.(si) ii (if present then '\001' else '\000')
+
 (** Register a hook on every instruction, before state commit. *)
 let add_pre_hook cpu f =
   let id = cpu.hooks.next_id in
   cpu.hooks.next_id <- id + 1;
-  cpu.hooks.pre_all <- (id, f) :: cpu.hooks.pre_all;
+  cpu.hooks.pre_all <- cpu.hooks.pre_all @ [ (id, f) ];
+  cpu.hooks.n_pre_all <- cpu.hooks.n_pre_all + 1;
   Pre id
 
 (** Register a hook on every instruction, after state commit (syscall
@@ -79,7 +118,8 @@ let add_pre_hook cpu f =
 let add_post_hook cpu f =
   let id = cpu.hooks.next_id in
   cpu.hooks.next_id <- id + 1;
-  cpu.hooks.post_all <- (id, f) :: cpu.hooks.post_all;
+  cpu.hooks.post_all <- cpu.hooks.post_all @ [ (id, f) ];
+  cpu.hooks.n_post_all <- cpu.hooks.n_post_all + 1;
   Post id
 
 (** Register a pre-hook that fires only at [pc] — the cheap, targeted
@@ -88,7 +128,8 @@ let add_pc_hook cpu ~pc f =
   let id = cpu.hooks.next_id in
   cpu.hooks.next_id <- id + 1;
   let existing = Option.value ~default:[] (Hashtbl.find_opt cpu.hooks.pre_at pc) in
-  Hashtbl.replace cpu.hooks.pre_at pc ((id, f) :: existing);
+  Hashtbl.replace cpu.hooks.pre_at pc (existing @ [ (id, f) ]);
+  sync_mask cpu pc;
   Pre_pc (pc, id)
 
 (** Register a post-commit hook that fires only at [pc] — used by VSEFs
@@ -99,7 +140,8 @@ let add_pc_post_hook cpu ~pc f =
   let existing =
     Option.value ~default:[] (Hashtbl.find_opt cpu.hooks.post_at pc)
   in
-  Hashtbl.replace cpu.hooks.post_at pc ((id, f) :: existing);
+  Hashtbl.replace cpu.hooks.post_at pc (existing @ [ (id, f) ]);
+  sync_mask cpu pc;
   Post_pc (pc, id)
 
 let remove_from_table tbl pc id =
@@ -111,18 +153,27 @@ let remove_from_table tbl pc id =
     | l' -> Hashtbl.replace tbl pc l')
 
 let remove_hook cpu = function
-  | Pre id -> cpu.hooks.pre_all <- List.filter (fun (i, _) -> i <> id) cpu.hooks.pre_all
+  | Pre id ->
+    cpu.hooks.pre_all <- List.filter (fun (i, _) -> i <> id) cpu.hooks.pre_all;
+    cpu.hooks.n_pre_all <- List.length cpu.hooks.pre_all
   | Post id ->
-    cpu.hooks.post_all <- List.filter (fun (i, _) -> i <> id) cpu.hooks.post_all
-  | Pre_pc (pc, id) -> remove_from_table cpu.hooks.pre_at pc id
-  | Post_pc (pc, id) -> remove_from_table cpu.hooks.post_at pc id
+    cpu.hooks.post_all <- List.filter (fun (i, _) -> i <> id) cpu.hooks.post_all;
+    cpu.hooks.n_post_all <- List.length cpu.hooks.post_all
+  | Pre_pc (pc, id) ->
+    remove_from_table cpu.hooks.pre_at pc id;
+    sync_mask cpu pc
+  | Post_pc (pc, id) ->
+    remove_from_table cpu.hooks.post_at pc id;
+    sync_mask cpu pc
 
-(** Total number of per-pc hooks currently installed (VSEF footprint). *)
+(** Total number of per-pc hooks currently installed (VSEF footprint),
+    counting both pre- and post-commit ones. *)
 let pc_hook_count cpu =
   Hashtbl.fold (fun _ l acc -> acc + List.length l) cpu.hooks.pre_at 0
+  + Hashtbl.fold (fun _ l acc -> acc + List.length l) cpu.hooks.post_at 0
 
 (* ------------------------------------------------------------------ *)
-(* Step                                                                *)
+(* Instrumented (slow-path) step                                       *)
 (* ------------------------------------------------------------------ *)
 
 let operand_value cpu = function
@@ -135,7 +186,7 @@ let operand_regs = function
   | Isa.Imm _ | Isa.Sym _ -> []
 
 let fetch cpu pc =
-  match Hashtbl.find_opt cpu.code pc with
+  match Program.fetch cpu.code pc with
   | Some i -> i
   | None -> raise (Event.Fault (Event.Exec_violation pc))
 
@@ -229,8 +280,7 @@ let compute_effect cpu instr : Event.effect_ =
   | Cmp (r, op) -> mk ~rr:(r :: operand_regs op) ~fw:true ()
   | Jmp (Addr a) -> mk ~ctrl:(Jump a) ()
   | Jcc (c, Addr a) ->
-    let x, y = cpu.flags in
-    let taken = eval_cond c x y in
+    let taken = eval_cond c cpu.flag_a cpu.flag_b in
     mk ~fr:true ~ctrl:(if taken then Jump a else Next) ()
   | Call (Addr a) ->
     let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
@@ -258,9 +308,8 @@ let compute_effect cpu instr : Event.effect_ =
   | Jmp (Lbl s) | Jcc (_, Lbl s) | Call (Lbl s) ->
     invalid_arg ("Cpu: unresolved label " ^ s)
 
-let run_hooks hooks eff =
-  (* Hooks registered earlier run first. *)
-  List.iter (fun (_, f) -> f eff) (List.rev hooks)
+(* Lists are stored in execution order, so no per-step reversal. *)
+let run_hooks hooks eff = List.iter (fun (_, f) -> f eff) hooks
 
 (* Commit an effect: apply register writes, memory writes, pc update.
    A pending fault is raised first, before any state changes. *)
@@ -279,7 +328,8 @@ let commit cpu (eff : Event.effect_) =
     | Isa.Cmp (r, op) ->
       (* Flag semantics: record the compared values. The register write
          above cannot alias these (Cmp writes no registers). *)
-      cpu.flags <- (get_reg cpu r, operand_value cpu op)
+      cpu.flag_a <- get_reg cpu r;
+      cpu.flag_b <- operand_value cpu op
     | _ -> ()
   end;
   match eff.e_ctrl with
@@ -291,10 +341,11 @@ let commit cpu (eff : Event.effect_) =
     cpu.pc <- cpu.pc + Isa.instr_size
   | Stop -> cpu.halted <- true
 
-(** Execute one instruction. Returns the committed effect. Raises
-    [Event.Fault] on machine faults, [Event.Blocked] when a syscall would
-    block (state unchanged, pc still at the syscall), and propagates any
-    exception raised by a hook (detections) before commit. *)
+(** Execute one instruction on the instrumented path. Returns the
+    committed effect. Raises [Event.Fault] on machine faults,
+    [Event.Blocked] when a syscall would block (state unchanged, pc still
+    at the syscall), and propagates any exception raised by a hook
+    (detections) before commit. *)
 let step cpu =
   let pc = cpu.pc in
   let instr = fetch cpu pc in
@@ -311,20 +362,263 @@ let step cpu =
   run_hooks cpu.hooks.post_all eff;
   eff
 
+(* ------------------------------------------------------------------ *)
+(* Uninstrumented fast path                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The fast path indexes code and masks with shifts; hold it to the ISA's
+   actual encoding width. *)
+let () = assert (Isa.instr_size = 4)
+
+(* Helpers are top-level (not closures inside [exec_fast]) so the hot loop
+   allocates nothing. *)
+let advance cpu =
+  cpu.pc <- cpu.pc + Isa.instr_size;
+  cpu.icount <- cpu.icount + 1
+
+let jump cpu a =
+  cpu.pc <- a;
+  cpu.icount <- cpu.icount + 1
+
+(* rd := rd <op> b, declining division by zero (the slow path turns that
+   into a [Div_zero] fault). [Isa.eval_binop] raises only for Div/Mod. *)
+let bin_fast cpu rd op b =
+  match (op : Isa.binop) with
+  | Div | Mod ->
+    if Isa.to_s32 b = 0 then false
+    else begin
+      let i = Isa.reg_index rd in
+      Array.unsafe_set cpu.regs i
+        (Isa.eval_binop op (Array.unsafe_get cpu.regs i) b);
+      advance cpu;
+      true
+    end
+  | Add | Sub | Mul | And | Or | Xor | Shl | Shr ->
+    let i = Isa.reg_index rd in
+    Array.unsafe_set cpu.regs i
+      (Isa.eval_binop op (Array.unsafe_get cpu.regs i) b);
+    advance cpu;
+    true
+
+let push_fast cpu v =
+  let sp' = Isa.to_u32 (Array.unsafe_get cpu.regs 10 - 4) in
+  if Layout.valid_data cpu.layout sp' then begin
+    Memory.store_word cpu.mem sp' v;
+    Array.unsafe_set cpu.regs 10 sp';
+    advance cpu;
+    true
+  end
+  else false
+
+(* Direct interpretation of one instruction: no effect record, no hook
+   dispatch, no allocation, no exception traffic. Mirrors
+   compute_effect/commit exactly: word accesses validity-check only their
+   first byte, Pop writes rd then SP (so [Pop SP] leaves sp+4), Push reads
+   the operand from pre-decrement registers, only CallInd/Ret check their
+   exec target, and Halt leaves pc in place. Anything that would fault,
+   block, or needs the effect record (syscalls, unresolved symbols)
+   returns [false] before touching state, and the instruction re-runs on
+   the slow path where deferred-fault/veto semantics live. Returns [true]
+   when the instruction fully executed (icount already bumped). *)
+let exec_fast cpu (instr : Isa.instr) =
+  let open Isa in
+  let regs = cpu.regs in
+  match instr with
+  | Mov (rd, Imm v) ->
+    Array.unsafe_set regs (reg_index rd) (to_u32 v);
+    advance cpu;
+    true
+  | Mov (rd, Reg rs) ->
+    Array.unsafe_set regs (reg_index rd) (Array.unsafe_get regs (reg_index rs));
+    advance cpu;
+    true
+  | Bin (op, rd, Imm b) -> bin_fast cpu rd op (to_u32 b)
+  | Bin (op, rd, Reg rs) ->
+    bin_fast cpu rd op (Array.unsafe_get regs (reg_index rs))
+  | Not rd ->
+    let i = reg_index rd in
+    Array.unsafe_set regs i (to_u32 (lnot (Array.unsafe_get regs i)));
+    advance cpu;
+    true
+  | Neg rd ->
+    let i = reg_index rd in
+    Array.unsafe_set regs i (to_u32 (-Array.unsafe_get regs i));
+    advance cpu;
+    true
+  | Load (rd, rs, off) ->
+    let addr = to_u32 (Array.unsafe_get regs (reg_index rs) + off) in
+    if Layout.valid_data cpu.layout addr then begin
+      Array.unsafe_set regs (reg_index rd) (Memory.load_word cpu.mem addr);
+      advance cpu;
+      true
+    end
+    else false
+  | Loadb (rd, rs, off) ->
+    let addr = to_u32 (Array.unsafe_get regs (reg_index rs) + off) in
+    if Layout.valid_data cpu.layout addr then begin
+      Array.unsafe_set regs (reg_index rd) (Memory.load_byte cpu.mem addr);
+      advance cpu;
+      true
+    end
+    else false
+  | Store (rbase, off, rs) ->
+    let addr = to_u32 (Array.unsafe_get regs (reg_index rbase) + off) in
+    if Layout.valid_data cpu.layout addr then begin
+      Memory.store_word cpu.mem addr (Array.unsafe_get regs (reg_index rs));
+      advance cpu;
+      true
+    end
+    else false
+  | Storeb (rbase, off, rs) ->
+    let addr = to_u32 (Array.unsafe_get regs (reg_index rbase) + off) in
+    if Layout.valid_data cpu.layout addr then begin
+      Memory.store_byte cpu.mem addr (Array.unsafe_get regs (reg_index rs));
+      advance cpu;
+      true
+    end
+    else false
+  | Push (Imm v) -> push_fast cpu (to_u32 v)
+  | Push (Reg rs) -> push_fast cpu (Array.unsafe_get regs (reg_index rs))
+  | Pop rd ->
+    let sp = Array.unsafe_get regs 10 in
+    if Layout.valid_data cpu.layout sp then begin
+      let v = Memory.load_word cpu.mem sp in
+      Array.unsafe_set regs (reg_index rd) v;
+      Array.unsafe_set regs 10 (to_u32 (sp + 4));
+      advance cpu;
+      true
+    end
+    else false
+  | Cmp (r, Imm y) ->
+    cpu.flag_a <- Array.unsafe_get regs (reg_index r);
+    cpu.flag_b <- to_u32 y;
+    advance cpu;
+    true
+  | Cmp (r, Reg rs) ->
+    cpu.flag_a <- Array.unsafe_get regs (reg_index r);
+    cpu.flag_b <- Array.unsafe_get regs (reg_index rs);
+    advance cpu;
+    true
+  | Jmp (Addr a) ->
+    jump cpu a;
+    true
+  | Jcc (c, Addr a) ->
+    if eval_cond c cpu.flag_a cpu.flag_b then jump cpu a else advance cpu;
+    true
+  | Call (Addr a) ->
+    let sp' = to_u32 (Array.unsafe_get regs 10 - 4) in
+    if Layout.valid_data cpu.layout sp' then begin
+      Memory.store_word cpu.mem sp' (cpu.pc + instr_size);
+      Array.unsafe_set regs 10 sp';
+      jump cpu a;
+      true
+    end
+    else false
+  | CallInd r ->
+    let target = Array.unsafe_get regs (reg_index r) in
+    let sp' = to_u32 (Array.unsafe_get regs 10 - 4) in
+    if
+      Layout.valid_code cpu.layout target && Layout.valid_data cpu.layout sp'
+    then begin
+      Memory.store_word cpu.mem sp' (cpu.pc + instr_size);
+      Array.unsafe_set regs 10 sp';
+      jump cpu target;
+      true
+    end
+    else false
+  | Ret ->
+    let sp = Array.unsafe_get regs 10 in
+    if Layout.valid_data cpu.layout sp then begin
+      let target = Memory.load_word cpu.mem sp in
+      if Layout.valid_code cpu.layout target then begin
+        Array.unsafe_set regs 10 (to_u32 (sp + 4));
+        jump cpu target;
+        true
+      end
+      else false
+    end
+    else false
+  | Halt ->
+    cpu.halted <- true;
+    cpu.icount <- cpu.icount + 1;
+    true
+  | Nop ->
+    advance cpu;
+    true
+  | Syscall _
+  | Mov (_, Sym _)
+  | Bin (_, _, Sym _)
+  | Push (Sym _)
+  | Cmp (_, Sym _)
+  | Jmp (Lbl _)
+  | Jcc (_, Lbl _)
+  | Call (Lbl _) ->
+    false
+
+(* Tight fast loop pinned to one segment. While the pc stays inside [s]
+   and off the hook mask it executes by direct interpretation with no
+   per-instruction hook-counter reads and no segment search. Sound
+   because [exec_fast] runs no user code, so no hook can be installed
+   while this loop spins; every exit returns to the dispatcher, which
+   re-checks the global counters after any instrumented step. Top-level
+   recursion, not a local closure: the hot loop must not allocate.
+   Returns the remaining fuel (unchanged iff it made no progress). *)
+let rec fast_run cpu s mask n =
+  if cpu.halted || n <= 0 then n
+  else
+    let pc = cpu.pc in
+    let off = pc - s.Program.seg_base in
+    if off < 0 || pc >= s.Program.seg_limit then n (* left the segment *)
+    else if off land 3 <> 0 then n (* misaligned: slow path faults *)
+    else
+      let idx = off lsr 2 in
+      if Bytes.unsafe_get mask idx <> '\000' then n (* hooked pc *)
+      else if exec_fast cpu (Array.unsafe_get s.Program.seg_instrs idx) then
+        fast_run cpu s mask (n - 1)
+      else n (* declined (before any state change): slow path re-runs *)
+
 (** Run until halt, fault, block, or [fuel] instructions. Fault state is
     preserved (pc stays at the faulting instruction) so the core-dump
-    analyzer can inspect it. *)
+    analyzer can inspect it. Unhooked instructions execute on the
+    uninstrumented fast path; observable semantics are identical to
+    stepping with {!step}. *)
 let run ?(fuel = max_int) cpu =
+  let segs = cpu.code.Program.segments in
+  (* The exception handler lives outside the loop; [go]/[dispatch] stay
+     tail-recursive (they carry no handler of their own). [dispatch]
+     always makes progress before looping back to [go]: if [fast_run]
+     executed nothing at this pc, the instruction takes the instrumented
+     [step] (which advances, faults, or blocks). *)
   let rec go n =
     if cpu.halted then Halted
     else if n <= 0 then Out_of_fuel
     else
-      match step cpu with
-      | _ -> go (n - 1)
-      | exception Event.Fault f -> Faulted f
-      | exception Event.Blocked -> Blocked
+      let hs = cpu.hooks in
+      if hs.n_pre_all <> 0 || hs.n_post_all <> 0 then begin
+        ignore (step cpu : Event.effect_);
+        go (n - 1)
+      end
+      else dispatch n cpu.pc 0
+  and dispatch n pc i =
+    if i >= Array.length segs then begin
+      ignore (step cpu : Event.effect_) (* unmapped pc: faults there *)
+      ; go (n - 1)
+    end
+    else
+      let s = Array.unsafe_get segs i in
+      if pc >= s.Program.seg_base && pc < s.Program.seg_limit then begin
+        let n' = fast_run cpu s (Array.unsafe_get cpu.pc_hook_mask i) n in
+        if n' = n then begin
+          ignore (step cpu : Event.effect_);
+          go (n' - 1)
+        end
+        else go n'
+      end
+      else dispatch n pc (i + 1)
   in
-  go fuel
+  try go fuel with
+  | Event.Fault f -> Faulted f
+  | Event.Blocked -> Blocked
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot/restore of CPU register state (memory snapshots live in     *)
@@ -343,7 +637,7 @@ let snapshot_regs cpu =
   {
     s_regs = Array.copy cpu.regs;
     s_pc = cpu.pc;
-    s_flags = cpu.flags;
+    s_flags = (cpu.flag_a, cpu.flag_b);
     s_halted = cpu.halted;
     s_icount = cpu.icount;
   }
@@ -351,6 +645,8 @@ let snapshot_regs cpu =
 let restore_regs cpu s =
   Array.blit s.s_regs 0 cpu.regs 0 Isa.num_regs;
   cpu.pc <- s.s_pc;
-  cpu.flags <- s.s_flags;
+  (let a, b = s.s_flags in
+   cpu.flag_a <- a;
+   cpu.flag_b <- b);
   cpu.halted <- s.s_halted;
   cpu.icount <- s.s_icount

@@ -6,7 +6,15 @@
     raise) without touching machine state, then presents it to the
     registered pre-hooks, and only then commits. This is what lets a VSEF
     veto a single store or control transfer before the corruption happens —
-    the analogue of attaching PIN instrumentation to a running process. *)
+    the analogue of attaching PIN instrumentation to a running process.
+
+    The interpreter is tiered: {!run} executes unhooked instructions by
+    direct interpretation (no effect record, no hook dispatch) and drops
+    to the instrumented path only at pcs with hooks installed, when global
+    hooks exist, or for instructions the fast path cannot reproduce
+    exactly (syscalls, anything that would fault). Observable semantics
+    are identical either way; instrumentation overhead is proportional to
+    the hooked instructions actually executed. *)
 
 type hook = Event.effect_ -> unit
 
@@ -15,15 +23,19 @@ type hooks
 type t = {
   regs : int array;
   mutable pc : int;
-  mutable flags : int * int;  (** operands of the last [Cmp] *)
+  mutable flag_a : int;  (** first operand of the last [Cmp] *)
+  mutable flag_b : int;  (** second operand of the last [Cmp] *)
   mem : Memory.t;
-  code : (int, Isa.instr) Hashtbl.t;
+  code : Program.t;
   layout : Layout.t;
   mutable sys_handler : t -> Event.effect_ -> int -> unit;
       (** OS services; fills [e_sys] of the effect it is given *)
   mutable halted : bool;
   mutable icount : int;  (** dynamic instructions executed *)
   hooks : hooks;
+  pc_hook_mask : Bytes.t array;
+      (** parallel to [code.segments]: non-zero bytes mark pcs with per-pc
+          hooks, steering {!run}'s dispatch to the instrumented path *)
 }
 
 type outcome =
@@ -32,8 +44,7 @@ type outcome =
   | Faulted of Event.fault
   | Out_of_fuel
 
-val create :
-  mem:Memory.t -> layout:Layout.t -> code:(int, Isa.instr) Hashtbl.t -> t
+val create : mem:Memory.t -> layout:Layout.t -> code:Program.t -> t
 
 val get_reg : t -> Isa.reg -> int
 val set_reg : t -> Isa.reg -> int -> unit
@@ -57,17 +68,21 @@ val add_pc_post_hook : t -> pc:int -> hook -> hook_id
 val remove_hook : t -> hook_id -> unit
 
 val pc_hook_count : t -> int
-(** Per-pc pre-hooks currently installed (the VSEF footprint). *)
+(** Per-pc hooks (pre and post) currently installed — the VSEF
+    footprint. *)
 
 val step : t -> Event.effect_
-(** Execute one instruction. Raises [Event.Fault] on machine faults (state
+(** Execute one instruction on the instrumented path, always building the
+    full effect record. Raises [Event.Fault] on machine faults (state
     unchanged, pc at the faulting instruction), [Event.Blocked] when a
     syscall would block, and propagates exceptions raised by hooks
     (detections) before commit. *)
 
 val run : ?fuel:int -> t -> outcome
 (** Run until halt, fault, block, or [fuel] instructions. Fault state is
-    preserved so the core-dump analyzer can inspect it. *)
+    preserved so the core-dump analyzer can inspect it. Unhooked
+    instructions execute on the uninstrumented fast path; observable
+    semantics are identical to repeated {!step}. *)
 
 (** Register-file snapshots (memory snapshots live in {!Memory}; the OS
     layer combines both into checkpoints). *)

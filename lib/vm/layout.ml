@@ -100,17 +100,22 @@ let region t addr =
   else if addr >= t.stack_limit && addr < t.stack_top then Some Stack
   else None
 
+(* The validity predicates below are the interpreter's per-access checks,
+   so they test the ranges directly instead of going through [region].
+   This is equivalent: regions never overlap and every base is above the
+   unmapped low 64 KiB, so membership in a data (resp. code) range decides
+   the answer without classifying first. *)
+
 (** Is [addr] readable/writable data (code segments are not writable)? *)
 let valid_data t addr =
-  match region t addr with
-  | Some (Data | Heap | Stack) -> true
-  | Some (App_code | Lib_code) | None -> false
+  (addr >= t.data_base && addr < t.data_limit)
+  || (addr >= t.stack_limit && addr < t.stack_top)
+  || (addr >= t.heap_base && addr < heap_mapped_limit t)
 
 (** Is [addr] a fetchable code address? *)
 let valid_code t addr =
-  match region t addr with
-  | Some (App_code | Lib_code) -> true
-  | Some (Data | Heap | Stack) | None -> false
+  (addr >= t.app_code_base && addr < t.app_code_limit)
+  || (addr >= t.lib_code_base && addr < t.lib_code_limit)
 
 let region_name = function
   | App_code -> "app-code"

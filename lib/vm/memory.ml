@@ -5,7 +5,15 @@
     snapshot alive is one page copy per page subsequently dirtied — the same
     cost model as the fork()-based shadow processes of Rx/FlashBack, which
     is what makes the checkpoint-interval/overhead curve of the paper's
-    Figure 4 reproducible. *)
+    Figure 4 reproducible.
+
+    Sequential access (string copies, stack traffic) is served by two
+    one-entry TLBs — the last page read and the last page written — so the
+    common case skips the page hashtable entirely. The write TLB is only
+    ever filled from {!page_for_write}, i.e. from a page already owned by
+    the current epoch, so a TLB hit can never scribble on a page shared
+    with a live snapshot; both TLBs are invalidated whenever the epoch
+    bumps ({!snapshot}) or the page table is replaced ({!restore}). *)
 
 let page_bits = 12
 let page_size = 1 lsl page_bits (* 4096 *)
@@ -21,6 +29,13 @@ type t = {
   mutable cur_epoch : int;
   mutable cow_copies : int;    (** pages copied due to snapshot sharing *)
   mutable pages_mapped : int;  (** pages ever materialized *)
+  (* One-entry TLBs: page index (-1 = invalid) and the cached page bytes.
+     Page [data] is never reassigned after creation (COW makes new page
+     records), so caching the bytes directly is safe. *)
+  mutable r_tlb_idx : int;
+  mutable r_tlb : Bytes.t;
+  mutable w_tlb_idx : int;
+  mutable w_tlb : Bytes.t;
 }
 
 (** An immutable snapshot of the whole address space. Restoring it is a
@@ -30,8 +45,25 @@ type snapshot = {
   snap_epoch : int;
 }
 
+let no_page = Bytes.create 0
+
 let create () =
-  { pages = Hashtbl.create 256; cur_epoch = 0; cow_copies = 0; pages_mapped = 0 }
+  {
+    pages = Hashtbl.create 256;
+    cur_epoch = 0;
+    cow_copies = 0;
+    pages_mapped = 0;
+    r_tlb_idx = -1;
+    r_tlb = no_page;
+    w_tlb_idx = -1;
+    w_tlb = no_page;
+  }
+
+let invalidate_tlbs mem =
+  mem.r_tlb_idx <- -1;
+  mem.r_tlb <- no_page;
+  mem.w_tlb_idx <- -1;
+  mem.w_tlb <- no_page
 
 let stats mem = (mem.cow_copies, mem.pages_mapped)
 
@@ -72,21 +104,51 @@ let page_for_write mem addr =
     Hashtbl.replace mem.pages idx p;
     p
 
+(* TLB-filling page lookups. [write_page] also re-syncs the read TLB when
+   it covers the same page: a COW fault replaces the page record, and a
+   stale read TLB would otherwise keep serving the shared (pre-write)
+   copy. *)
+let read_page mem addr =
+  let idx = addr lsr page_bits in
+  if idx = mem.r_tlb_idx then mem.r_tlb
+  else begin
+    let p = page_for_read mem addr in
+    mem.r_tlb_idx <- idx;
+    mem.r_tlb <- p.data;
+    p.data
+  end
+
+let write_page mem addr =
+  let idx = addr lsr page_bits in
+  if idx = mem.w_tlb_idx then mem.w_tlb
+  else begin
+    let p = page_for_write mem addr in
+    mem.w_tlb_idx <- idx;
+    mem.w_tlb <- p.data;
+    if idx = mem.r_tlb_idx then mem.r_tlb <- p.data;
+    p.data
+  end
+
+(* Direct 32-bit primitives: the compiler eliminates the box/unbox pair
+   locally, which Bytes.get_int32_le does not guarantee across the module
+   boundary. They read host byte order, so the word fast path is gated on
+   [not Sys.big_endian] (a constant the compiler folds); big-endian hosts
+   take the byte-wise path. Offsets are in-page by construction. *)
+external get32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external set32u : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+
 let load_byte mem addr =
-  let p = page_for_read mem addr in
-  Char.code (Bytes.get p.data (addr land page_mask))
+  Char.code (Bytes.unsafe_get (read_page mem addr) (addr land page_mask))
 
 let store_byte mem addr v =
-  let p = page_for_write mem addr in
-  Bytes.set p.data (addr land page_mask) (Char.chr (v land 0xff))
+  Bytes.unsafe_set (write_page mem addr) (addr land page_mask)
+    (Char.unsafe_chr (v land 0xff))
 
 (** Little-endian 32-bit load. Crosses page boundaries correctly. *)
 let load_word mem addr =
-  if addr land page_mask <= page_size - 4 then begin
-    let p = page_for_read mem addr in
-    let off = addr land page_mask in
-    Int32.to_int (Bytes.get_int32_le p.data off) land Isa.word_mask
-  end
+  let off = addr land page_mask in
+  if (not Sys.big_endian) && off <= page_size - 4 then
+    Int32.to_int (get32u (read_page mem addr) off) land Isa.word_mask
   else
     let b0 = load_byte mem addr in
     let b1 = load_byte mem (addr + 1) in
@@ -96,11 +158,9 @@ let load_word mem addr =
 
 (** Little-endian 32-bit store. *)
 let store_word mem addr v =
-  if addr land page_mask <= page_size - 4 then begin
-    let p = page_for_write mem addr in
-    let off = addr land page_mask in
-    Bytes.set_int32_le p.data off (Int32.of_int (Isa.to_s32 v))
-  end
+  let off = addr land page_mask in
+  if (not Sys.big_endian) && off <= page_size - 4 then
+    set32u (write_page mem addr) off (Int32.of_int (Isa.to_s32 v))
   else begin
     store_byte mem addr v;
     store_byte mem (addr + 1) (v lsr 8);
@@ -108,27 +168,57 @@ let store_word mem addr v =
     store_byte mem (addr + 3) (v lsr 24)
   end
 
-(** Read [len] bytes starting at [addr]. *)
+(** Read [len] bytes starting at [addr] — page-sized [Bytes.blit]s, not a
+    per-byte loop. *)
 let load_bytes mem addr len =
-  String.init len (fun i -> Char.chr (load_byte mem (addr + i)))
+  if len <= 0 then ""
+  else begin
+    let out = Bytes.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let data = read_page mem a in
+      let off = a land page_mask in
+      let n = min (page_size - off) (len - !pos) in
+      Bytes.blit data off out !pos n;
+      pos := !pos + n
+    done;
+    Bytes.unsafe_to_string out
+  end
 
-(** Write the whole string at [addr]. *)
+(** Write the whole string at [addr], one blit per touched page. *)
 let store_bytes mem addr s =
-  String.iteri (fun i c -> store_byte mem (addr + i) (Char.code c)) s
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let data = write_page mem a in
+    let off = a land page_mask in
+    let n = min (page_size - off) (len - !pos) in
+    Bytes.blit_string s !pos data off n;
+    pos := !pos + n
+  done
 
 (** Read the NUL-terminated string at [addr], up to [limit] bytes
-    (default 64 KiB) as a safety net for corrupted memory. *)
+    (default 64 KiB) as a safety net for corrupted memory. Scans a page at
+    a time ([Bytes.index_from]) instead of byte-by-byte. *)
 let load_cstring ?(limit = 65536) mem addr =
   let buf = Buffer.create 32 in
-  let rec go i =
-    if i >= limit then Buffer.contents buf
-    else
-      let b = load_byte mem (addr + i) in
-      if b = 0 then Buffer.contents buf
-      else begin
-        Buffer.add_char buf (Char.chr b);
-        go (i + 1)
-      end
+  let rec go pos =
+    if pos >= limit then Buffer.contents buf
+    else begin
+      let a = addr + pos in
+      let data = read_page mem a in
+      let off = a land page_mask in
+      let n = min (page_size - off) (limit - pos) in
+      match Bytes.index_from_opt data off '\000' with
+      | Some i when i < off + n ->
+        Buffer.add_subbytes buf data off (i - off);
+        Buffer.contents buf
+      | _ ->
+        Buffer.add_subbytes buf data off n;
+        go (pos + n)
+    end
   in
   go 0
 
@@ -137,6 +227,7 @@ let load_cstring ?(limit = 65536) mem addr =
     page is deep-copied up front instead — the full-copy baseline that the
     checkpointing ablation compares against. *)
 let snapshot ?(eager = false) mem =
+  invalidate_tlbs mem;
   mem.cur_epoch <- mem.cur_epoch + 1;
   if eager then begin
     let pages = Hashtbl.create (Hashtbl.length mem.pages) in
@@ -152,6 +243,7 @@ let snapshot ?(eager = false) mem =
     valid and can be restored again (analysis re-executes from the same
     checkpoint repeatedly). *)
 let restore mem snap =
+  invalidate_tlbs mem;
   mem.cur_epoch <- mem.cur_epoch + 1;
   mem.pages <- Hashtbl.copy snap.snap_pages
 

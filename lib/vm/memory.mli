@@ -5,7 +5,12 @@
     one page copy per page subsequently dirtied — the cost model of the
     fork()-based shadow processes of Rx/FlashBack, which is what makes the
     checkpoint-interval/overhead curve of the paper's Figure 4
-    reproducible. *)
+    reproducible.
+
+    Accesses are served through two one-entry TLBs (last page read, last
+    page written), invalidated on {!snapshot} and {!restore}; bulk
+    operations ({!load_bytes}, {!store_bytes}, {!load_cstring}) move whole
+    page spans per step rather than single bytes. *)
 
 val page_bits : int
 val page_size : int

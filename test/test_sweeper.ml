@@ -249,22 +249,21 @@ let test_slice_excludes_unrelated () =
   let s = result.Sweeper.Slice.sl_summary in
   check_bool "slice nonempty" true (s.Sweeper.Slice.s_slice_size > 0);
   (* The store to [unrelated] must not be in the slice: find its pc. *)
-  let noise_store =
-    Hashtbl.fold
-      (fun pc i acc ->
-        match i with
-        | Vm.Isa.Store (Vm.Isa.R1, 0, Vm.Isa.R0) ->
-          let s = Osim.Process.describe_addr proc pc in
-          if
-            match String.index_opt s '(' with
-            | Some idx ->
-              String.length s > idx + 5 && String.sub s (idx + 1) 5 = "noise"
-            | None -> false
-          then Some pc
-          else acc
-        | _ -> acc)
-      proc.Osim.Process.cpu.Vm.Cpu.code None
-  in
+  let noise_store = ref None in
+  Vm.Program.iteri
+    (fun pc i ->
+      match i with
+      | Vm.Isa.Store (Vm.Isa.R1, 0, Vm.Isa.R0) when !noise_store = None ->
+        let s = Osim.Process.describe_addr proc pc in
+        if
+          match String.index_opt s '(' with
+          | Some idx ->
+            String.length s > idx + 5 && String.sub s (idx + 1) 5 = "noise"
+          | None -> false
+        then noise_store := Some pc
+      | _ -> ())
+    proc.Osim.Process.cpu.Vm.Cpu.code;
+  let noise_store = !noise_store in
   match noise_store with
   | Some pc ->
     check_bool "noise store excluded from slice" false

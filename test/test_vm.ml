@@ -235,8 +235,8 @@ let test_asm_load_resolves () =
   let img = Vm.Asm.load ~base:0x1000 [ simple_unit ] in
   check_int "start at base" 0x1000 (Vm.Asm.symbol img "start");
   check_int "mid offset" 0x1004 (Vm.Asm.symbol img "mid");
-  (match Hashtbl.find img.Vm.Asm.code 0x1004 with
-  | Vm.Isa.Jmp (Vm.Isa.Addr a) -> check_int "jmp resolved" 0x1000 a
+  (match Vm.Program.fetch img.Vm.Asm.code 0x1004 with
+  | Some (Vm.Isa.Jmp (Vm.Isa.Addr a)) -> check_int "jmp resolved" 0x1000 a
   | _ -> Alcotest.fail "expected resolved jmp");
   check_int "limit" (0x1000 + (3 * 4)) img.Vm.Asm.limit
 
@@ -255,8 +255,8 @@ let test_asm_extern_resolution () =
     Vm.Asm.load ~extern:(fun s -> if s = "libfn" then Some 0x4000 else None)
       ~base:0 [ u ]
   in
-  match Hashtbl.find img.Vm.Asm.code 0 with
-  | Vm.Isa.Call (Vm.Isa.Addr a) -> check_int "extern resolved" 0x4000 a
+  match Vm.Program.fetch img.Vm.Asm.code 0 with
+  | Some (Vm.Isa.Call (Vm.Isa.Addr a)) -> check_int "extern resolved" 0x4000 a
   | _ -> Alcotest.fail "expected resolved call"
 
 let test_asm_duplicate_symbol () =

@@ -1,0 +1,311 @@
+(* Differential tests for the tiered interpreter: the uninstrumented fast
+   path must be observably indistinguishable from the instrumented
+   effect-record path. Each case builds two identical machines, forces one
+   onto the slow path with a no-op global pre-hook, runs both, and
+   compares every piece of architectural state — outcome, registers, pc,
+   flags, halt, icount, and memory (including page-boundary windows). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let outcome_t : Vm.Cpu.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun fmt o ->
+      Format.pp_print_string fmt
+        (match o with
+        | Vm.Cpu.Halted -> "Halted"
+        | Vm.Cpu.Blocked -> "Blocked"
+        | Vm.Cpu.Out_of_fuel -> "Out_of_fuel"
+        | Vm.Cpu.Faulted f -> "Faulted: " ^ Vm.Event.fault_to_string f))
+    ( = )
+
+(* A machine over [instrs] loaded at the app code base, with registers
+   R1-R4 pre-pointed at interesting data addresses so random loads and
+   stores mostly land in mapped memory, and a recognizable pattern seeded
+   around the first data-page boundary. *)
+let make_cpu instrs =
+  let mem = Vm.Memory.create () in
+  let l = Vm.Layout.create ~aslr:false () in
+  let base = l.Vm.Layout.app_code_base in
+  let code = Vm.Program.of_instrs ~base (Array.of_list instrs) in
+  let l =
+    Vm.Layout.set_code_limits l
+      ~app_limit:(base + (List.length instrs * Vm.Isa.instr_size))
+      ~lib_limit:l.Vm.Layout.lib_code_base
+  in
+  let cpu = Vm.Cpu.create ~mem ~layout:l ~code in
+  cpu.Vm.Cpu.pc <- base;
+  Vm.Cpu.set_reg cpu Vm.Isa.SP (l.Vm.Layout.stack_top - 16);
+  let data = l.Vm.Layout.data_base in
+  let boundary = data + Vm.Memory.page_size in
+  Vm.Memory.store_bytes mem data
+    (String.init 64 (fun i -> Char.chr (0x41 + (i mod 26))));
+  Vm.Memory.store_bytes mem (boundary - 8)
+    (String.init 16 (fun i -> Char.chr (0x61 + i)));
+  Vm.Cpu.set_reg cpu Vm.Isa.R1 data;
+  Vm.Cpu.set_reg cpu Vm.Isa.R2 (boundary - 4);
+  Vm.Cpu.set_reg cpu Vm.Isa.R3 (data + 40);
+  Vm.Cpu.set_reg cpu Vm.Isa.R4 7;
+  (cpu, l)
+
+(* Architectural state + the memory windows the programs can reach. *)
+let observe (cpu : Vm.Cpu.t) (l : Vm.Layout.t) outcome =
+  let data = l.Vm.Layout.data_base in
+  let boundary = data + Vm.Memory.page_size in
+  ( outcome,
+    Array.to_list cpu.Vm.Cpu.regs,
+    cpu.Vm.Cpu.pc,
+    (cpu.Vm.Cpu.flag_a, cpu.Vm.Cpu.flag_b),
+    cpu.Vm.Cpu.halted,
+    cpu.Vm.Cpu.icount,
+    Vm.Memory.load_bytes cpu.Vm.Cpu.mem data 128,
+    Vm.Memory.load_bytes cpu.Vm.Cpu.mem (boundary - 32) 64,
+    Vm.Memory.load_bytes cpu.Vm.Cpu.mem (l.Vm.Layout.stack_top - 64) 64 )
+
+(* Run the same program on the fast path and on the forced slow path,
+   returning both observations. *)
+let run_both ?(fuel = 300) instrs =
+  let fast, l_fast = make_cpu instrs in
+  let slow, l_slow = make_cpu instrs in
+  ignore (Vm.Cpu.add_pre_hook slow (fun _ -> ()));
+  let of_ = Vm.Cpu.run ~fuel fast in
+  let os = Vm.Cpu.run ~fuel slow in
+  (observe fast l_fast of_, observe slow l_slow os)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random programs agree between the two paths                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_program : Vm.Isa.instr list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Vm.Isa in
+  let reg = oneofl [ R0; R1; R2; R3; R4; R5; R6; R7; R8; R9; SP; FP ] in
+  let mem_base = oneofl [ R1; R2; R3; R1; R2; R5; SP ] in
+  let binop = oneofl [ Add; Sub; Mul; Div; Mod; And; Or; Xor; Shl; Shr ] in
+  let cond = oneofl [ Eq; Ne; Lt; Le; Gt; Ge; Ult; Uge ] in
+  let imm =
+    frequency
+      [
+        (4, int_range (-6) 40);
+        (1, oneofl [ 0x08100000; 0x08100ffe; 0x09000000; 0; 0x7FFFFFFF ]);
+      ]
+  in
+  let off = int_range (-8) 12 in
+  sized_size (int_range 8 40) (fun n ->
+      let instr i =
+        (* forward-only branch targets, occasionally one past the end so
+           running off the program is exercised too *)
+        let fwd = int_range (i + 1) n in
+        frequency
+          [
+            (3, map2 (fun r v -> Mov (r, Imm v)) reg imm);
+            (2, map2 (fun rd rs -> Mov (rd, Reg rs)) reg reg);
+            (3, map3 (fun op rd v -> Bin (op, rd, Imm v)) binop reg imm);
+            (2, map3 (fun op rd rs -> Bin (op, rd, Reg rs)) binop reg reg);
+            (1, map (fun r -> Not r) reg);
+            (1, map (fun r -> Neg r) reg);
+            (2, map3 (fun rd rs o -> Load (rd, rs, o)) reg mem_base off);
+            (2, map3 (fun rd rs o -> Loadb (rd, rs, o)) reg mem_base off);
+            (2, map3 (fun rb o rs -> Store (rb, o, rs)) mem_base off reg);
+            (2, map3 (fun rb o rs -> Storeb (rb, o, rs)) mem_base off reg);
+            (1, map (fun v -> Push (Imm v)) imm);
+            (1, map (fun r -> Push (Reg r)) reg);
+            (1, map (fun r -> Pop r) reg);
+            (2, map2 (fun r v -> Cmp (r, Imm v)) reg imm);
+            (1, map2 (fun rd rs -> Cmp (rd, Reg rs)) reg reg);
+            (1, map (fun n -> Syscall n) (int_range 0 3));
+            (1, map (fun t -> Jmp (Addr (0x08048000 + (4 * t)))) fwd);
+            ( 2,
+              map2 (fun c t -> Jcc (c, Addr (0x08048000 + (4 * t)))) cond fwd
+            );
+          ]
+      in
+      let rec build i acc =
+        if i >= n then return (List.rev (Vm.Isa.Halt :: acc))
+        else instr i >>= fun ins -> build (i + 1) (ins :: acc)
+      in
+      build 0 [])
+
+let diff_qcheck =
+  QCheck.Test.make ~name:"fast path == instrumented path (random programs)"
+    ~count:120
+    (QCheck.make ~print:(fun p -> string_of_int (List.length p) ^ " instrs")
+       gen_program)
+    (fun instrs ->
+      let fast, slow = run_both instrs in
+      fast = slow)
+
+(* ------------------------------------------------------------------ *)
+(* Directed equivalences                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A strcat-shaped byte-copy loop whose destination straddles the first
+   data-page boundary: exercises the one-entry TLBs across a page switch
+   on both the load and store sides. *)
+let copy_program ~src ~dst ~len =
+  let open Vm.Isa in
+  let base = 0x08048000 in
+  [
+    Mov (R1, Imm src);
+    Mov (R2, Imm dst);
+    Mov (R0, Imm 0);
+    (* loop: *)
+    Loadb (R3, R1, 0);
+    Storeb (R2, 0, R3);
+    Bin (Add, R1, Imm 1);
+    Bin (Add, R2, Imm 1);
+    Bin (Add, R0, Imm 1);
+    Cmp (R0, Imm len);
+    Jcc (Lt, Addr (base + (3 * 4)));
+    Halt;
+  ]
+
+let test_page_crossing_copy () =
+  let data = 0x08100000 in
+  let boundary = data + Vm.Memory.page_size in
+  let instrs = copy_program ~src:data ~dst:(boundary - 12) ~len:24 in
+  let (o1, _, _, _, h1, i1, d1, b1, _), (o2, _, _, _, h2, i2, d2, b2, _) =
+    run_both ~fuel:1000 instrs
+  in
+  Alcotest.check outcome_t "same outcome" o2 o1;
+  check_bool "halted" h2 h1;
+  check_int "icount" i2 i1;
+  check_str "data window" d2 d1;
+  check_str "boundary window" b2 b1;
+  (* And the copy really happened across the boundary. *)
+  let fast, l = make_cpu instrs in
+  ignore (Vm.Cpu.run ~fuel:1000 fast);
+  check_str "copied across page boundary"
+    (String.init 24 (fun i -> Char.chr (0x41 + (i mod 26))))
+    (Vm.Memory.load_bytes fast.Vm.Cpu.mem
+       (l.Vm.Layout.data_base + Vm.Memory.page_size - 12)
+       24)
+
+let test_mid_run_fault () =
+  let open Vm.Isa in
+  let base = 0x08048000 in
+  let instrs =
+    [
+      Mov (R5, Imm 0x08100010);
+      Store (R5, 0, R5);
+      Mov (R5, Imm 0x40);  (* low 64 KiB: never mapped *)
+      Store (R5, 0, R5);
+      Halt;
+    ]
+  in
+  let (o1, _, pc1, _, _, i1, _, _, _), (o2, _, pc2, _, _, i2, _, _, _) =
+    run_both instrs
+  in
+  Alcotest.check outcome_t "same fault" o2 o1;
+  Alcotest.check outcome_t "exact fault"
+    (Vm.Cpu.Faulted (Vm.Event.Segv_write 0x40))
+    o1;
+  check_int "pc stays at faulting instruction" (base + 12) pc1;
+  check_int "same pc" pc2 pc1;
+  check_int "fault does not count as executed" 3 i1;
+  check_int "same icount" i2 i1
+
+let test_div_zero_fault () =
+  let open Vm.Isa in
+  let instrs =
+    [ Mov (R0, Imm 5); Mov (R1, Imm 0); Bin (Div, R0, Reg R1); Halt ]
+  in
+  let (o1, _, pc1, _, _, i1, _, _, _), (o2, _, pc2, _, _, i2, _, _, _) =
+    run_both instrs
+  in
+  Alcotest.check outcome_t "same outcome" o2 o1;
+  Alcotest.check outcome_t "div-zero fault" (Vm.Cpu.Faulted Vm.Event.Div_zero) o1;
+  check_int "same pc" pc2 pc1;
+  check_int "same icount" i2 i1
+
+(* ------------------------------------------------------------------ *)
+(* Hook attach/detach while running                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* R0 counts to 1000 in a 3-instruction loop:
+   base+0: Mov R0,0 / +4: Add / +8: Cmp / +12: Jcc / +16: Halt *)
+let counting_loop () =
+  let open Vm.Isa in
+  let base = 0x08048000 in
+  [
+    Mov (R0, Imm 0);
+    Bin (Add, R0, Imm 1);
+    Cmp (R0, Imm 1000);
+    Jcc (Lt, Addr (base + 4));
+    Halt;
+  ]
+
+let test_attach_detach_mid_run () =
+  let base = 0x08048000 in
+  let cpu, _ = make_cpu (counting_loop ()) in
+  (* Warm up on the pure fast path: Mov + 3 iterations, pc back at Add. *)
+  Alcotest.check outcome_t "warmup runs out of fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:10 cpu);
+  check_int "warmup executed" 10 cpu.Vm.Cpu.icount;
+  check_int "pc mid-loop" (base + 4) cpu.Vm.Cpu.pc;
+  (* Attach a pc-hook ahead of the current pc, mid-run: every subsequent
+     pass over the Cmp must hit it — the fast path may not skip one. *)
+  let fired = ref 0 in
+  let h = Vm.Cpu.add_pc_hook cpu ~pc:(base + 8) (fun _ -> incr fired) in
+  check_int "hook counted" 1 (Vm.Cpu.pc_hook_count cpu);
+  Alcotest.check outcome_t "more fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:30 cpu);
+  check_int "10 full iterations hit the hooked Cmp 10 times" 10 !fired;
+  (* Detach: the pc must transition back to the fast path and go silent. *)
+  Vm.Cpu.remove_hook cpu h;
+  check_int "hook gone" 0 (Vm.Cpu.pc_hook_count cpu);
+  Alcotest.check outcome_t "more fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:30 cpu);
+  check_int "detached hook is silent" 10 !fired;
+  (* A global hook attached mid-run sees every instruction... *)
+  let seen = ref 0 in
+  let g = Vm.Cpu.add_pre_hook cpu (fun _ -> incr seen) in
+  Alcotest.check outcome_t "more fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:9 cpu);
+  check_int "global hook fires per instruction" 9 !seen;
+  (* ...and after removal the program still completes correctly. *)
+  Vm.Cpu.remove_hook cpu g;
+  Alcotest.check outcome_t "finishes" Vm.Cpu.Halted (Vm.Cpu.run cpu);
+  check_int "loop reached its bound" 1000 (Vm.Cpu.get_reg cpu Vm.Isa.R0);
+  (* The whole mixed-mode run executed exactly as many instructions as an
+     all-fast or all-slow run would have. *)
+  let ref_cpu, _ = make_cpu (counting_loop ()) in
+  Alcotest.check outcome_t "reference halts" Vm.Cpu.Halted (Vm.Cpu.run ref_cpu);
+  check_int "icount matches an uninterrupted run" ref_cpu.Vm.Cpu.icount
+    cpu.Vm.Cpu.icount
+
+let test_post_hook_masks_fast_path () =
+  (* A pc-level *post* hook must also force the instrumented path (it
+     needs the effect record); check it observes the right effect. *)
+  let base = 0x08048000 in
+  let cpu, _ = make_cpu (counting_loop ()) in
+  let writes = ref 0 in
+  let h =
+    Vm.Cpu.add_pc_post_hook cpu ~pc:(base + 4) (fun eff ->
+        writes := !writes + List.length eff.Vm.Event.e_regs_written)
+  in
+  Alcotest.check outcome_t "halts" Vm.Cpu.Halted (Vm.Cpu.run cpu);
+  check_int "post hook saw every Add commit" 1000 !writes;
+  Vm.Cpu.remove_hook cpu h;
+  check_int "footprint clear" 0 (Vm.Cpu.pc_hook_count cpu)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vm-diff"
+    [
+      ("differential", [ qt diff_qcheck ]);
+      ( "directed",
+        [
+          Alcotest.test_case "page-crossing copy" `Quick test_page_crossing_copy;
+          Alcotest.test_case "mid-run fault" `Quick test_mid_run_fault;
+          Alcotest.test_case "div-zero fault" `Quick test_div_zero_fault;
+        ] );
+      ( "hooks-mid-run",
+        [
+          Alcotest.test_case "attach/detach transitions" `Quick
+            test_attach_detach_mid_run;
+          Alcotest.test_case "pc post-hook masks fast path" `Quick
+            test_post_hook_masks_fast_path;
+        ] );
+    ]
