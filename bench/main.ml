@@ -5,6 +5,12 @@
    Run with `dune exec bench/main.exe` (all sections) or pass section names
    (table1 table2 table3 fig4 fig5 fig6 fig7 fig8 vsef ablations micro). *)
 
+(* Smoke mode (`bench smoke`, wired into `dune runtest`): every section
+   with tiny parameters, so the whole harness is exercised in seconds.
+   [sc full small] picks the smoke-scaled value. *)
+let smoke = ref false
+let sc full small = if !smoke then small else full
+
 let section_header name =
   Printf.printf "\n=====================================================\n";
   Printf.printf "== %s\n" name;
@@ -34,7 +40,8 @@ let table1 () =
 
 (* Run one complete attack/defense cycle against [key]; returns the
    analysis report and the protected server (post-recovery). *)
-let attack_and_analyze ?(benign = 20) ?(seed = 42) key =
+let attack_and_analyze ?benign ?(seed = 42) key =
+  let benign = match benign with Some n -> n | None -> sc 20 5 in
   let entry = Apps.Registry.find key in
   let proc = Osim.Process.load ~aslr:true ~seed (entry.r_compile ()) in
   let server = Osim.Server.create proc in
@@ -100,8 +107,8 @@ let median l =
 let fig4 () =
   section_header
     "Figure 4: Performance at varying checkpoint intervals (Squid workload)";
-  let n = 1500 in
-  let trials = 7 in
+  let n = sc 1500 60 in
+  let trials = sc 7 1 in
   let measure config =
     let times = ref [] in
     let last = ref None in
@@ -114,7 +121,7 @@ let fig4 () =
     (median !times, cks, cow, mapped)
   in
   (* Warm up code paths and the allocator before any timed run. *)
-  ignore (run_workload "squid" 200 1);
+  ignore (run_workload "squid" (sc 200 40) 1);
   let base_time, _, _, _ =
     measure { Osim.Server.checkpoint_interval_ms = 0; keep_checkpoints = 20 }
   in
@@ -167,9 +174,9 @@ let fig5 () =
     let b = int_of_float ((Unix.gettimeofday () -. t_start) *. 1000. /. bucket_ms) in
     Hashtbl.replace buckets b (1 + Option.value ~default:0 (Hashtbl.find_opt buckets b))
   in
-  let benign = Apps.Registry.workload ~seed:3 key 3000 in
+  let benign = Apps.Registry.workload ~seed:3 key (sc 3000 300) in
   let exploit = Apps.Registry.exploit key in
-  let attack_at = 1500 in
+  let attack_at = sc 1500 150 in
   let attack_bucket = ref 0 in
   let recovery_ms = ref 0. in
   List.iteri
@@ -211,8 +218,8 @@ let fig5 () =
 
 let vsef_overhead () =
   section_header "Section 5.3: Vulnerability monitoring (VSEF) overhead";
-  let n = 1500 in
-  let trials = 5 in
+  let n = sc 1500 100 in
+  let trials = sc 5 1 in
   let measure key prepare =
     let times = ref [] in
     let hooks = ref 0 in
@@ -355,10 +362,16 @@ let community () =
       | Some ms -> Printf.sprintf "%.1f ms" ms
       | None -> "never")
   in
-  run ~n:16 ~producers:2;
-  run ~n:16 ~producers:1;
-  run ~n:32 ~producers:2;
-  run ~n:16 ~producers:0;
+  if !smoke then begin
+    run ~n:8 ~producers:1;
+    run ~n:8 ~producers:0
+  end
+  else begin
+    run ~n:16 ~producers:2;
+    run ~n:16 ~producers:1;
+    run ~n:32 ~producers:2;
+    run ~n:16 ~producers:0
+  end;
   Printf.printf
     "(with zero producers no antibody exists; ASLR alone still turns most \
      attempts into crashes, i.e. DoS instead of takeover)\n"
@@ -369,7 +382,7 @@ let community () =
 
 let sampling () =
   section_header "Section 4.2: heavyweight monitoring of sampled requests";
-  let n = 800 in
+  let n = sc 800 80 in
   let time_with rate =
     let entry = Apps.Registry.find "apache1" in
     let proc = Osim.Process.load ~aslr:true ~seed:8 (entry.r_compile ()) in
@@ -430,11 +443,12 @@ let ablations () =
     (fun m -> ignore (Osim.Server.handle server m))
     (Apps.Registry.workload "squid" 100);
   let time_snapshots eager =
+    let n = sc 200 20 in
     let t0 = Unix.gettimeofday () in
-    for _ = 1 to 200 do
+    for _ = 1 to n do
       ignore (Vm.Memory.snapshot ~eager proc.Osim.Process.mem)
     done;
-    (Unix.gettimeofday () -. t0) /. 200. *. 1e6
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6
   in
   let cow_us = time_snapshots false in
   let eager_us = time_snapshots true in
@@ -542,9 +556,9 @@ let vm_loop_cpu () =
   (cpu, img)
 
 let ns_per_instr prepare =
-  let fuel = 3_000_000 in
+  let fuel = sc 3_000_000 200_000 in
   let best = ref infinity in
-  for _ = 1 to 7 do
+  for _ = 1 to sc 7 2 do
     let cpu, img = vm_loop_cpu () in
     prepare cpu img;
     Gc.major ();
@@ -578,7 +592,7 @@ let micro_vm () =
   let _, cks, cow, _, _ =
     run_workload
       ~config:{ Osim.Server.checkpoint_interval_ms = 40; keep_checkpoints = 20 }
-      "squid" 300 11
+      "squid" (sc 300 60) 11
   in
   let pages_per_ck =
     if cks = 0 then 0.0 else float_of_int cow /. float_of_int cks
@@ -590,31 +604,157 @@ let micro_vm () =
     (global /. uninstr);
   Printf.printf "pages copied/checkpoint: %7.1f (over %d checkpoints)\n"
     pages_per_ck cks;
-  if !json_output then begin
-    let oc = open_out "BENCH_vm.json" in
-    Printf.fprintf oc
-      "{\n\
-      \  \"ns_per_instr_uninstrumented\": %.2f,\n\
-      \  \"ns_per_instr_one_pc_hook\": %.2f,\n\
-      \  \"ns_per_instr_global_taint_hook\": %.2f,\n\
-      \  \"one_pc_hook_overhead_pct\": %.2f,\n\
-      \  \"global_hook_slowdown_x\": %.2f,\n\
-      \  \"pages_copied_per_checkpoint\": %.2f,\n\
-      \  \"checkpoints\": %d\n\
-       }\n"
-      uninstr one_pc global
-      ((one_pc /. uninstr -. 1.) *. 100.)
-      (global /. uninstr) pages_per_ck cks;
-    close_out oc;
-    Printf.printf "(wrote BENCH_vm.json)\n"
-  end
+  (uninstr, one_pc, global, pages_per_ck, cks)
+
+(* ------------------------------------------------------------------ *)
+(* Taint & slicing engines: ns/instr of the heavyweight replays.       *)
+(* The workload is what the analyses actually chew through: a replay   *)
+(* that recv's a message and then loops copy/ALU traffic over the      *)
+(* tainted buffer.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let taint_bench_proc reps =
+  let src =
+    Printf.sprintf
+      {|
+      char buf[128];
+      int sink;
+      int main() {
+        int n = _recv(buf, 128);
+        int r = 0;
+        int acc = 0;
+        int i = 0;
+        while (r < %d) {
+          i = 0;
+          while (i < 64) {
+            acc = acc + buf[i];
+            buf[i + 64] = buf[i];
+            i = i + 1;
+          }
+          r = r + 1;
+        }
+        sink = acc;
+        return 0;
+      }
+      |}
+      reps
+  in
+  let proc =
+    Osim.Process.load ~aslr:true ~seed:11
+      (Minic.Driver.compile_app ~name:"taintbench" src)
+  in
+  ignore (Osim.Process.run proc);
+  ignore (Osim.Process.send_message proc (String.make 96 'Z'));
+  proc
+
+(* Best-of-[trials] ns/instr of one replay analysis; each trial gets a
+   fresh process (a replay consumes it). *)
+let replay_ns_per_instr trials mk run instrs_of =
+  let best = ref infinity in
+  let instrs = ref 0 in
+  for _ = 1 to trials do
+    let proc = mk () in
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let r = run proc in
+    let dt = Unix.gettimeofday () -. t0 in
+    instrs := instrs_of r;
+    if !instrs > 0 then best := min !best (dt *. 1e9 /. float_of_int !instrs)
+  done;
+  (!best, !instrs)
+
+let micro_taint () =
+  section_header "Analysis engines: ns/instr of the heavyweight replays";
+  let reps = sc 2000 20 in
+  let trials = sc 5 2 in
+  let mk () = taint_bench_proc reps in
+  let fused, n_instr =
+    replay_ns_per_instr trials mk Sweeper.Taint.run (fun r ->
+        r.Sweeper.Taint.t_instructions)
+  in
+  let oracle, _ =
+    replay_ns_per_instr trials mk Sweeper.Taint.Oracle.run (fun r ->
+        r.Sweeper.Taint.t_instructions)
+  in
+  let slice, _ =
+    replay_ns_per_instr trials mk Sweeper.Slice.run (fun r ->
+        r.Sweeper.Slice.sl_instructions)
+  in
+  (* Cross-check: both taint engines must agree on the replay. *)
+  let r1 = Sweeper.Taint.run (mk ()) in
+  let r2 = Sweeper.Taint.Oracle.run (mk ()) in
+  let agree =
+    Sweeper.Taint.verdict_to_string r1.Sweeper.Taint.t_verdict
+    = Sweeper.Taint.verdict_to_string r2.Sweeper.Taint.t_verdict
+    && r1.Sweeper.Taint.t_prop_pcs = r2.Sweeper.Taint.t_prop_pcs
+  in
+  Printf.printf "replay length: %d instructions (engines agree: %b)\n" n_instr
+    agree;
+  Printf.printf "taint, fused shadow-page engine : %8.1f ns/instr\n" fused;
+  Printf.printf "taint, per-byte oracle engine   : %8.1f ns/instr (%.1fx)\n"
+    oracle (oracle /. fused);
+  Printf.printf "backward slice (paged last-writer): %6.1f ns/instr\n" slice;
+  (fused, oracle, slice)
+
+(* Per-stage Table 3 wall-clock, collected for the JSON dump. *)
+let table3_stage_rows () =
+  List.map
+    (fun key ->
+      let r, _, _ = attack_and_analyze key in
+      (key, r))
+    apps
+
+let json_escape_stage name =
+  String.map (fun c -> if c = ' ' || c = '/' then '_' else Char.lowercase_ascii c)
+    name
+
+let write_bench_json ~uninstr ~one_pc ~global ~pages_per_ck ~cks ~taint_fused
+    ~taint_oracle ~slice_ns ~table3 =
+  let oc = open_out "BENCH_vm.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"ns_per_instr_uninstrumented\": %.2f,\n" uninstr;
+  Printf.fprintf oc "  \"ns_per_instr_one_pc_hook\": %.2f,\n" one_pc;
+  Printf.fprintf oc "  \"ns_per_instr_global_taint_hook\": %.2f,\n" global;
+  Printf.fprintf oc "  \"one_pc_hook_overhead_pct\": %.2f,\n"
+    ((one_pc /. uninstr -. 1.) *. 100.);
+  Printf.fprintf oc "  \"global_hook_slowdown_x\": %.2f,\n" (global /. uninstr);
+  Printf.fprintf oc "  \"ns_per_instr_taint_analysis\": %.2f,\n" taint_fused;
+  Printf.fprintf oc "  \"ns_per_instr_taint_oracle\": %.2f,\n" taint_oracle;
+  Printf.fprintf oc "  \"taint_speedup_x\": %.2f,\n" (taint_oracle /. taint_fused);
+  Printf.fprintf oc "  \"ns_per_instr_slice_analysis\": %.2f,\n" slice_ns;
+  Printf.fprintf oc "  \"pages_copied_per_checkpoint\": %.2f,\n" pages_per_ck;
+  Printf.fprintf oc "  \"checkpoints\": %d,\n" cks;
+  Printf.fprintf oc "  \"table3_stage_ms\": {\n";
+  List.iteri
+    (fun i (key, (r : Sweeper.Orchestrator.report)) ->
+      Printf.fprintf oc "    \"%s\": {\n" key;
+      List.iter
+        (fun (st : Sweeper.Orchestrator.stage_timing) ->
+          Printf.fprintf oc "      \"%s\": %.3f,\n"
+            (json_escape_stage st.st_name) st.st_wall_ms)
+        r.Sweeper.Orchestrator.a_timings;
+      Printf.fprintf oc "      \"time_to_first_vsef\": %.3f,\n"
+        r.Sweeper.Orchestrator.a_time_to_first_vsef_ms;
+      Printf.fprintf oc "      \"total\": %.3f\n"
+        r.Sweeper.Orchestrator.a_total_ms;
+      Printf.fprintf oc "    }%s\n" (if i < List.length table3 - 1 then "," else ""))
+    table3;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "(wrote BENCH_vm.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the primitives                          *)
 (* ------------------------------------------------------------------ *)
 
 let micro () =
-  micro_vm ();
+  let uninstr, one_pc, global, pages_per_ck, cks = micro_vm () in
+  let taint_fused, taint_oracle, slice_ns = micro_taint () in
+  if !json_output then begin
+    let table3 = table3_stage_rows () in
+    write_bench_json ~uninstr ~one_pc ~global ~pages_per_ck ~cks ~taint_fused
+      ~taint_oracle ~slice_ns ~table3
+  end;
   section_header "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let entry = Apps.Registry.find "squid" in
@@ -652,7 +792,9 @@ let micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg =
+    Benchmark.cfg ~limit:(sc 2000 200) ~quota:(Time.second (sc 0.5 0.1)) ()
+  in
   let tests =
     Test.make_grouped ~name:"sweeper"
       [ snapshot_test; checkpoint_test; signature_test; token_test ]
@@ -699,6 +841,10 @@ let () =
       (fun a ->
         if a = "--json" then begin
           json_output := true;
+          false
+        end
+        else if a = "smoke" || a = "--smoke" then begin
+          smoke := true;
           false
         end
         else true)

@@ -154,7 +154,7 @@ let on_effect st (eff : Vm.Event.effect_) =
   (* 1. Stack smashing: a store (not the call's own push) into a live
      return-address slot. *)
   (match eff.e_ctrl with
-  | Vm.Event.Call_to _ -> ()
+  | Vm.Event.Call_to -> ()
   | _ ->
     List.iter
       (fun (a : Vm.Event.access) ->
@@ -183,9 +183,10 @@ let on_effect st (eff : Vm.Event.effect_) =
   | _ -> ());
   (* 3. Shadow ret-slot maintenance + double-free checks at calls. *)
   (match eff.e_ctrl with
-  | Vm.Event.Call_to { target; _ } ->
+  | Vm.Event.Call_to ->
+    let target = eff.e_ctrl_a in
     let new_sp =
-      match List.assoc_opt Vm.Isa.SP eff.e_regs_written with
+      match Vm.Event.written_value eff Vm.Isa.SP with
       | Some v -> v
       | None -> Vm.Cpu.get_reg st.proc.Osim.Process.cpu Vm.Isa.SP
     in
@@ -196,7 +197,7 @@ let on_effect st (eff : Vm.Event.effect_) =
       if ptr <> 0 && Hashtbl.mem st.freed ptr then
         report st 3 eff.e_pc (Double_free { call_pc = eff.e_pc; ptr })
     end
-  | Vm.Event.Ret_to _ ->
+  | Vm.Event.Ret_to ->
     (* The slot being consumed is the address the return popped from. *)
     List.iter
       (fun (a : Vm.Event.access) -> Hashtbl.remove st.ret_slots a.a_addr)

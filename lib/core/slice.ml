@@ -11,6 +11,17 @@
 
 module Int_set = Set.Make (Int)
 
+(* The last-writer map is paged like {!Vm.Memory} (and {!Taint}'s shadow):
+   one [int array] of last-writer sequence numbers per touched 4 KiB page,
+   -1 meaning "never written". A replay's working set is a handful of hot
+   pages, so a one-entry TLB plus a one-entry negative cache (for reads of
+   never-written pages — code, library data) keeps the per-byte cost to an
+   array index instead of a hashtable probe. *)
+let page_bits = Vm.Memory.page_bits
+let page_size = Vm.Memory.page_size
+let page_mask = page_size - 1
+let no_page : int array = [||]
+
 type node = {
   n_seq : int;   (** dynamic instruction number (dense, from 0) *)
   n_pc : int;
@@ -23,7 +34,11 @@ type t = {
   mutable nodes : node array;
   mutable count : int;
   last_reg : int array;              (** reg -> seq of last writer *)
-  last_mem : (int, int) Hashtbl.t;   (** byte addr -> seq of last writer *)
+  last_mem : (int, int array) Hashtbl.t;
+      (** page index -> per-byte seq of last writer (-1 = never) *)
+  mutable lm_tlb_idx : int;          (** page index cached in [lm_tlb] *)
+  mutable lm_tlb : int array;
+  mutable lm_neg_idx : int;          (** page index known absent *)
   mutable last_flags : int;
   mutable last_branch : int;
 }
@@ -34,10 +49,62 @@ let create proc =
     nodes = Array.make 4096 { n_seq = 0; n_pc = 0; n_deps = []; n_src_msg = None };
     count = 0;
     last_reg = Array.make Vm.Isa.num_regs (-1);
-    last_mem = Hashtbl.create 4096;
+    last_mem = Hashtbl.create 64;
+    lm_tlb_idx = -1;
+    lm_tlb = no_page;
+    lm_neg_idx = -1;
     last_flags = -1;
     last_branch = -1;
   }
+
+(* Write side: the page for [addr], materialized on first write. *)
+let lm_page st addr =
+  let idx = addr lsr page_bits in
+  if idx = st.lm_tlb_idx then st.lm_tlb
+  else begin
+    let pg =
+      match Hashtbl.find_opt st.last_mem idx with
+      | Some pg -> pg
+      | None ->
+        let pg = Array.make page_size (-1) in
+        Hashtbl.add st.last_mem idx pg;
+        pg
+    in
+    if st.lm_neg_idx = idx then st.lm_neg_idx <- -1;
+    st.lm_tlb_idx <- idx;
+    st.lm_tlb <- pg;
+    pg
+  end
+
+(* Read side: seq of the last writer of [addr], -1 when never written. *)
+let lm_get st addr =
+  let idx = addr lsr page_bits in
+  if idx = st.lm_tlb_idx then Array.unsafe_get st.lm_tlb (addr land page_mask)
+  else if idx = st.lm_neg_idx then -1
+  else
+    match Hashtbl.find_opt st.last_mem idx with
+    | None ->
+      st.lm_neg_idx <- idx;
+      -1
+    | Some pg ->
+      st.lm_tlb_idx <- idx;
+      st.lm_tlb <- pg;
+      Array.unsafe_get pg (addr land page_mask)
+
+let lm_set st addr seq =
+  Array.unsafe_set (lm_page st addr) (addr land page_mask) seq
+
+(* Range fill (recv buffers): whole spans per page via [Array.fill]. *)
+let lm_fill st addr len seq =
+  let a = ref addr and remaining = ref len in
+  while !remaining > 0 do
+    let pg = lm_page st !a in
+    let off = !a land page_mask in
+    let n = min !remaining (page_size - off) in
+    Array.fill pg off n seq;
+    a := !a + n;
+    remaining := !remaining - n
+  done
 
 let push st node =
   if st.count = Array.length st.nodes then begin
@@ -56,9 +123,7 @@ let deps_of st (eff : Vm.Event.effect_) =
   List.iter
     (fun (a : Vm.Event.access) ->
       for i = 0 to a.a_size - 1 do
-        match Hashtbl.find_opt st.last_mem (a.a_addr + i) with
-        | Some s -> add s
-        | None -> ()
+        add (lm_get st (a.a_addr + i))
       done)
     eff.e_mem_reads;
   if eff.e_flags_read then add st.last_flags;
@@ -75,35 +140,33 @@ let on_effect st (eff : Vm.Event.effect_) =
   in
   push st { n_seq = seq; n_pc = eff.e_pc; n_deps = deps; n_src_msg = src_msg };
   (* Update writer maps. *)
-  List.iter
-    (fun (r, _) -> st.last_reg.(Vm.Isa.reg_index r) <- seq)
-    eff.e_regs_written;
+  if eff.e_rw_count >= 1 then begin
+    st.last_reg.(Vm.Isa.reg_index eff.e_rw0) <- seq;
+    if eff.e_rw_count >= 2 then st.last_reg.(Vm.Isa.reg_index eff.e_rw1) <- seq
+  end;
   List.iter
     (fun (a : Vm.Event.access) ->
       for i = 0 to a.a_size - 1 do
-        Hashtbl.replace st.last_mem (a.a_addr + i) seq
+        lm_set st (a.a_addr + i) seq
       done)
     eff.e_mem_writes;
   (match eff.e_sys with
-  | Vm.Event.Io_recv { buf; len; _ } ->
-    for i = 0 to len - 1 do
-      Hashtbl.replace st.last_mem (buf + i) seq
-    done
+  | Vm.Event.Io_recv { buf; len; _ } -> lm_fill st buf len seq
   | _ -> ());
   if eff.e_flags_written then st.last_flags <- seq;
   match eff.e_ctrl with
-  | Vm.Event.Jump _ -> (
+  | Vm.Event.Jump -> (
     (* Conditional jumps (and taken unconditional ones reached through a
        condition) are control-dependence anchors. *)
     match eff.e_instr with
     | Vm.Isa.Jcc _ -> st.last_branch <- seq
     | _ -> ())
-  | Vm.Event.Ret_to _ | Vm.Event.Call_to _ -> st.last_branch <- seq
+  | Vm.Event.Ret_to | Vm.Event.Call_to -> st.last_branch <- seq
   | Vm.Event.Next -> (
     match eff.e_instr with
     | Vm.Isa.Jcc _ -> st.last_branch <- seq  (* not-taken branch still governs *)
     | _ -> ())
-  | Vm.Event.Sys _ | Vm.Event.Stop -> ()
+  | Vm.Event.Sys | Vm.Event.Stop -> ()
 
 (* Dependences of the *faulting* instruction, which never became a node
    because the fault pre-empted execution. Reconstructed from the machine
@@ -116,9 +179,7 @@ let fault_deps st =
   let add_reg r = add st.last_reg.(Vm.Isa.reg_index r) in
   let add_mem addr size =
     for i = 0 to size - 1 do
-      match Hashtbl.find_opt st.last_mem (addr + i) with
-      | Some s -> add s
-      | None -> ()
+      add (lm_get st (addr + i))
     done
   in
   (match Vm.Program.fetch cpu.Vm.Cpu.code pc with

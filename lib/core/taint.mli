@@ -4,7 +4,14 @@
     taint flows through data movement and arithmetic (not through pointers
     or control flow — that is what distinguishes it from slicing) and an
     alarm is raised when tainted data is about to be used as a control
-    target. *)
+    target.
+
+    Internally the engine keeps taint as interned label-set ids over paged
+    shadow memory (parallel to {!Vm.Memory}'s pages), and {!run} replays on
+    a fused loop that reuses the interpreter's uninstrumented executor
+    instead of the per-instruction effect-record path — the heavyweight
+    analysis at close to fast-path speed. {!Oracle} is the original
+    per-byte engine, kept as the differential-testing reference. *)
 
 module Int_set : Set.S with type elt = int and type t = Set.Make(Int).t
 
@@ -34,8 +41,10 @@ val on_effect : t -> Vm.Event.effect_ -> unit
 val guard : t -> Vm.Event.effect_ -> unit
 (** A pre-hook check that stops tainted data {e before} it is misused —
     raises {!Detection.Detected} on a tainted return target, indirect-call
-    target, or [exec] argument. TaintCheck as an online monitor: what a
-    sampling host or sentinel node runs. *)
+    target, or [exec] argument (the argument scan covers the command
+    string's actual NUL-terminated bytes, up to the same length cap the
+    syscall layer's [load_cstring] applies). TaintCheck as an online
+    monitor: what a sampling host or sentinel node runs. *)
 
 val classify_fault : t -> Vm.Cpu.outcome -> verdict
 (** After a replay ends, classify its outcome (the fault itself pre-empts
@@ -51,8 +60,25 @@ val verdict_msgs : verdict -> int list
 val verdict_to_string : verdict -> string
 
 val run : ?fuel:int -> Osim.Process.t -> result
-(** Attach the tracker, run the replay to completion, classify, detach. *)
+(** Attach the tracker, run the replay to completion, classify, detach.
+    Replays on the fused fast loop when this tracker is the only
+    instrumentation installed on the CPU; observable results are identical
+    to the hook-driven path either way. *)
 
 val vsef_of_result :
   app:string -> proc:Osim.Process.t -> result -> Vsef.t option
 (** The taint-derived VSEF: propagation instructions plus the sink. *)
+
+(** The original engine — one hashtable entry per tainted byte, label sets
+    as AVL sets, every instruction on the generic instrumented path — kept
+    verbatim as the reference the fast engine is differentially tested
+    against. Same propagation rules, same guard spec, same verdicts. *)
+module Oracle : sig
+  type state
+
+  val create : Osim.Process.t -> state
+  val on_effect : state -> Vm.Event.effect_ -> unit
+  val guard : state -> Vm.Event.effect_ -> unit
+  val classify_fault : state -> Vm.Cpu.outcome -> verdict
+  val run : ?fuel:int -> Osim.Process.t -> result
+end

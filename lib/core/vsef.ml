@@ -183,7 +183,8 @@ let install (p : Osim.Process.t) (v : t) : installed =
       in
       let on_ret (eff : Vm.Event.effect_) =
         match (!side, eff.e_ctrl) with
-        | expected :: rest, Vm.Event.Ret_to actual ->
+        | expected :: rest, Vm.Event.Ret_to ->
+          let actual = eff.e_ctrl_a in
           side := rest;
           if actual <> expected then
             trip v ~pc:eff.e_pc
@@ -348,9 +349,11 @@ let install (p : Osim.Process.t) (v : t) : installed =
           List.exists (fun r -> reg_taint.(Vm.Isa.reg_index r)) eff.e_regs_read
           || List.exists mem_tainted eff.e_mem_reads
         in
-        List.iter
-          (fun (r, _) -> reg_taint.(Vm.Isa.reg_index r) <- src_tainted)
-          eff.e_regs_written;
+        if eff.e_rw_count >= 1 then begin
+          reg_taint.(Vm.Isa.reg_index eff.e_rw0) <- src_tainted;
+          if eff.e_rw_count >= 2 then
+            reg_taint.(Vm.Isa.reg_index eff.e_rw1) <- src_tainted
+        end;
         List.iter
           (fun (a : Vm.Event.access) ->
             for i = 0 to a.a_size - 1 do

@@ -32,6 +32,8 @@ type hooks = {
   mutable n_post_all : int;
   pre_at : (int, (int * hook) list) Hashtbl.t;   (** keyed by pc *)
   post_at : (int, (int * hook) list) Hashtbl.t;  (** keyed by pc *)
+  mutable n_pre_at : int;   (** cached [Hashtbl.length pre_at] *)
+  mutable n_post_at : int;  (** cached [Hashtbl.length post_at] *)
   mutable next_id : int;
 }
 
@@ -51,6 +53,13 @@ type t = {
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: byte [i] is non-zero iff some per-pc
           hook (pre or post) is installed at that instruction *)
+  scratch : Event.effect_;
+      (** the one effect record the instrumented path reuses for every
+          instruction — hooks may read it only during their callback *)
+  scr_read : Event.access;   (** scratch buffer: the instruction's one read *)
+  scr_write : Event.access;  (** scratch buffer: the instruction's one write *)
+  scr_mr : Event.access list;  (** preallocated [[scr_read]] *)
+  scr_mw : Event.access list;  (** preallocated [[scr_write]] *)
 }
 
 type outcome =
@@ -60,6 +69,8 @@ type outcome =
   | Out_of_fuel
 
 let create ~mem ~layout ~code =
+  let scr_read = { Event.a_addr = 0; a_size = 0; a_value = 0 } in
+  let scr_write = { Event.a_addr = 0; a_size = 0; a_value = 0 } in
   {
     regs = Array.make Isa.num_regs 0;
     pc = 0;
@@ -73,11 +84,37 @@ let create ~mem ~layout ~code =
     icount = 0;
     hooks =
       { pre_all = []; post_all = []; n_pre_all = 0; n_post_all = 0;
-        pre_at = Hashtbl.create 16; post_at = Hashtbl.create 16; next_id = 0 };
+        pre_at = Hashtbl.create 16; post_at = Hashtbl.create 16;
+        n_pre_at = 0; n_post_at = 0; next_id = 0 };
     pc_hook_mask =
       Array.map
         (fun s -> Bytes.make (Array.length s.Program.seg_instrs) '\000')
         code.Program.segments;
+    scratch =
+      {
+        Event.e_seq = 0;
+        e_pc = 0;
+        e_instr = Isa.Nop;
+        e_regs_read = [];
+        e_rw_count = 0;
+        e_rw0 = Isa.R0;
+        e_rw0_val = 0;
+        e_rw1 = Isa.R0;
+        e_rw1_val = 0;
+        e_mem_reads = [];
+        e_mem_writes = [];
+        e_flags_read = false;
+        e_flags_written = false;
+        e_ctrl = Event.Next;
+        e_ctrl_a = 0;
+        e_ctrl_ret = 0;
+        e_sys = Event.Io_none;
+        e_fault = None;
+      };
+    scr_read;
+    scr_write;
+    scr_mr = [ scr_read ];
+    scr_mw = [ scr_write ];
   }
 
 let get_reg cpu r = cpu.regs.(Isa.reg_index r)
@@ -129,6 +166,7 @@ let add_pc_hook cpu ~pc f =
   cpu.hooks.next_id <- id + 1;
   let existing = Option.value ~default:[] (Hashtbl.find_opt cpu.hooks.pre_at pc) in
   Hashtbl.replace cpu.hooks.pre_at pc (existing @ [ (id, f) ]);
+  cpu.hooks.n_pre_at <- Hashtbl.length cpu.hooks.pre_at;
   sync_mask cpu pc;
   Pre_pc (pc, id)
 
@@ -141,6 +179,7 @@ let add_pc_post_hook cpu ~pc f =
     Option.value ~default:[] (Hashtbl.find_opt cpu.hooks.post_at pc)
   in
   Hashtbl.replace cpu.hooks.post_at pc (existing @ [ (id, f) ]);
+  cpu.hooks.n_post_at <- Hashtbl.length cpu.hooks.post_at;
   sync_mask cpu pc;
   Post_pc (pc, id)
 
@@ -161,9 +200,11 @@ let remove_hook cpu = function
     cpu.hooks.n_post_all <- List.length cpu.hooks.post_all
   | Pre_pc (pc, id) ->
     remove_from_table cpu.hooks.pre_at pc id;
+    cpu.hooks.n_pre_at <- Hashtbl.length cpu.hooks.pre_at;
     sync_mask cpu pc
   | Post_pc (pc, id) ->
     remove_from_table cpu.hooks.post_at pc id;
+    cpu.hooks.n_post_at <- Hashtbl.length cpu.hooks.post_at;
     sync_mask cpu pc
 
 (** Total number of per-pc hooks currently installed (VSEF footprint),
@@ -171,6 +212,11 @@ let remove_hook cpu = function
 let pc_hook_count cpu =
   Hashtbl.fold (fun _ l acc -> acc + List.length l) cpu.hooks.pre_at 0
   + Hashtbl.fold (fun _ l acc -> acc + List.length l) cpu.hooks.post_at 0
+
+(** Global (every-instruction) hooks currently installed, pre and post.
+    Analyses that fuse their instrumentation into a private run loop use
+    this to check that nobody else is listening. *)
+let global_hook_count cpu = cpu.hooks.n_pre_all + cpu.hooks.n_post_all
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented (slow-path) step                                       *)
@@ -181,135 +227,218 @@ let operand_value cpu = function
   | Isa.Reg r -> get_reg cpu r
   | Isa.Sym s -> invalid_arg ("Cpu: unresolved symbol " ^ s)
 
-let operand_regs = function
-  | Isa.Reg r -> [ r ]
-  | Isa.Imm _ | Isa.Sym _ -> []
+(* Instruction fetch, open-coded (Program.fetch returns an option and —
+   without flambda — allocates its internal loop closure; this path runs
+   once per instrumented instruction). Top-level recursion: no closure. *)
+let rec fetch_in segs n pc i =
+  if i >= n then raise (Event.Fault (Event.Exec_violation pc))
+  else
+    let s = Array.unsafe_get segs i in
+    if pc >= s.Program.seg_base && pc < s.Program.seg_limit then
+      let off = pc - s.Program.seg_base in
+      if off land (Isa.instr_size - 1) <> 0 then
+        raise (Event.Fault (Event.Exec_violation pc))
+      else Array.unsafe_get s.Program.seg_instrs (off / Isa.instr_size)
+    else fetch_in segs n pc (i + 1)
 
 let fetch cpu pc =
-  match Program.fetch cpu.code pc with
-  | Some i -> i
-  | None -> raise (Event.Fault (Event.Exec_violation pc))
+  let segs = cpu.code.Program.segments in
+  fetch_in segs (Array.length segs) pc 0
 
-(* Compute the effect of [instr] at the current state, without mutating.
-   Invalid accesses and invalid control targets are recorded in [e_fault]
-   (first one wins) rather than raised, so that pre-hooks — in particular
-   VSEFs installed at the very instruction that would crash — get to see
-   and veto the instruction; {!commit} raises the fault. *)
-let compute_effect cpu instr : Event.effect_ =
+(* Interned register-read lists: [e_regs_read] depends only on the static
+   instruction, so the one- and two-register shapes come from these tables
+   and the instrumented path allocates no cons cells for them. *)
+let reg_list1 = Array.init Isa.num_regs (fun i -> [ Isa.reg_of_index i ])
+
+let reg_list2 =
+  Array.init (Isa.num_regs * Isa.num_regs) (fun k ->
+      [ Isa.reg_of_index (k / Isa.num_regs);
+        Isa.reg_of_index (k mod Isa.num_regs) ])
+
+let rl1 r = Array.unsafe_get reg_list1 (Isa.reg_index r)
+
+let rl2 a b =
+  Array.unsafe_get reg_list2 ((Isa.reg_index a * Isa.num_regs) + Isa.reg_index b)
+
+let syscall_regs = [ Isa.R0; Isa.R1; Isa.R2; Isa.R3 ]
+
+let note_fault (eff : Event.effect_) f =
+  match eff.Event.e_fault with
+  | None -> eff.Event.e_fault <- Some f
+  | Some _ -> ()
+
+(* Record the instruction's single memory read in the scratch read buffer
+   and expose it through [e_mem_reads]; returns the value read (0 when the
+   address is invalid — the noted fault pre-empts commit anyway). *)
+let scratch_read cpu size addr =
+  let acc = cpu.scr_read in
+  acc.Event.a_addr <- addr;
+  acc.Event.a_size <- size;
+  (if Layout.valid_data cpu.layout addr then
+     acc.Event.a_value <-
+       (if size = 4 then Memory.load_word cpu.mem addr
+        else Memory.load_byte cpu.mem addr)
+   else begin
+     acc.Event.a_value <- 0;
+     note_fault cpu.scratch (Event.Segv_read addr)
+   end);
+  cpu.scratch.Event.e_mem_reads <- cpu.scr_mr;
+  acc.Event.a_value
+
+(* Likewise for the single memory write (validity noted, nothing stored —
+   {!commit} performs the write). *)
+let scratch_write cpu size addr v =
+  let acc = cpu.scr_write in
+  acc.Event.a_addr <- addr;
+  acc.Event.a_size <- size;
+  acc.Event.a_value <- (if size = 4 then Isa.to_u32 v else v land 0xff);
+  if not (Layout.valid_data cpu.layout addr) then
+    note_fault cpu.scratch (Event.Segv_write addr);
+  cpu.scratch.Event.e_mem_writes <- cpu.scr_mw
+
+(* Compute the effect of [instr] at the current state, without mutating
+   machine state — into the reused scratch record. Invalid accesses and
+   invalid control targets are recorded in [e_fault] (first one wins)
+   rather than raised, so that pre-hooks — in particular VSEFs installed
+   at the very instruction that would crash — get to see and veto the
+   instruction; {!commit} raises the fault. *)
+let rw1 (eff : Event.effect_) r v =
+  eff.Event.e_rw_count <- 1;
+  eff.Event.e_rw0 <- r;
+  eff.Event.e_rw0_val <- v
+
+let fill_effect cpu instr =
   let open Isa in
-  let open Event in
-  let pc = cpu.pc in
-  let pending_fault = ref None in
-  let note_fault f = if !pending_fault = None then pending_fault := Some f in
-  let mk ?(rr = []) ?(rw = []) ?(mr = []) ?(mw = []) ?(fr = false) ?(fw = false)
-      ?(ctrl = Next) () =
-    {
-      e_seq = cpu.icount;
-      e_pc = pc;
-      e_instr = instr;
-      e_regs_read = rr;
-      e_regs_written = rw;
-      e_mem_reads = mr;
-      e_mem_writes = mw;
-      e_flags_read = fr;
-      e_flags_written = fw;
-      e_ctrl = ctrl;
-      e_sys = Io_none;
-      e_fault = !pending_fault;
-    }
-  in
-  let read_word addr =
-    if not (Layout.valid_data cpu.layout addr) then begin
-      note_fault (Segv_read addr);
-      { a_addr = addr; a_size = 4; a_value = 0 }
-    end
-    else { a_addr = addr; a_size = 4; a_value = Memory.load_word cpu.mem addr }
-  in
-  let read_byte addr =
-    if not (Layout.valid_data cpu.layout addr) then begin
-      note_fault (Segv_read addr);
-      { a_addr = addr; a_size = 1; a_value = 0 }
-    end
-    else { a_addr = addr; a_size = 1; a_value = Memory.load_byte cpu.mem addr }
-  in
-  let write_word addr v =
-    if not (Layout.valid_data cpu.layout addr) then note_fault (Segv_write addr);
-    { a_addr = addr; a_size = 4; a_value = Isa.to_u32 v }
-  in
-  let write_byte addr v =
-    if not (Layout.valid_data cpu.layout addr) then note_fault (Segv_write addr);
-    { a_addr = addr; a_size = 1; a_value = v land 0xff }
-  in
-  let check_exec_target addr =
-    if not (Layout.valid_code cpu.layout addr) then
-      note_fault (Exec_violation addr)
-  in
+  let eff = cpu.scratch in
+  eff.Event.e_seq <- cpu.icount;
+  eff.Event.e_pc <- cpu.pc;
+  eff.Event.e_instr <- instr;
+  eff.Event.e_regs_read <- [];
+  eff.Event.e_rw_count <- 0;
+  eff.Event.e_mem_reads <- [];
+  eff.Event.e_mem_writes <- [];
+  eff.Event.e_flags_read <- false;
+  eff.Event.e_flags_written <- false;
+  eff.Event.e_ctrl <- Event.Next;
+  eff.Event.e_sys <- Event.Io_none;
+  eff.Event.e_fault <- None;
   match instr with
   | Mov (rd, op) ->
-    mk ~rr:(operand_regs op) ~rw:[ (rd, operand_value cpu op) ] ()
+    (match op with Reg r -> eff.Event.e_regs_read <- rl1 r | _ -> ());
+    rw1 eff rd (operand_value cpu op)
   | Bin (op, rd, src) ->
     let v =
       try eval_binop op (get_reg cpu rd) (operand_value cpu src)
       with Division_by_zero ->
-        note_fault Div_zero;
+        note_fault eff Event.Div_zero;
         0
     in
-    mk ~rr:(rd :: operand_regs src) ~rw:[ (rd, v) ] ()
-  | Not rd -> mk ~rr:[ rd ] ~rw:[ (rd, Isa.to_u32 (lnot (get_reg cpu rd))) ] ()
-  | Neg rd -> mk ~rr:[ rd ] ~rw:[ (rd, Isa.to_u32 (-get_reg cpu rd)) ] ()
+    eff.Event.e_regs_read <-
+      (match src with Reg r -> rl2 rd r | Imm _ | Sym _ -> rl1 rd);
+    rw1 eff rd v
+  | Not rd ->
+    eff.Event.e_regs_read <- rl1 rd;
+    rw1 eff rd (Isa.to_u32 (lnot (get_reg cpu rd)))
+  | Neg rd ->
+    eff.Event.e_regs_read <- rl1 rd;
+    rw1 eff rd (Isa.to_u32 (-get_reg cpu rd))
   | Load (rd, rs, off) ->
-    let acc = read_word (Isa.to_u32 (get_reg cpu rs + off)) in
-    mk ~rr:[ rs ] ~rw:[ (rd, acc.a_value) ] ~mr:[ acc ] ()
+    let v = scratch_read cpu 4 (Isa.to_u32 (get_reg cpu rs + off)) in
+    eff.Event.e_regs_read <- rl1 rs;
+    rw1 eff rd v
   | Loadb (rd, rs, off) ->
-    let acc = read_byte (Isa.to_u32 (get_reg cpu rs + off)) in
-    mk ~rr:[ rs ] ~rw:[ (rd, acc.a_value) ] ~mr:[ acc ] ()
+    let v = scratch_read cpu 1 (Isa.to_u32 (get_reg cpu rs + off)) in
+    eff.Event.e_regs_read <- rl1 rs;
+    rw1 eff rd v
   | Store (rbase, off, rs) ->
-    let acc = write_word (Isa.to_u32 (get_reg cpu rbase + off)) (get_reg cpu rs) in
-    mk ~rr:[ rbase; rs ] ~mw:[ acc ] ()
+    scratch_write cpu 4 (Isa.to_u32 (get_reg cpu rbase + off)) (get_reg cpu rs);
+    eff.Event.e_regs_read <- rl2 rbase rs
   | Storeb (rbase, off, rs) ->
-    let acc = write_byte (Isa.to_u32 (get_reg cpu rbase + off)) (get_reg cpu rs) in
-    mk ~rr:[ rbase; rs ] ~mw:[ acc ] ()
+    scratch_write cpu 1 (Isa.to_u32 (get_reg cpu rbase + off)) (get_reg cpu rs);
+    eff.Event.e_regs_read <- rl2 rbase rs
   | Push op ->
     let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
-    let acc = write_word sp' (operand_value cpu op) in
-    mk ~rr:(SP :: operand_regs op) ~rw:[ (SP, sp') ] ~mw:[ acc ] ()
+    scratch_write cpu 4 sp' (operand_value cpu op);
+    eff.Event.e_regs_read <-
+      (match op with Reg r -> rl2 SP r | Imm _ | Sym _ -> rl1 SP);
+    rw1 eff SP sp'
   | Pop rd ->
     let sp = get_reg cpu SP in
-    let acc = read_word sp in
-    mk ~rr:[ SP ] ~rw:[ (rd, acc.a_value); (SP, Isa.to_u32 (sp + 4)) ] ~mr:[ acc ] ()
-  | Cmp (r, op) -> mk ~rr:(r :: operand_regs op) ~fw:true ()
-  | Jmp (Addr a) -> mk ~ctrl:(Jump a) ()
+    let v = scratch_read cpu 4 sp in
+    eff.Event.e_regs_read <- rl1 SP;
+    eff.Event.e_rw_count <- 2;
+    eff.Event.e_rw0 <- rd;
+    eff.Event.e_rw0_val <- v;
+    eff.Event.e_rw1 <- SP;
+    eff.Event.e_rw1_val <- Isa.to_u32 (sp + 4)
+  | Cmp (r, op) ->
+    eff.Event.e_regs_read <-
+      (match op with Reg r2 -> rl2 r r2 | Imm _ | Sym _ -> rl1 r);
+    eff.Event.e_flags_written <- true
+  | Jmp (Addr a) ->
+    eff.Event.e_ctrl <- Event.Jump;
+    eff.Event.e_ctrl_a <- a
   | Jcc (c, Addr a) ->
-    let taken = eval_cond c cpu.flag_a cpu.flag_b in
-    mk ~fr:true ~ctrl:(if taken then Jump a else Next) ()
+    eff.Event.e_flags_read <- true;
+    if eval_cond c cpu.flag_a cpu.flag_b then begin
+      eff.Event.e_ctrl <- Event.Jump;
+      eff.Event.e_ctrl_a <- a
+    end
   | Call (Addr a) ->
     let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
-    let ret = pc + Isa.instr_size in
-    let acc = write_word sp' ret in
-    mk ~rr:[ SP ] ~rw:[ (SP, sp') ] ~mw:[ acc ]
-      ~ctrl:(Call_to { target = a; ret }) ()
+    let ret = cpu.pc + Isa.instr_size in
+    scratch_write cpu 4 sp' ret;
+    eff.Event.e_regs_read <- rl1 SP;
+    rw1 eff SP sp';
+    eff.Event.e_ctrl <- Event.Call_to;
+    eff.Event.e_ctrl_a <- a;
+    eff.Event.e_ctrl_ret <- ret
   | CallInd r ->
     let target = get_reg cpu r in
-    check_exec_target target;
+    if not (Layout.valid_code cpu.layout target) then
+      note_fault eff (Event.Exec_violation target);
     let sp' = Isa.to_u32 (get_reg cpu SP - 4) in
-    let ret = pc + Isa.instr_size in
-    let acc = write_word sp' ret in
-    mk ~rr:[ r; SP ] ~rw:[ (SP, sp') ] ~mw:[ acc ]
-      ~ctrl:(Call_to { target; ret }) ()
+    let ret = cpu.pc + Isa.instr_size in
+    scratch_write cpu 4 sp' ret;
+    eff.Event.e_regs_read <- rl2 r SP;
+    rw1 eff SP sp';
+    eff.Event.e_ctrl <- Event.Call_to;
+    eff.Event.e_ctrl_a <- target;
+    eff.Event.e_ctrl_ret <- ret
   | Ret ->
     let sp = get_reg cpu SP in
-    let acc = read_word sp in
-    check_exec_target acc.a_value;
-    mk ~rr:[ SP ] ~rw:[ (SP, Isa.to_u32 (sp + 4)) ] ~mr:[ acc ]
-      ~ctrl:(Ret_to acc.a_value) ()
-  | Syscall n -> mk ~rr:[ R0; R1; R2; R3 ] ~ctrl:(Sys n) ()
-  | Halt -> mk ~ctrl:Stop ()
-  | Nop -> mk ()
+    let v = scratch_read cpu 4 sp in
+    if not (Layout.valid_code cpu.layout v) then
+      note_fault eff (Event.Exec_violation v);
+    eff.Event.e_regs_read <- rl1 SP;
+    rw1 eff SP (Isa.to_u32 (sp + 4));
+    eff.Event.e_ctrl <- Event.Ret_to;
+    eff.Event.e_ctrl_a <- v
+  | Syscall n ->
+    eff.Event.e_regs_read <- syscall_regs;
+    eff.Event.e_ctrl <- Event.Sys;
+    eff.Event.e_ctrl_a <- n
+  | Halt -> eff.Event.e_ctrl <- Event.Stop
+  | Nop -> ()
   | Jmp (Lbl s) | Jcc (_, Lbl s) | Call (Lbl s) ->
     invalid_arg ("Cpu: unresolved label " ^ s)
 
-(* Lists are stored in execution order, so no per-step reversal. *)
-let run_hooks hooks eff = List.iter (fun (_, f) -> f eff) hooks
+(* Lists are stored in execution order, so no per-step reversal. A
+   top-level recursive loop, not [List.iter]: the iter closure would
+   capture [eff] and allocate on every instrumented step. *)
+let rec run_hooks hooks eff =
+  match hooks with
+  | [] -> ()
+  | (_, f) :: tl ->
+    f eff;
+    run_hooks tl eff
+
+let rec do_mem_writes mem = function
+  | [] -> ()
+  | (a : Event.access) :: tl ->
+    if a.a_size = 4 then Memory.store_word mem a.a_addr a.a_value
+    else Memory.store_byte mem a.a_addr a.a_value;
+    do_mem_writes mem tl
 
 (* Commit an effect: apply register writes, memory writes, pc update.
    A pending fault is raised first, before any state changes. *)
@@ -317,12 +446,16 @@ let commit cpu (eff : Event.effect_) =
   (match eff.e_fault with
   | Some f -> raise (Event.Fault f)
   | None -> ());
-  List.iter
-    (fun (a : Event.access) ->
-      if a.a_size = 4 then Memory.store_word cpu.mem a.a_addr a.a_value
-      else Memory.store_byte cpu.mem a.a_addr a.a_value)
-    eff.e_mem_writes;
-  List.iter (fun (r, v) -> set_reg cpu r v) eff.e_regs_written;
+  (match eff.e_mem_writes with
+  | [] -> ()
+  | [ a ] ->
+    if a.a_size = 4 then Memory.store_word cpu.mem a.a_addr a.a_value
+    else Memory.store_byte cpu.mem a.a_addr a.a_value
+  | l -> do_mem_writes cpu.mem l);
+  if eff.e_rw_count >= 1 then begin
+    set_reg cpu eff.e_rw0 eff.e_rw0_val;
+    if eff.e_rw_count >= 2 then set_reg cpu eff.e_rw1 eff.e_rw1_val
+  end;
   if eff.e_flags_written then begin
     match eff.e_instr with
     | Isa.Cmp (r, op) ->
@@ -334,10 +467,9 @@ let commit cpu (eff : Event.effect_) =
   end;
   match eff.e_ctrl with
   | Next -> cpu.pc <- cpu.pc + Isa.instr_size
-  | Jump a | Ret_to a -> cpu.pc <- a
-  | Call_to { target; _ } -> cpu.pc <- target
-  | Sys n ->
-    cpu.sys_handler cpu eff n;
+  | Jump | Ret_to | Call_to -> cpu.pc <- eff.e_ctrl_a
+  | Sys ->
+    cpu.sys_handler cpu eff eff.e_ctrl_a;
     cpu.pc <- cpu.pc + Isa.instr_size
   | Stop -> cpu.halted <- true
 
@@ -349,16 +481,19 @@ let commit cpu (eff : Event.effect_) =
 let step cpu =
   let pc = cpu.pc in
   let instr = fetch cpu pc in
-  let eff = compute_effect cpu instr in
-  (match Hashtbl.find_opt cpu.hooks.pre_at pc with
-  | Some hs -> run_hooks hs eff
-  | None -> ());
+  fill_effect cpu instr;
+  let eff = cpu.scratch in
+  if cpu.hooks.n_pre_at <> 0 then (
+    match Hashtbl.find_opt cpu.hooks.pre_at pc with
+    | Some hs -> run_hooks hs eff
+    | None -> ());
   run_hooks cpu.hooks.pre_all eff;
   commit cpu eff;
   cpu.icount <- cpu.icount + 1;
-  (match Hashtbl.find_opt cpu.hooks.post_at pc with
-  | Some hs -> run_hooks hs eff
-  | None -> ());
+  if cpu.hooks.n_post_at <> 0 then (
+    match Hashtbl.find_opt cpu.hooks.post_at pc with
+    | Some hs -> run_hooks hs eff
+    | None -> ());
   run_hooks cpu.hooks.post_all eff;
   eff
 

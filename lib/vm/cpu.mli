@@ -36,6 +36,13 @@ type t = {
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: non-zero bytes mark pcs with per-pc
           hooks, steering {!run}'s dispatch to the instrumented path *)
+  scratch : Event.effect_;
+      (** the one effect record the instrumented path reuses for every
+          instruction — hooks may read it only during their callback *)
+  scr_read : Event.access;   (** scratch buffer: the instruction's one read *)
+  scr_write : Event.access;  (** scratch buffer: the instruction's one write *)
+  scr_mr : Event.access list;  (** preallocated [[scr_read]] *)
+  scr_mw : Event.access list;  (** preallocated [[scr_write]] *)
 }
 
 type outcome =
@@ -71,9 +78,34 @@ val pc_hook_count : t -> int
 (** Per-pc hooks (pre and post) currently installed — the VSEF
     footprint. *)
 
+val global_hook_count : t -> int
+(** Every-instruction hooks (pre and post) currently installed. Analyses
+    that fuse their instrumentation into a private run loop (see
+    {!Sweeper.Taint.run}) use this to verify nobody else is listening
+    before bypassing the generic hook dispatch. *)
+
+val fetch : t -> int -> Isa.instr
+(** The instruction at an address; raises [Event.Fault (Exec_violation _)]
+    when the address is unmapped or misaligned — exactly the fault
+    {!step} would raise. Allocation-free. *)
+
+val exec_fast : t -> Isa.instr -> bool
+(** Direct interpretation of one instruction: no effect record, no hook
+    dispatch, no allocation. Returns [true] when the instruction fully
+    executed (pc and icount already advanced). Returns [false] — {e before
+    mutating any state} — for anything it cannot reproduce exactly
+    (syscalls, unresolved symbols, any access or control transfer that
+    would fault); the caller must then re-execute the instruction with
+    {!step}, where deferred-fault and hook semantics live. This is the
+    building block {!run}'s fast path uses; it is exposed so heavyweight
+    analyses can fuse their shadow-state updates into a private loop
+    instead of paying the per-instruction effect-record cost. *)
+
 val step : t -> Event.effect_
 (** Execute one instruction on the instrumented path, always building the
-    full effect record. Raises [Event.Fault] on machine faults (state
+    full effect record. The returned record is the CPU's reused scratch
+    record: it is only valid until the next instruction executes — copy
+    out anything you keep. Raises [Event.Fault] on machine faults (state
     unchanged, pc at the faulting instruction), [Event.Blocked] when a
     syscall would block, and propagates exceptions raised by hooks
     (detections) before commit. *)

@@ -6,21 +6,23 @@
     backward slicing, VSEF filters — consumes exactly these records, which
     is the moral equivalent of the paper's PIN instrumentation API. *)
 
-(** One memory access performed by an instruction. *)
+(** One memory access performed by an instruction. Fields are mutable so
+    the interpreter can reuse scratch records on the instrumented path (see
+    the ownership note on {!effect_}); hooks must treat them as read-only. *)
 type access = {
-  a_addr : int;
-  a_size : int;  (** 1 or 4 bytes *)
-  a_value : int;
+  mutable a_addr : int;
+  mutable a_size : int;  (** 1 or 4 bytes *)
+  mutable a_value : int;
 }
 
-(** Where control goes after the instruction. *)
-type ctrl =
-  | Next
-  | Jump of int
-  | Call_to of { target : int; ret : int }
-  | Ret_to of int
-  | Sys of int
-  | Stop
+(** Where control goes after the instruction. All constructors are
+    constant so that recording a control transfer never allocates; the
+    operands live in the effect record's [e_ctrl_a]/[e_ctrl_ret] fields:
+    - [Jump]: [e_ctrl_a] is the destination pc
+    - [Call_to]: [e_ctrl_a] is the call target, [e_ctrl_ret] the return pc
+    - [Ret_to]: [e_ctrl_a] is the address being returned to
+    - [Sys]: [e_ctrl_a] is the syscall number *)
+type ctrl = Next | Jump | Call_to | Ret_to | Sys | Stop
 
 (** Side effects of a syscall, reported by the OS layer so that analyses can
     see I/O (taint sources, allocation events, infection attempts). *)
@@ -48,18 +50,34 @@ type fault =
 (** The effect record for one executed instruction. Pre-hooks observe it
     {e before} the machine state is updated (so a filter can veto the
     instruction); post-hooks observe it afterwards, with [e_sys] filled in
-    for syscalls. *)
+    for syscalls.
+
+    Ownership: the interpreter owns the record. On the instrumented path it
+    reuses one scratch record (and scratch {!access} buffers) per CPU, so
+    an effect — including the one {!Cpu.step} returns — is only valid until
+    the next instruction executes. Hooks read it during their callback and
+    copy out whatever they keep; nothing in the system retains one. *)
 type effect_ = {
-  e_seq : int;  (** dynamic instruction number *)
-  e_pc : int;
-  e_instr : Isa.instr;
-  e_regs_read : Isa.reg list;
-  e_regs_written : (Isa.reg * int) list;  (** with the values being written *)
-  e_mem_reads : access list;
-  e_mem_writes : access list;
-  e_flags_read : bool;
-  e_flags_written : bool;
-  e_ctrl : ctrl;
+  mutable e_seq : int;  (** dynamic instruction number *)
+  mutable e_pc : int;
+  mutable e_instr : Isa.instr;
+  mutable e_regs_read : Isa.reg list;
+      (** interned per-shape lists — never mutate *)
+  mutable e_rw_count : int;
+      (** register writes this instruction performs: 0, 1 or 2. Kept as
+          fixed immediate slots (not a list) so the instrumented path never
+          allocates; {!regs_written} rebuilds the list view. *)
+  mutable e_rw0 : Isa.reg;
+  mutable e_rw0_val : int;
+  mutable e_rw1 : Isa.reg;  (** second slot — only [Pop rd]: rd then SP *)
+  mutable e_rw1_val : int;
+  mutable e_mem_reads : access list;
+  mutable e_mem_writes : access list;
+  mutable e_flags_read : bool;
+  mutable e_flags_written : bool;
+  mutable e_ctrl : ctrl;
+  mutable e_ctrl_a : int;    (** see {!ctrl} *)
+  mutable e_ctrl_ret : int;  (** see {!ctrl} *)
   mutable e_sys : sys_io;
   mutable e_fault : fault option;
       (** the fault this instruction is about to raise. Pre-hooks see it
@@ -67,6 +85,20 @@ type effect_ = {
           would have crashed — and commit raises it without mutating any
           state. *)
 }
+
+(** The register writes as an association list (allocates — analyses on
+    the hot path read the [e_rw*] slots directly). *)
+let regs_written e =
+  if e.e_rw_count = 0 then []
+  else if e.e_rw_count = 1 then [ (e.e_rw0, e.e_rw0_val) ]
+  else [ (e.e_rw0, e.e_rw0_val); (e.e_rw1, e.e_rw1_val) ]
+
+(** The value this effect writes to [r], if any. As with [List.assoc] on
+    the old list representation, the first matching slot wins. *)
+let written_value e r =
+  if e.e_rw_count >= 1 && e.e_rw0 = r then Some e.e_rw0_val
+  else if e.e_rw_count >= 2 && e.e_rw1 = r then Some e.e_rw1_val
+  else None
 
 exception Fault of fault
 
