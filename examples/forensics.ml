@@ -51,20 +51,13 @@ let () =
     (Vm.Alloc.chunks proc.Osim.Process.mem proc.Osim.Process.layout);
 
   (* Prepare replay: roll back to a checkpoint that predates the attacking
-     message (a later one could sit mid-exploit). *)
+     message (a later one could sit mid-exploit). The replay driver picks
+     the rollback point and owns the rearm mechanics — rollback, log
+     replay mode, sandboxing. *)
   let upto = Osim.Netlog.cursor proc.Osim.Process.net in
-  let ck =
-    match
-      Osim.Checkpoint.before_message server.Osim.Server.ring ~msg_index:(upto - 1)
-    with
-    | Some ck -> ck
-    | None -> Option.get (Osim.Checkpoint.oldest server.Osim.Server.ring)
-  in
+  let ck, _ = Sweeper.Stage.Replay.rollback_point server ~msg_index:(upto - 1) in
   let rearm () =
-    Osim.Checkpoint.rollback proc ck;
-    Osim.Netlog.set_mode proc.Osim.Process.net
-      (Osim.Netlog.Replay { upto; skip = Osim.Netlog.Int_set.empty });
-    proc.Osim.Process.sandbox <- true
+    Sweeper.Stage.Replay.arm proc ck ~upto ~skip:Osim.Netlog.Int_set.empty
   in
 
   (* Step 2 — memory-bug detection during sandboxed replay. *)

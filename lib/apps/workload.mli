@@ -1,0 +1,14 @@
+(** Benign traffic generators, one per server — deterministic streams used
+    for overhead measurements (Figure 4), recovery timelines (Figure 5),
+    and false-positive checks on antibodies. The same [seed] always yields
+    the same stream. *)
+
+val httpd : seed:int -> int -> string list
+(** HTTP requests with short URIs and well-formed Referer headers. *)
+
+val proxyd : seed:int -> int -> string list
+(** Proxy requests: mostly http hits, some small well-formed ftp URLs
+    (these exercise the vulnerable [ftp_build_title_url] path safely). *)
+
+val vcsd : seed:int -> int -> string list
+(** CVS-protocol sessions: directory switches, entries, noops. *)

@@ -8,7 +8,15 @@
     and are otherwise on their own. This module is the bridge between the
     per-host machinery of {!Orchestrator} and the population-level claims
     of {!Epidemic}: the analytic model's parameters (α, ρ, γ) all have a
-    concrete mechanical counterpart here. *)
+    concrete mechanical counterpart here.
+
+    Community runs execute on the cooperative scheduler
+    ({!Osim.Sched}): every host is a task, traffic is posted to per-host
+    inboxes, and attack handling, benign service, analysis, and antibody
+    propagation all interleave in simulated time instead of lockstep
+    phases. The same reaction logic backs the direct {!deliver} entry
+    point, so a scheduled run and a serial one produce the same per-host
+    behaviour. *)
 
 type role = Producer | Consumer
 
@@ -123,12 +131,7 @@ let record_exploit_sample t payload =
 (* The rollback point for dropping message [cur]: a checkpoint predating
    its consumption (the latest one may have been taken mid-message). *)
 let safe_ck host cur =
-  match
-    Osim.Checkpoint.before_message host.h_server.Osim.Server.ring
-      ~msg_index:cur
-  with
-  | Some ck -> ck
-  | None -> Option.get (Osim.Checkpoint.oldest host.h_server.Osim.Server.ring)
+  fst (Stage.Replay.rollback_point host.h_server ~msg_index:cur)
 
 type delivery =
   | Served
@@ -136,6 +139,51 @@ type delivery =
   | Detected_and_analyzed   (** producer ran the pipeline; antibody published *)
   | Crashed_consumer        (** consumer detected the attack but can only recover *)
   | Infected of string
+
+(* The community's reaction to one delivery outcome — shared between the
+   direct [deliver] path and the scheduler's event handler, so serial and
+   interleaved runs behave identically per host. *)
+let react t host outcome : delivery =
+  match outcome with
+  | `Served -> Served
+  | `Filtered name ->
+    t.stats.s_blocked <- t.stats.s_blocked + 1;
+    Blocked name
+  | `Infected cmd ->
+    host.h_infected <- true;
+    t.stats.s_infections <- t.stats.s_infections + 1;
+    Infected cmd
+  | `Crashed fault ->
+    t.stats.s_crashes <- t.stats.s_crashes + 1;
+    (match host.h_role with
+    | Producer ->
+      t.stats.s_analyses <- t.stats.s_analyses + 1;
+      let report = Orchestrator.handle_attack ~app:t.app host.h_server fault in
+      if t.stats.s_first_antibody_ms = None then
+        t.stats.s_first_antibody_ms <-
+          Some report.Orchestrator.a_total_ms;
+      ignore (publish t report.Orchestrator.a_antibody);
+      host.h_deployed <- t.generation;
+      (match report.Orchestrator.a_antibody.Antibody.ab_exploit_input with
+      | Some inputs -> List.iter (record_exploit_sample t) inputs
+      | None -> ());
+      Detected_and_analyzed
+    | Consumer ->
+      (* A consumer has checkpoints but no analysis stack: roll back to
+         a checkpoint predating the in-flight message and drop it. *)
+      let cur = host.h_proc.Osim.Process.cur_msg in
+      ignore (Recovery.recover host.h_server (safe_ck host cur) ~skip:[ cur ]);
+      Crashed_consumer)
+  | `Vetoed ->
+    (* A VSEF vetoed the attack: drop the message, resume — and feed the
+       confirmed exploit variant back into signature refinement, so the
+       proxy filter learns what the VSEF had to catch. *)
+    t.stats.s_blocked <- t.stats.s_blocked + 1;
+    let cur = host.h_proc.Osim.Process.cur_msg in
+    let payload = (Osim.Netlog.message host.h_proc.Osim.Process.net cur).Osim.Netlog.m_payload in
+    ignore (Recovery.recover host.h_server (safe_ck host cur) ~skip:[ cur ]);
+    record_exploit_sample t payload;
+    Blocked "vsef"
 
 (** Deliver one message to one host, with the full community behaviour:
     antibody sync, producer-side analysis on detection, consumer-side
@@ -146,55 +194,62 @@ let deliver t host payload : delivery =
     t.stats.s_attempts <- t.stats.s_attempts + 1;
     sync_antibody t host;
     match Osim.Server.handle host.h_server payload with
-    | `Served _ -> Served
-    | `Filtered name ->
-      t.stats.s_blocked <- t.stats.s_blocked + 1;
-      Blocked name
-    | `Stopped -> Served
-    | `Infected (_, cmd) ->
-      host.h_infected <- true;
-      t.stats.s_infections <- t.stats.s_infections + 1;
-      Infected cmd
-    | `Crashed (_, fault) ->
-      t.stats.s_crashes <- t.stats.s_crashes + 1;
-      (match host.h_role with
-      | Producer ->
-        t.stats.s_analyses <- t.stats.s_analyses + 1;
-        let report = Orchestrator.handle_attack ~app:t.app host.h_server fault in
-        if t.stats.s_first_antibody_ms = None then
-          t.stats.s_first_antibody_ms <-
-            Some report.Orchestrator.a_total_ms;
-        ignore (publish t report.Orchestrator.a_antibody);
-        host.h_deployed <- t.generation;
-        (match report.Orchestrator.a_antibody.Antibody.ab_exploit_input with
-        | Some inputs -> List.iter (record_exploit_sample t) inputs
-        | None -> ());
-        Detected_and_analyzed
-      | Consumer ->
-        (* A consumer has checkpoints but no analysis stack: roll back to
-           a checkpoint predating the in-flight message and drop it. *)
-        let cur = host.h_proc.Osim.Process.cur_msg in
-        ignore (Recovery.recover host.h_server (safe_ck host cur) ~skip:[ cur ]);
-        Crashed_consumer)
-    | exception Detection.Detected _ ->
-      (* A VSEF vetoed the attack: drop the message, resume — and feed the
-         confirmed exploit variant back into signature refinement, so the
-         proxy filter learns what the VSEF had to catch. *)
-      t.stats.s_blocked <- t.stats.s_blocked + 1;
-      let cur = host.h_proc.Osim.Process.cur_msg in
-      ignore (Recovery.recover host.h_server (safe_ck host cur) ~skip:[ cur ]);
-      record_exploit_sample t payload;
-      Blocked "vsef"
+    | `Served _ -> react t host `Served
+    | `Filtered name -> react t host (`Filtered name)
+    | `Stopped -> react t host `Served
+    | `Infected (_, cmd) -> react t host (`Infected cmd)
+    | `Crashed (_, fault) -> react t host (`Crashed fault)
+    | exception Detection.Detected _ -> react t host `Vetoed
   end
 
-(** One worm round: the worm attacks every host once, with a fresh address
-    guess per host ([exploit_for] builds the per-host attack stream). *)
-let worm_round t ~(exploit_for : host -> string list) =
+(** Run traffic through the cooperative scheduler: every uninfected host
+    becomes a task, [traffic] fills its inbox, and service, crashes,
+    producer analysis, recovery, and antibody propagation interleave in
+    simulated time until the community is quiescent. Returns the
+    scheduler for inspection (virtual clock, instruction counts). *)
+let run_scheduled ?quantum t ~(traffic : host -> string list) =
+  let sched = Osim.Sched.create ?quantum () in
+  let assoc = Hashtbl.create (List.length t.hosts) in
   List.iter
     (fun host ->
-      if not host.h_infected then
-        List.iter (fun msg -> ignore (deliver t host msg)) (exploit_for host))
-    t.hosts
+      if not host.h_infected then begin
+        let task =
+          Osim.Sched.add sched host.h_server
+            ~on_deliver:(fun _payload ->
+              (* The moment a message reaches the host: the proxy syncs
+                 the newest antibody generation, the attempt counts. *)
+              t.stats.s_attempts <- t.stats.s_attempts + 1;
+              sync_antibody t host)
+        in
+        Hashtbl.replace assoc task.Osim.Sched.sk_id host;
+        List.iter (Osim.Sched.post sched task) (traffic host)
+      end)
+    t.hosts;
+  let handler task event =
+    let host = Hashtbl.find assoc task.Osim.Sched.sk_id in
+    match event with
+    | Osim.Sched.Served _ -> ()
+    | Osim.Sched.Stopped -> ()
+    | Osim.Sched.Filtered (name, _) -> ignore (react t host (`Filtered name))
+    | Osim.Sched.Infected cmd -> ignore (react t host (`Infected cmd))
+    | Osim.Sched.Crashed fault ->
+      ignore (react t host (`Crashed fault));
+      (* The host is live again (analysis recovered it, or the consumer
+         rolled back): return it to service for its remaining inbox. *)
+      Osim.Sched.unpark sched task
+    | Osim.Sched.Raised (Detection.Detected _) ->
+      ignore (react t host `Vetoed);
+      Osim.Sched.unpark sched task
+    | Osim.Sched.Raised e -> raise e
+  in
+  Osim.Sched.run ~handler sched;
+  sched
+
+(** One worm round: the worm attacks every uninfected host once, with a
+    fresh address guess per host ([exploit_for] builds the per-host attack
+    stream). The deliveries of a round run interleaved on the scheduler. *)
+let worm_round ?quantum t ~(exploit_for : host -> string list) =
+  ignore (run_scheduled ?quantum t ~traffic:exploit_for)
 
 let infected_count t = List.length (List.filter (fun h -> h.h_infected) t.hosts)
 

@@ -6,7 +6,13 @@
     monitoring only, deploy published antibodies (optionally verifying them
     first), and recover by rollback when attacked. This is the bridge
     between the per-host machinery of {!Orchestrator} and the
-    population-level claims of the epidemic model. *)
+    population-level claims of the epidemic model.
+
+    Community runs execute on the cooperative scheduler ({!Osim.Sched}):
+    hosts are tasks, traffic is posted to per-host inboxes, and service,
+    analysis, recovery, and antibody propagation interleave in simulated
+    time. The direct {!deliver} path shares the same reaction logic, so
+    serial and scheduled runs behave identically per host. *)
 
 type role = Producer | Consumer
 
@@ -75,9 +81,18 @@ val deliver : t -> host -> string -> delivery
     antibody sync, producer-side analysis on detection, consumer-side
     rollback recovery. *)
 
-val worm_round : t -> exploit_for:(host -> string list) -> unit
+val run_scheduled :
+  ?quantum:int -> t -> traffic:(host -> string list) -> Osim.Sched.t
+(** Run traffic through the cooperative scheduler: every uninfected host
+    becomes a task, [traffic] fills its inbox, and service, crashes,
+    producer analysis, recovery, and antibody propagation interleave in
+    simulated time until quiescent. Returns the scheduler for inspection
+    (virtual clock, instruction counts). *)
+
+val worm_round : ?quantum:int -> t -> exploit_for:(host -> string list) -> unit
 (** The worm attacks every uninfected host once; [exploit_for] builds the
-    per-host attack stream (fresh address guess per host). *)
+    per-host attack stream (fresh address guess per host). The round's
+    deliveries run interleaved on the scheduler. *)
 
 val infected_count : t -> int
 val infection_ratio : t -> float

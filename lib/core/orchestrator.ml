@@ -1,12 +1,17 @@
 (** The end-to-end Sweeper defense process of the paper's Figure 3:
     lightweight monitoring trips → rollback → staged heavyweight analysis
     (memory state → memory bugs → taint → input isolation → slicing) →
-    antibody generation → recovery. Each stage re-executes from the same
-    checkpoint with different instrumentation attached. *)
+    antibody generation → recovery.
 
-module Int_set = Set.Make (Int)
+    Each analysis is a {!Stage.t} replaying from the same checkpoint with
+    different instrumentation; {!handle_attack} is a declarative list of
+    them folded over a shared {!Stage.ctx}, so policies (sampling,
+    per-stage skipping, escalation) manipulate the list rather than the
+    code. Replay mechanics live in {!Stage.Replay} alone. *)
 
-type stage_timing = {
+module Int_set = Stage.Int_set
+
+type stage_timing = Stage.timing = {
   st_name : string;
   st_wall_ms : float;      (** measured harness time for the stage *)
   st_instructions : int;   (** dynamic instructions monitored *)
@@ -34,126 +39,189 @@ type report = {
   a_total_ms : float;
 }
 
-let timed _name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  (r, ms)
+(* Milestones the report's headline timings are read from. *)
+let mark_first_vsef = "first-vsef"
+let mark_best_vsef = "best-vsef"
+let mark_initial_analysis = "initial-analysis"
 
-(* Roll back and arm replay of the suspect window. *)
-let rearm proc ck ~upto ~skip =
-  Osim.Checkpoint.rollback proc ck;
-  Osim.Netlog.set_mode proc.Osim.Process.net
-    (Osim.Netlog.Replay { upto; skip });
-  proc.Osim.Process.sandbox <- true
+(* --- Stage 1: memory-state analysis (no rollback needed) --------------- *)
+let coredump_stage =
+  {
+    Stage.name = "Memory State Analysis";
+    run =
+      (fun cx ->
+        let r = Coredump.analyze (Stage.proc cx) cx.Stage.cx_fault in
+        let initial =
+          match r.Coredump.c_vsef with
+          | Some v -> [ { v with Vsef.v_app = cx.Stage.cx_app } ]
+          | None -> []
+        in
+        let cx = { cx with Stage.cx_coredump = Some r } in
+        Stage.mark (Stage.add_vsefs cx initial) mark_first_vsef);
+    instructions = (fun _ -> 0);
+  }
 
-(* Replay the window with no instrumentation; true when the crash recurs. *)
-let replay_crashes proc ck ~upto ~skip =
-  rearm proc ck ~upto ~skip;
-  match Osim.Process.run ~fuel:50_000_000 proc with
-  | Vm.Cpu.Faulted _ -> true
-  | Vm.Cpu.Halted -> proc.Osim.Process.compromised <> None
-  | Vm.Cpu.Blocked | Vm.Cpu.Out_of_fuel -> false
+(* --- Stage 2: memory-bug detection ------------------------------------- *)
+let membug_stage =
+  {
+    Stage.name = "Memory Bug Detection";
+    run =
+      (fun cx ->
+        let r =
+          Stage.Replay.analyze cx
+            (Membug.run ~fuel:Stage.Replay.analysis_fuel)
+        in
+        let refined =
+          List.filter_map
+            (Membug.vsef_of_finding ~app:cx.Stage.cx_app ~proc:(Stage.proc cx))
+            (List.sort_uniq compare r.Membug.m_findings)
+        in
+        let cx = { cx with Stage.cx_membug = Some r } in
+        Stage.mark (Stage.add_vsefs cx refined) mark_best_vsef);
+    instructions =
+      (fun cx ->
+        match cx.Stage.cx_membug with
+        | Some r -> r.Membug.m_instructions
+        | None -> 0);
+  }
 
-(** Analyze an attack that was just detected on [server] as [fault].
-    Leaves the process rolled back and recovered: live again with the
-    antibody installed (unless [recover] is false). *)
-let handle_attack ?(recover = true) ~app (server : Osim.Server.t)
-    (fault : Vm.Event.fault) =
-  let proc = server.Osim.Server.proc in
+(* --- Stage 3: dynamic taint analysis ----------------------------------- *)
+let taint_stage =
+  {
+    Stage.name = "Input/Taint Analysis";
+    run =
+      (fun cx ->
+        let r =
+          Stage.Replay.analyze cx (Taint.run ~fuel:Stage.Replay.analysis_fuel)
+        in
+        let vsef =
+          Taint.vsef_of_result ~app:cx.Stage.cx_app ~proc:(Stage.proc cx) r
+        in
+        let cx = { cx with Stage.cx_taint = Some r } in
+        Stage.add_vsefs cx (Option.to_list vsef));
+    instructions =
+      (fun cx ->
+        match cx.Stage.cx_taint with
+        | Some r -> r.Taint.t_instructions
+        | None -> 0);
+  }
+
+(* --- Stage 4: input isolation (suspects one at a time) ------------------ *)
+let isolation_stage =
+  {
+    Stage.name = "Input Isolation";
+    run =
+      (fun cx ->
+        let taint_msgs =
+          match cx.Stage.cx_taint with
+          | Some t -> Taint.verdict_msgs t.Taint.t_verdict
+          | None -> []
+        in
+        let result =
+          match taint_msgs with
+          | _ :: _ -> (taint_msgs, false)  (* taint already isolated the input *)
+          | [] ->
+            let suspects = cx.Stage.cx_suspects in
+            let all = Int_set.of_list suspects in
+            let alone =
+              List.filter
+                (fun m -> Stage.Replay.crashes ~skip:(Int_set.remove m all) cx)
+                suspects
+            in
+            if alone <> [] then (alone, false)
+            else if not (Stage.Replay.crashes cx) then ([], false)
+            else begin
+              (* Only a stream reproduces it (stateful exploit). Minimize
+                 it greedily: drop each message whose absence keeps the
+                 crash. *)
+              let keep = ref all in
+              List.iter
+                (fun m ->
+                  let candidate = Int_set.remove m !keep in
+                  if Stage.Replay.crashes ~skip:(Int_set.diff all candidate) cx
+                  then keep := candidate)
+                suspects;
+              (Int_set.elements !keep, true)
+            end
+        in
+        Stage.mark
+          { cx with Stage.cx_isolation = Some result }
+          mark_initial_analysis);
+    instructions = (fun _ -> 0);
+  }
+
+(* --- Stage 5: dynamic backward slicing ---------------------------------- *)
+let slicing_stage =
+  {
+    Stage.name = "Dynamic Slicing";
+    run =
+      (fun cx ->
+        let r =
+          Stage.Replay.analyze cx (Slice.run ~fuel:Stage.Replay.analysis_fuel)
+        in
+        { cx with Stage.cx_slice = Some r });
+    instructions =
+      (fun cx ->
+        match cx.Stage.cx_slice with
+        | Some r -> r.Slice.sl_instructions
+        | None -> 0);
+  }
+
+let default_stages =
+  [ coredump_stage; membug_stage; taint_stage; isolation_stage; slicing_stage ]
+
+(** Cross-check the stage products, assemble the antibody, and (by
+    default) recover the server. Stages that did not run contribute
+    neutral products: empty findings, [No_fault] taint, a vacuously
+    verifying slice. *)
+let finish ?(recover = true) (cx : Stage.ctx) : report =
+  let proc = Stage.proc cx in
   let net = proc.Osim.Process.net in
-  let t_start = Unix.gettimeofday () in
-  let timings = ref [] in
-  let record name ms instrs =
-    timings := { st_name = name; st_wall_ms = ms; st_instructions = instrs } :: !timings
+  let app = cx.Stage.cx_app in
+  let coredump =
+    match cx.Stage.cx_coredump with
+    | Some r -> r
+    | None ->
+      {
+        Coredump.c_fault = cx.Stage.cx_fault;
+        c_crash_pc = cx.Stage.cx_crash_pc;
+        c_crash_fn = None;
+        c_caller_fn = None;
+        c_stack_consistent = true;
+        c_heap_consistent = true;
+        c_diagnosis = Coredump.Unclassified;
+        c_vsef = None;
+        c_summary = "memory-state analysis skipped";
+      }
   in
-  (* --- Stage 1: memory-state analysis (no rollback needed) ------------- *)
-  let coredump, cd_ms = timed "memory-state" (fun () -> Coredump.analyze proc fault) in
-  record "Memory State Analysis" cd_ms 0;
-  let t_first_vsef = (Unix.gettimeofday () -. t_start) *. 1000. in
-  let initial_vsefs =
-    match coredump.Coredump.c_vsef with
-    | Some v -> [ { v with Vsef.v_app = app } ]
-    | None -> []
+  let membug =
+    match cx.Stage.cx_membug with
+    | Some r -> r
+    | None -> { Membug.m_findings = []; m_fault = None; m_instructions = 0 }
   in
-  (* The rollback point: the newest checkpoint at or before the message
-     being serviced when the monitors tripped. *)
-  let crash_cursor = Osim.Netlog.cursor net in
-  let ck =
-    match
-      Osim.Checkpoint.before_message server.Osim.Server.ring
-        ~msg_index:(max 0 (crash_cursor - 1))
-    with
-    | Some ck -> ck
-    | None -> Option.get (Osim.Checkpoint.oldest server.Osim.Server.ring)
+  let taint =
+    match cx.Stage.cx_taint with
+    | Some r -> r
+    | None ->
+      { Taint.t_verdict = Taint.No_fault; t_prop_pcs = []; t_instructions = 0 }
   in
-  let suspects =
-    List.map (fun m -> m.Osim.Netlog.m_id)
-      (Osim.Netlog.consumed_since net ck.Osim.Checkpoint.ck_net_cursor)
+  let isolation, stream_only =
+    Option.value ~default:([], false) cx.Stage.cx_isolation
   in
-  let upto = crash_cursor in
-  (* --- Stage 2: memory-bug detection ----------------------------------- *)
-  let membug, mb_ms =
-    timed "membug" (fun () ->
-        rearm proc ck ~upto ~skip:Int_set.empty;
-        Membug.run proc)
+  let slice =
+    match cx.Stage.cx_slice with
+    | Some r -> r.Slice.sl_summary
+    | None ->
+      {
+        Slice.s_nodes = 0;
+        s_slice_size = 0;
+        s_pcs = Int_set.empty;
+        s_msgs = Int_set.empty;
+        s_fault_pc = cx.Stage.cx_crash_pc;
+      }
   in
-  record "Memory Bug Detection" mb_ms membug.Membug.m_instructions;
-  let refined_vsefs =
-    List.filter_map (Membug.vsef_of_finding ~app ~proc)
-      (List.sort_uniq compare membug.Membug.m_findings)
-  in
-  let t_best_vsef = (Unix.gettimeofday () -. t_start) *. 1000. in
-  (* --- Stage 3: dynamic taint analysis ---------------------------------- *)
-  let taint, ta_ms =
-    timed "taint" (fun () ->
-        rearm proc ck ~upto ~skip:Int_set.empty;
-        Taint.run proc)
-  in
-  record "Input/Taint Analysis" ta_ms taint.Taint.t_instructions;
-  let taint_msgs = Taint.verdict_msgs taint.Taint.t_verdict in
-  (* --- Stage 4: input isolation (suspects one at a time) ---------------- *)
-  let (isolation, stream_only), iso_ms =
-    timed "isolation" (fun () ->
-        match taint_msgs with
-        | _ :: _ -> (taint_msgs, false)  (* taint already isolated the input *)
-        | [] ->
-          let all = Int_set.of_list suspects in
-          let alone =
-            List.filter
-              (fun m ->
-                replay_crashes proc ck ~upto ~skip:(Int_set.remove m all))
-              suspects
-          in
-          if alone <> [] then (alone, false)
-          else if not (replay_crashes proc ck ~upto ~skip:Int_set.empty) then
-            ([], false)
-          else begin
-            (* Only a stream reproduces it (stateful exploit). Minimize it
-               greedily: drop each message whose absence keeps the crash. *)
-            let keep = ref all in
-            List.iter
-              (fun m ->
-                let candidate = Int_set.remove m !keep in
-                if
-                  replay_crashes proc ck ~upto
-                    ~skip:(Int_set.diff all candidate)
-                then keep := candidate)
-              suspects;
-            (Int_set.elements !keep, true)
-          end)
-  in
-  record "Input Isolation" iso_ms 0;
-  let t_initial = (Unix.gettimeofday () -. t_start) *. 1000. in
-  (* --- Stage 5: dynamic backward slicing -------------------------------- *)
-  let slice_res, sl_ms =
-    timed "slicing" (fun () ->
-        rearm proc ck ~upto ~skip:Int_set.empty;
-        Slice.run proc)
-  in
-  let slice = slice_res.Slice.sl_summary in
-  record "Dynamic Slicing" sl_ms slice_res.Slice.sl_instructions;
-  (* Cross-check every blamed instruction against the slice. *)
+  (* Cross-check every blamed instruction against the slice (vacuous when
+     the slicing stage did not run). *)
   let blamed_pcs =
     List.map Membug.finding_pc membug.Membug.m_findings
     @ (match coredump.Coredump.c_diagnosis with
@@ -162,11 +230,25 @@ let handle_attack ?(recover = true) ~app (server : Osim.Server.t)
         [ coredump.Coredump.c_crash_pc ]
       | Coredump.Unclassified -> [])
   in
-  let slice_verifies = List.for_all (Slice.verifies slice) blamed_pcs in
+  let slice_verifies =
+    match cx.Stage.cx_slice with
+    | Some _ -> List.for_all (Slice.verifies slice) blamed_pcs
+    | None -> true
+  in
   (* --- Antibody assembly ------------------------------------------------ *)
+  let initial_vsefs =
+    match coredump.Coredump.c_vsef with
+    | Some v -> [ { v with Vsef.v_app = app } ]
+    | None -> []
+  in
+  let refined_vsefs =
+    List.filter_map (Membug.vsef_of_finding ~app ~proc)
+      (List.sort_uniq compare membug.Membug.m_findings)
+  in
   let taint_vsef = Taint.vsef_of_result ~app ~proc taint in
   let responsible_payloads =
-    List.map (fun id -> (Osim.Netlog.message net id).Osim.Netlog.m_payload)
+    List.map
+      (fun id -> (Osim.Netlog.message net id).Osim.Netlog.m_payload)
       isolation
   in
   let signature =
@@ -199,13 +281,12 @@ let handle_attack ?(recover = true) ~app (server : Osim.Server.t)
     (* Install the antibody first, then roll back and re-execute without
        the malicious input. *)
     ignore (Antibody.deploy proc antibody);
-    let skip = if isolation <> [] then isolation else suspects in
-    ignore (Recovery.recover server ck ~skip)
+    let skip = if isolation <> [] then isolation else cx.Stage.cx_suspects in
+    ignore (Recovery.recover cx.Stage.cx_server cx.Stage.cx_ck ~skip)
   end;
-  let t_total = (Unix.gettimeofday () -. t_start) *. 1000. in
   {
     a_app = app;
-    a_fault = fault;
+    a_fault = cx.Stage.cx_fault;
     a_coredump = coredump;
     a_membug = membug;
     a_taint = taint;
@@ -216,12 +297,20 @@ let handle_attack ?(recover = true) ~app (server : Osim.Server.t)
     a_vsefs = all_vsefs;
     a_signature = signature;
     a_antibody = antibody;
-    a_timings = List.rev !timings;
-    a_time_to_first_vsef_ms = t_first_vsef;
-    a_time_to_best_vsef_ms = t_best_vsef;
-    a_initial_analysis_ms = t_initial;
-    a_total_ms = t_total;
+    a_timings = Stage.timings cx;
+    a_time_to_first_vsef_ms = Stage.mark_ms cx mark_first_vsef;
+    a_time_to_best_vsef_ms = Stage.mark_ms cx mark_best_vsef;
+    a_initial_analysis_ms = Stage.mark_ms cx mark_initial_analysis;
+    a_total_ms = Stage.elapsed_ms cx;
   }
+
+(** Analyze an attack that was just detected on [server] as [fault]: fold
+    the stage list over a fresh context, then cross-check, assemble the
+    antibody, and recover. Leaves the process rolled back and live again
+    with the antibody installed (unless [recover] is false). *)
+let handle_attack ?(recover = true) ?(stages = default_stages) ~app
+    (server : Osim.Server.t) (fault : Vm.Event.fault) =
+  finish ~recover (Stage.run_pipeline stages (Stage.init ~app server fault))
 
 (** Serve messages on a Sweeper-protected server, running the full defense
     process when the lightweight monitoring trips. Returns the analysis
@@ -242,12 +331,6 @@ let protected_handle ~app (server : Osim.Server.t) payload =
        to a checkpoint predating it (the latest one may sit mid-message)
        and resume. *)
     let cur = server.Osim.Server.proc.Osim.Process.cur_msg in
-    let ck =
-      match
-        Osim.Checkpoint.before_message server.Osim.Server.ring ~msg_index:cur
-      with
-      | Some ck -> ck
-      | None -> Option.get (Osim.Checkpoint.oldest server.Osim.Server.ring)
-    in
+    let ck, _ = Stage.Replay.rollback_point server ~msg_index:cur in
     ignore (Recovery.recover server ck ~skip:[ cur ]);
     `Blocked_by_vsef d

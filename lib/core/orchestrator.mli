@@ -1,12 +1,16 @@
 (** The end-to-end Sweeper defense process of the paper's Figure 3:
     lightweight monitoring trips → rollback → staged heavyweight analysis
     (memory state → memory bugs → taint → input isolation → slicing) →
-    antibody generation → recovery. Each stage re-executes from the same
-    checkpoint with different instrumentation attached. *)
+    antibody generation → recovery.
+
+    Each analysis is a {!Stage.t} replaying from the same checkpoint with
+    different instrumentation; {!handle_attack} folds a declarative stage
+    list over a shared {!Stage.ctx}, so policies (sampling, per-stage
+    skipping, escalation) manipulate the list rather than the code. *)
 
 module Int_set : Set.S with type elt = int and type t = Set.Make(Int).t
 
-type stage_timing = {
+type stage_timing = Stage.timing = {
   st_name : string;
   st_wall_ms : float;     (** measured harness time for the stage *)
   st_instructions : int;  (** dynamic instructions monitored *)
@@ -34,9 +38,35 @@ type report = {
   a_total_ms : float;
 }
 
+(** The five Figure 3 stages, individually addressable so policies can
+    build reduced or reordered pipelines: "Memory State Analysis",
+    "Memory Bug Detection", "Input/Taint Analysis", "Input Isolation",
+    "Dynamic Slicing". *)
+
+val coredump_stage : Stage.t
+val membug_stage : Stage.t
+val taint_stage : Stage.t
+val isolation_stage : Stage.t
+val slicing_stage : Stage.t
+
+val default_stages : Stage.t list
+(** The Figure 3 pipeline, in order. *)
+
+val finish : ?recover:bool -> Stage.ctx -> report
+(** Cross-check the stage products, assemble the antibody, and (by
+    default) recover the server. Stages that did not run contribute
+    neutral products: empty findings, [No_fault] taint, a vacuously
+    verifying slice. *)
+
 val handle_attack :
-  ?recover:bool -> app:string -> Osim.Server.t -> Vm.Event.fault -> report
-(** Analyze an attack just detected on the server. With [recover] (the
+  ?recover:bool ->
+  ?stages:Stage.t list ->
+  app:string ->
+  Osim.Server.t ->
+  Vm.Event.fault ->
+  report
+(** Analyze an attack just detected on the server by folding [stages]
+    (default: {!default_stages}) over a fresh context. With [recover] (the
     default) the process ends up rolled back and live again, with the
     antibody installed and the malicious input quarantined. *)
 

@@ -34,9 +34,8 @@ let recover (server : Osim.Server.t) (ck : Osim.Checkpoint.t) ~skip : outcome =
   | first_bad :: _ ->
     Osim.Checkpoint.purge_after server.Osim.Server.ring ~cursor:first_bad
   | [] -> ());
-  Osim.Checkpoint.rollback proc ck;
-  Osim.Netlog.set_mode net (Osim.Netlog.Replay { upto; skip = skip_set });
-  proc.Osim.Process.sandbox <- false;  (* output commit handles duplicates *)
+  (* Not sandboxed: output commit handles duplicate responses. *)
+  Stage.Replay.arm ~sandbox:false proc ck ~upto ~skip:skip_set;
   let before = proc.Osim.Process.cpu.Vm.Cpu.icount in
   let status =
     match Osim.Server.run server with
@@ -44,7 +43,7 @@ let recover (server : Osim.Server.t) (ck : Osim.Checkpoint.t) ~skip : outcome =
     | Osim.Server.Crashed f -> `Crashed_again f
     | Osim.Server.Stopped | Osim.Server.Infected _ -> `Stopped
   in
-  Osim.Netlog.set_mode net Osim.Netlog.Live;
+  Stage.Replay.release proc;
   (* Leave a fresh, clean rollback point for the resumed service. *)
   if status = `Recovered then Osim.Server.take_checkpoint server;
   {

@@ -82,10 +82,11 @@ let table3_row (r : Orchestrator.report) =
     r.a_time_to_best_vsef_ms,
     r.a_initial_analysis_ms,
     r.a_total_ms,
-    stage "Memory State Analysis",
-    stage "Memory Bug Detection",
-    stage "Input/Taint Analysis" +. stage "Input Isolation",
-    stage "Dynamic Slicing" )
+    stage Orchestrator.coredump_stage.Stage.name,
+    stage Orchestrator.membug_stage.Stage.name,
+    stage Orchestrator.taint_stage.Stage.name
+    +. stage Orchestrator.isolation_stage.Stage.name,
+    stage Orchestrator.slicing_stage.Stage.name )
 
 let print_table2 proc r =
   Printf.printf "== %s ==\n" (summary r);

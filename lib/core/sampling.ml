@@ -46,16 +46,19 @@ let handle t payload =
     let st = Taint.create proc in
     let post = Vm.Cpu.add_post_hook proc.cpu (Taint.on_effect st) in
     let pre = Vm.Cpu.add_pre_hook proc.cpu (Taint.guard st) in
-    let result =
-      match Osim.Server.handle t.server payload with
-      | r -> Plain r
-      | exception Detection.Detected d ->
-        t.alarms <- t.alarms + 1;
-        Taint_alarm d
-    in
-    Vm.Cpu.remove_hook proc.cpu post;
-    Vm.Cpu.remove_hook proc.cpu pre;
-    result
+    (* The hooks must come off even when the monitors trip with a fault
+       (not a veto) and the attack pipeline takes over — a leaked sampling
+       hook would tax every later message. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Vm.Cpu.remove_hook proc.cpu post;
+        Vm.Cpu.remove_hook proc.cpu pre)
+      (fun () ->
+        match Osim.Server.handle t.server payload with
+        | r -> Plain r
+        | exception Detection.Detected d ->
+          t.alarms <- t.alarms + 1;
+          Taint_alarm d)
   end
 
 (** Fraction of messages that paid the heavyweight monitoring cost. *)

@@ -1,0 +1,215 @@
+(** Cooperative multi-host scheduler.
+
+    Interleaves many {!Server} processes in simulated time: each task gets
+    a quantum of instructions per turn via the non-blocking
+    {!Server.step}, and a virtual clock derived from
+    {!Server.instrs_per_ms} decides who runs next (the runnable task
+    furthest behind in virtual time). Because {!Server.step} checkpoints
+    at the same icount thresholds as a blocking run, and each host only
+    ever consumes its own inbox in order, interleaved execution is
+    instruction-for-instruction identical per host to running the hosts
+    sequentially — which is what makes community-scale runs trustworthy as
+    stand-ins for the serial experiments.
+
+    The scheduler itself is policy-free: crashes, infections, and vetoes
+    raised by monitoring hooks are surfaced as events to a driver callback
+    (see {!Sweeper.Defense}), which may repair the host and {!unpark} it. *)
+
+type event =
+  | Filtered of string * string
+      (** an input filter rejected the message at delivery: filter name,
+          payload *)
+  | Served of int      (** the message with this log id was fully served *)
+  | Crashed of Vm.Event.fault
+  | Infected of string
+  | Stopped
+  | Raised of exn
+      (** a monitoring hook aborted execution (e.g. a VSEF veto); the
+          driver owns the exception *)
+
+type state = Runnable | Waiting | Parked of event
+
+type task = {
+  sk_id : int;
+  sk_server : Server.t;
+  mutable sk_state : state;
+  mutable sk_front : string list;  (** inbox: pop end *)
+  mutable sk_back : string list;   (** inbox: push end, reversed *)
+  mutable sk_pending : int option; (** log id of the message in flight *)
+  sk_base_icount : int;
+  mutable sk_vtime_ms : float;     (** per-task virtual clock *)
+  mutable sk_delivered : int;
+  mutable sk_served : int;
+  sk_on_deliver : (string -> unit) option;
+      (** runs just before a message enters the host's network log *)
+}
+
+type t = {
+  quantum : int;  (** instructions per scheduling turn *)
+  mutable tasks : task list;  (** reverse insertion order *)
+  mutable n_tasks : int;
+  mutable vclock_ms : float;
+  mutable steps : int;
+  mutable instructions : int;
+  mutable dirty : bool;  (** a post/unpark may have made a task deliverable *)
+}
+
+let default_quantum = 2_000
+
+let create ?(quantum = default_quantum) () =
+  {
+    quantum = max 1 quantum;
+    tasks = [];
+    n_tasks = 0;
+    vclock_ms = 0.;
+    steps = 0;
+    instructions = 0;
+    dirty = false;
+  }
+
+let add ?on_deliver t server =
+  let task =
+    {
+      sk_id = t.n_tasks;
+      sk_server = server;
+      (* The first turn boots the process (or finds it idle) — either way
+         one [step] settles the true state. *)
+      sk_state = Runnable;
+      sk_front = [];
+      sk_back = [];
+      sk_pending = None;
+      sk_base_icount = server.Server.proc.Process.cpu.Vm.Cpu.icount;
+      sk_vtime_ms = 0.;
+      sk_delivered = 0;
+      sk_served = 0;
+      sk_on_deliver = on_deliver;
+    }
+  in
+  t.tasks <- task :: t.tasks;
+  t.n_tasks <- t.n_tasks + 1;
+  task
+
+let inbox_empty task = task.sk_front = [] && task.sk_back = []
+
+let pop_inbox task =
+  match task.sk_front with
+  | msg :: rest ->
+    task.sk_front <- rest;
+    Some msg
+  | [] -> (
+    match List.rev task.sk_back with
+    | msg :: rest ->
+      task.sk_front <- rest;
+      task.sk_back <- [];
+      Some msg
+    | [] -> None)
+
+let post t task payload =
+  task.sk_back <- payload :: task.sk_back;
+  t.dirty <- true
+
+let unpark t task =
+  (match task.sk_state with Parked _ -> task.sk_state <- Waiting | _ -> ());
+  t.dirty <- true
+
+let vtime_ms task = task.sk_vtime_ms
+let vclock_ms t = t.vclock_ms
+let instructions t = t.instructions
+let steps t = t.steps
+let tasks t = List.rev t.tasks
+
+(* Move inbox messages into the network log until one is admitted (filters
+   reject at delivery time, like a drop at the proxy). *)
+let rec deliver t handler task =
+  match pop_inbox task with
+  | None -> ()
+  | Some payload -> (
+    (match task.sk_on_deliver with Some f -> f payload | None -> ());
+    match Process.send_message task.sk_server.Server.proc payload with
+    | Error filter ->
+      handler task (Filtered (filter, payload));
+      deliver t handler task
+    | Ok id ->
+      task.sk_pending <- Some id;
+      task.sk_delivered <- task.sk_delivered + 1;
+      task.sk_state <- Runnable)
+
+let account t task before =
+  let cpu = task.sk_server.Server.proc.Process.cpu in
+  t.instructions <- t.instructions + max 0 (cpu.Vm.Cpu.icount - before);
+  task.sk_vtime_ms <-
+    float_of_int (cpu.Vm.Cpu.icount - task.sk_base_icount)
+    /. float_of_int Server.instrs_per_ms;
+  if task.sk_vtime_ms > t.vclock_ms then t.vclock_ms <- task.sk_vtime_ms
+
+let step_task t handler task =
+  let before = task.sk_server.Server.proc.Process.cpu.Vm.Cpu.icount in
+  let park ev =
+    task.sk_state <- Parked ev;
+    handler task ev
+  in
+  (match Server.step ~fuel:t.quantum task.sk_server with
+  | exception e ->
+    account t task before;
+    t.steps <- t.steps + 1;
+    park (Raised e)
+  | outcome ->
+    account t task before;
+    t.steps <- t.steps + 1;
+    (match outcome with
+    | Server.Yielded -> ()
+    | Server.Ended Server.Idle ->
+      (match task.sk_pending with
+      | Some id ->
+        task.sk_pending <- None;
+        task.sk_served <- task.sk_served + 1;
+        handler task (Served id)
+      | None -> ());
+      (* Only downgrade to Waiting if the handler (on Served) did not
+         already repark or otherwise move the task. *)
+      if task.sk_state = Runnable then begin
+        task.sk_state <- Waiting;
+        deliver t handler task
+      end
+    | Server.Ended Server.Stopped -> park Stopped
+    | Server.Ended (Server.Crashed f) -> park (Crashed f)
+    | Server.Ended (Server.Infected cmd) -> park (Infected cmd)))
+
+(* The runnable task furthest behind in virtual time; ties go to the
+   lowest id, so scheduling is deterministic. *)
+let select t =
+  List.fold_left
+    (fun best task ->
+      match (task.sk_state, best) with
+      | Runnable, None -> Some task
+      | Runnable, Some b ->
+        if
+          task.sk_vtime_ms < b.sk_vtime_ms
+          || (task.sk_vtime_ms = b.sk_vtime_ms && task.sk_id < b.sk_id)
+        then Some task
+        else Some b
+      | _ -> best)
+    None t.tasks
+
+let flush_deliveries t handler =
+  t.dirty <- false;
+  List.iter
+    (fun task ->
+      if task.sk_state = Waiting && not (inbox_empty task) then
+        deliver t handler task)
+    t.tasks
+
+(** Run until quiescent: no task is runnable and no waiting task has mail.
+    Parked tasks stay parked unless the [handler] repairs and unparks
+    them; their remaining inbox is simply never delivered. *)
+let run ?(handler = fun _ _ -> ()) t =
+  flush_deliveries t handler;
+  let rec loop () =
+    if t.dirty then flush_deliveries t handler;
+    match select t with
+    | Some task ->
+      step_task t handler task;
+      loop ()
+    | None -> if t.dirty then loop () else ()
+  in
+  loop ()

@@ -1,0 +1,79 @@
+(** Cooperative multi-host scheduler.
+
+    Interleaves many {!Server} processes in simulated time using the
+    non-blocking {!Server.step}: each turn runs one task for a quantum of
+    instructions, and a virtual clock derived from {!Server.instrs_per_ms}
+    picks the runnable task furthest behind. Per-host execution is
+    instruction-for-instruction identical to running the hosts
+    sequentially (checkpoints land at the same icount thresholds and each
+    host consumes only its own inbox in order), which the scheduler test
+    suite asserts.
+
+    The scheduler is policy-free: crashes, infections, and exceptions
+    raised by monitoring hooks (VSEF vetoes) park the task and surface as
+    events to the driver's handler, which may repair the host and
+    {!unpark} it. *)
+
+type event =
+  | Filtered of string * string
+      (** an input filter rejected the message at delivery: filter name,
+          payload *)
+  | Served of int      (** the message with this log id was fully served *)
+  | Crashed of Vm.Event.fault
+  | Infected of string
+  | Stopped
+  | Raised of exn
+      (** a monitoring hook aborted execution (e.g. a VSEF veto); the
+          driver owns the exception *)
+
+type state = Runnable | Waiting | Parked of event
+
+type task = {
+  sk_id : int;
+  sk_server : Server.t;
+  mutable sk_state : state;
+  mutable sk_front : string list;
+  mutable sk_back : string list;
+  mutable sk_pending : int option;  (** log id of the message in flight *)
+  sk_base_icount : int;
+  mutable sk_vtime_ms : float;      (** per-task virtual clock *)
+  mutable sk_delivered : int;
+  mutable sk_served : int;
+  sk_on_deliver : (string -> unit) option;
+}
+
+type t
+
+val default_quantum : int
+(** 2000 instructions (0.4 simulated ms) per scheduling turn. *)
+
+val create : ?quantum:int -> unit -> t
+
+val add : ?on_deliver:(string -> unit) -> t -> Server.t -> task
+(** Register a server. [on_deliver] runs just before each of its inbox
+    messages enters the host's network log (antibody sync, accounting). *)
+
+val post : t -> task -> string -> unit
+(** Queue a message on the task's inbox. Delivery happens when the host is
+    idle; input filters can still reject it then ({!event.Filtered}). *)
+
+val unpark : t -> task -> unit
+(** Return a parked task to service after the driver repaired its host
+    (e.g. rollback recovery). The host must be serviceable again, or the
+    task will immediately park on the same condition. *)
+
+val run : ?handler:(task -> event -> unit) -> t -> unit
+(** Run until quiescent: no task runnable, no waiting task with mail.
+    [handler] observes every event and may call {!post} and {!unpark}. *)
+
+val vtime_ms : task -> float
+val vclock_ms : t -> float
+
+val instructions : t -> int
+(** Total instructions executed under the scheduler. *)
+
+val steps : t -> int
+(** Scheduling turns taken. *)
+
+val tasks : t -> task list
+(** All registered tasks, in registration order. *)

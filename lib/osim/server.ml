@@ -26,6 +26,9 @@ type status =
 type t = {
   proc : Process.t;
   ring : Checkpoint.ring;
+  origin : Checkpoint.t;
+      (** the initial checkpoint from [create]; survives ring overwrites
+          and purges as the rollback point of last resort *)
   config : config;
   mutable next_ck_at : int;  (** icount threshold for the next checkpoint *)
   mutable checkpoints_taken : int;
@@ -36,10 +39,12 @@ let interval_instrs config = config.checkpoint_interval_ms * instrs_per_ms
 let create ?(config = default_config) proc =
   let ring = Checkpoint.create_ring ~capacity:config.keep_checkpoints () in
   (* An initial checkpoint so there is always a rollback point. *)
-  Checkpoint.add ring (Checkpoint.take proc);
+  let origin = Checkpoint.take proc in
+  Checkpoint.add ring origin;
   {
     proc;
     ring;
+    origin;
     config;
     next_ck_at =
       (if config.checkpoint_interval_ms = 0 then max_int
@@ -53,30 +58,52 @@ let take_checkpoint t =
   if t.config.checkpoint_interval_ms > 0 then
     t.next_ck_at <- t.proc.Process.cpu.Vm.Cpu.icount + interval_instrs t.config
 
+type step_end = Yielded | Ended of status
+
+(** Advance the server by at most [fuel] instructions. Checkpoints land at
+    the same icount thresholds as an unbounded {!run}, because each inner
+    slice is clamped to the next checkpoint boundary — so slicing the
+    execution (as the cooperative scheduler does) cannot change the ring
+    contents, and the analysis pipeline sees identical rollback points. *)
+let step ~fuel t =
+  let cpu = t.proc.Process.cpu in
+  let stop = cpu.Vm.Cpu.icount + max 0 fuel in
+  let rec go () =
+    if t.proc.Process.compromised <> None then
+      Ended (Infected (Option.get t.proc.Process.compromised))
+    else if cpu.Vm.Cpu.halted then Ended Stopped
+    else if cpu.Vm.Cpu.icount >= stop then Yielded
+    else begin
+      let slice =
+        min (stop - cpu.Vm.Cpu.icount) (max 1 (t.next_ck_at - cpu.Vm.Cpu.icount))
+      in
+      match Vm.Cpu.run ~fuel:slice cpu with
+      | Vm.Cpu.Out_of_fuel ->
+        if cpu.Vm.Cpu.icount >= t.next_ck_at then take_checkpoint t;
+        go ()
+      | Vm.Cpu.Blocked ->
+        Ended
+          (match t.proc.Process.compromised with
+          | Some cmd -> Infected cmd
+          | None -> Idle)
+      | Vm.Cpu.Halted ->
+        Ended
+          (match t.proc.Process.compromised with
+          | Some cmd -> Infected cmd
+          | None -> Stopped)
+      | Vm.Cpu.Faulted f -> Ended (Crashed f)
+    end
+  in
+  go ()
+
 (** Advance the server until it needs input, stops, crashes, or is
     compromised — taking checkpoints on schedule as it runs. *)
 let run t =
-  let cpu = t.proc.Process.cpu in
+  (* Bounded slices (not [max_int]: [step] adds fuel to icount). *)
   let rec go () =
-    if t.proc.Process.compromised <> None then
-      Infected (Option.get t.proc.Process.compromised)
-    else if cpu.Vm.Cpu.halted then Stopped
-    else begin
-      let fuel = max 1 (t.next_ck_at - cpu.Vm.Cpu.icount) in
-      match Vm.Cpu.run ~fuel cpu with
-      | Vm.Cpu.Out_of_fuel ->
-        take_checkpoint t;
-        go ()
-      | Vm.Cpu.Blocked ->
-        (match t.proc.Process.compromised with
-        | Some cmd -> Infected cmd
-        | None -> Idle)
-      | Vm.Cpu.Halted -> (
-        match t.proc.Process.compromised with
-        | Some cmd -> Infected cmd
-        | None -> Stopped)
-      | Vm.Cpu.Faulted f -> Crashed f
-    end
+    match step ~fuel:1_000_000_000 t with
+    | Yielded -> go ()
+    | Ended s -> s
   in
   go ()
 

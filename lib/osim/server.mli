@@ -24,6 +24,9 @@ type status =
 type t = {
   proc : Process.t;
   ring : Checkpoint.ring;
+  origin : Checkpoint.t;
+      (** the initial checkpoint from {!create}; survives ring overwrites
+          and purges as the rollback point of last resort *)
   config : config;
   mutable next_ck_at : int;
   mutable checkpoints_taken : int;
@@ -34,6 +37,14 @@ val create : ?config:config -> Process.t -> t
     exists. *)
 
 val take_checkpoint : t -> unit
+
+type step_end = Yielded | Ended of status
+
+val step : fuel:int -> t -> step_end
+(** Advance the server by at most [fuel] instructions, checkpointing on
+    schedule; [Yielded] means the budget ran out with work remaining.
+    Checkpoints land at the same icount thresholds as an unbounded {!run},
+    so slicing the execution cannot change the ring contents. *)
 
 val run : t -> status
 (** Advance until the server needs input, stops, crashes, or is

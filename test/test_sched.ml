@@ -1,0 +1,206 @@
+(* Tests for the cooperative scheduler: interleaving N hosts must be
+   observationally identical to running them sequentially — same committed
+   outputs, same instruction counts, same checkpoint schedule — including
+   when one host is attacked mid-stream while the others serve benign
+   traffic. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let compiled = lazy ((Apps.Registry.find "apache1").r_compile ())
+
+let boot seed =
+  let proc = Osim.Process.load ~aslr:true ~seed (Lazy.force compiled) in
+  let server = Osim.Server.create proc in
+  ignore (Osim.Server.run server);
+  (proc, server)
+
+let workload n = Apps.Registry.workload "apache1" n
+
+(* Everything observable about a host after its stream was served. *)
+type obs = {
+  o_outputs : (int * string) list;
+  o_served : int;
+  o_icount : int;
+  o_cursor : int;
+  o_checkpoints : int;
+  o_latest_ck : int;  (** icount of the newest ring checkpoint *)
+}
+
+let observe (proc : Osim.Process.t) (server : Osim.Server.t) ~served =
+  {
+    o_outputs = Osim.Process.committed_outputs proc;
+    o_served = served;
+    o_icount = proc.Osim.Process.cpu.Vm.Cpu.icount;
+    o_cursor = Osim.Netlog.cursor proc.Osim.Process.net;
+    o_checkpoints = server.Osim.Server.checkpoints_taken;
+    o_latest_ck =
+      (match Osim.Checkpoint.latest server.Osim.Server.ring with
+      | Some ck -> ck.Osim.Checkpoint.ck_icount
+      | None -> -1);
+  }
+
+(* One server per stream, each stream served to completion in turn. *)
+let run_sequential streams =
+  List.mapi
+    (fun i msgs ->
+      let proc, server = boot (1000 + i) in
+      let served = ref 0 in
+      List.iter
+        (fun m ->
+          match Osim.Server.handle server m with
+          | `Served _ -> incr served
+          | _ -> Alcotest.failf "sequential host %d: message not served" i)
+        msgs;
+      observe proc server ~served:!served)
+    streams
+
+(* Same servers, same streams, interleaved on the scheduler. *)
+let run_interleaved ?quantum streams =
+  let sched = Osim.Sched.create ?quantum () in
+  let hosts =
+    List.mapi
+      (fun i msgs ->
+        let proc, server = boot (1000 + i) in
+        let task = Osim.Sched.add sched server in
+        List.iter (Osim.Sched.post sched task) msgs;
+        (proc, server, task))
+      streams
+  in
+  Osim.Sched.run sched ~handler:(fun task ev ->
+      match ev with
+      | Osim.Sched.Served _ -> ()
+      | Osim.Sched.Crashed _ ->
+        Alcotest.failf "host %d crashed on benign traffic" task.Osim.Sched.sk_id
+      | _ -> Alcotest.failf "host %d: unexpected event" task.Osim.Sched.sk_id);
+  List.map
+    (fun (proc, server, task) ->
+      observe proc server ~served:task.Osim.Sched.sk_served)
+    hosts
+
+let streams4 = [ workload 3; workload 5; workload 2; workload 4 ]
+
+let test_interleaved_matches_sequential () =
+  let seq = run_sequential streams4 in
+  let inter = run_interleaved ~quantum:500 streams4 in
+  List.iteri
+    (fun i (a, b) ->
+      check_int (Printf.sprintf "host %d served" i) a.o_served b.o_served;
+      check_int (Printf.sprintf "host %d icount" i) a.o_icount b.o_icount;
+      check_int (Printf.sprintf "host %d cursor" i) a.o_cursor b.o_cursor;
+      check_int
+        (Printf.sprintf "host %d checkpoints" i)
+        a.o_checkpoints b.o_checkpoints;
+      check_int
+        (Printf.sprintf "host %d latest ck icount" i)
+        a.o_latest_ck b.o_latest_ck;
+      check_bool (Printf.sprintf "host %d outputs" i) true
+        (a.o_outputs = b.o_outputs))
+    (List.combine seq inter)
+
+let test_quantum_invariance () =
+  (* Slicing the same work into different quanta cannot change anything:
+     tiny slices, odd slices, and one slice per stream all agree. *)
+  let a = run_interleaved ~quantum:137 streams4 in
+  let b = run_interleaved ~quantum:2_000 streams4 in
+  let c = run_interleaved ~quantum:10_000_000 streams4 in
+  check_bool "137 = 2000" true (a = b);
+  check_bool "2000 = whole-stream" true (b = c)
+
+let test_virtual_clock_advances () =
+  let sched = Osim.Sched.create ~quantum:500 () in
+  let _, server = boot 77 in
+  let task = Osim.Sched.add sched server in
+  List.iter (Osim.Sched.post sched task) (workload 4);
+  Osim.Sched.run sched;
+  check_bool "instructions counted" true (Osim.Sched.instructions sched > 0);
+  check_bool "took several turns" true (Osim.Sched.steps sched > 1);
+  check_bool "virtual clock moved" true (Osim.Sched.vclock_ms sched > 0.);
+  check_bool "task clock matches global" true
+    (Osim.Sched.vtime_ms task <= Osim.Sched.vclock_ms sched +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Mid-stream attack: one host is exploited while the others serve     *)
+(* benign traffic; the scheduled community must end in the same state  *)
+(* as delivering every stream sequentially.                            *)
+(* ------------------------------------------------------------------ *)
+
+let benign = workload 3
+
+let attack_stream =
+  benign
+  @ (Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 "apache1")
+      .Apps.Exploits.x_messages
+  @ workload 2
+
+let traffic (h : Sweeper.Defense.host) =
+  if h.Sweeper.Defense.h_id = 0 then attack_stream else benign
+
+let make_community () =
+  let entry = Apps.Registry.find "apache1" in
+  Sweeper.Defense.create ~app:"apache1" ~compile:entry.r_compile ~n:3
+    ~producers:1 ~seed:8100 ()
+
+let host_outputs (c : Sweeper.Defense.t) =
+  List.map
+    (fun (h : Sweeper.Defense.host) ->
+      Osim.Process.committed_outputs h.Sweeper.Defense.h_proc)
+    c.Sweeper.Defense.hosts
+
+let test_mid_stream_attack_matches_sequential () =
+  let open Sweeper.Defense in
+  let seq = make_community () in
+  List.iter
+    (fun h -> List.iter (fun m -> ignore (deliver seq h m)) (traffic h))
+    seq.hosts;
+  let sch = make_community () in
+  ignore (run_scheduled ~quantum:700 sch ~traffic);
+  check_int "nobody infected (sequential)" 0 (infected_count seq);
+  check_int "nobody infected (scheduled)" 0 (infected_count sch);
+  check_bool "identical per-host outputs" true
+    (host_outputs seq = host_outputs sch);
+  check_int "same attempts" seq.stats.s_attempts sch.stats.s_attempts;
+  check_int "same crashes" seq.stats.s_crashes sch.stats.s_crashes;
+  check_int "same analyses" seq.stats.s_analyses sch.stats.s_analyses;
+  check_int "same blocked" seq.stats.s_blocked sch.stats.s_blocked;
+  check_int "same infections" seq.stats.s_infections sch.stats.s_infections;
+  (match (seq.antibody, sch.antibody) with
+  | Some (g1, a1), Some (g2, a2) ->
+    check_int "same antibody generation" g1 g2;
+    check_bool "same signature" true
+      (a1.Sweeper.Antibody.ab_signature = a2.Sweeper.Antibody.ab_signature);
+    check_int "same vsef count"
+      (List.length a1.Sweeper.Antibody.ab_vsefs)
+      (List.length a2.Sweeper.Antibody.ab_vsefs)
+  | _ -> Alcotest.fail "both runs must publish an antibody");
+  check_bool "scheduled community still serves" true (all_alive sch)
+
+(* ------------------------------------------------------------------ *)
+
+let prop_interleaving_is_invisible =
+  QCheck.Test.make ~count:6
+    ~name:"random quanta and stream lengths match sequential runs"
+    QCheck.(triple (int_range 60 5_000) (int_range 1 5) (int_range 1 5))
+    (fun (quantum, n1, n2) ->
+      let streams = [ workload n1; workload n2 ] in
+      run_interleaved ~quantum streams = run_sequential streams)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sched"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "interleaved = sequential" `Quick
+            test_interleaved_matches_sequential;
+          Alcotest.test_case "quantum invariance" `Quick test_quantum_invariance;
+          Alcotest.test_case "virtual clock" `Quick test_virtual_clock_advances;
+          qt prop_interleaving_is_invisible;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "mid-stream attack matches sequential" `Quick
+            test_mid_stream_attack_matches_sequential;
+        ] );
+    ]

@@ -832,6 +832,42 @@ let test_defense_consumer_only_community_survives_detection () =
   check_bool "consumers recovered" true (Sweeper.Defense.all_alive community)
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline driver regressions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_survives_empty_checkpoint_ring () =
+  (* Regression: with the checkpoint ring emptied (every entry purged, as
+     after an aggressive quarantine), the driver must fall back to the
+     server's origin checkpoint instead of crashing on [Option.get]. *)
+  let _, server, fault = crash_server ~seed:4242 "apache1" in
+  Osim.Checkpoint.purge_after server.Osim.Server.ring ~cursor:(-1);
+  check_int "ring emptied" 0 (Osim.Checkpoint.count server.Osim.Server.ring);
+  let r = O.handle_attack ~app:"apache1" server fault in
+  check_bool "antibody still produced" true
+    (r.O.a_antibody.Sweeper.Antibody.ab_vsefs <> []);
+  check_bool "exploit input still isolated" true (r.O.a_isolation <> []);
+  match Osim.Server.handle server "noop" with
+  | `Served _ | `Stopped -> ()
+  | `Filtered _ | `Crashed _ | `Infected _ ->
+    Alcotest.fail "server not serviceable after origin-fallback recovery"
+
+let test_reduced_stage_pipeline () =
+  (* A policy-trimmed pipeline (no taint, no slicing) must still produce a
+     well-formed report: skipped stages contribute neutral products. *)
+  let _, server, fault = crash_server ~seed:4243 "apache1" in
+  let r =
+    O.handle_attack ~app:"apache1"
+      ~stages:[ O.coredump_stage; O.membug_stage; O.isolation_stage ]
+      server fault
+  in
+  check_bool "taint neutral" true
+    (r.O.a_taint.Sweeper.Taint.t_verdict = Sweeper.Taint.No_fault);
+  check_bool "slice vacuously verifies" true r.O.a_slice_verifies;
+  check_bool "exploit input isolated" true (r.O.a_isolation <> []);
+  check_bool "vsefs produced" true (r.O.a_vsefs <> []);
+  check_int "one timing per stage run" 3 (List.length r.O.a_timings)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -904,6 +940,13 @@ let () =
             test_reattack_blocked_after_analysis;
           Alcotest.test_case "frame-pointer corruption variant" `Quick
             test_frame_pointer_corruption_variant;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "survives empty checkpoint ring" `Quick
+            test_pipeline_survives_empty_checkpoint_ring;
+          Alcotest.test_case "reduced stage list" `Quick
+            test_reduced_stage_pipeline;
         ] );
       ( "sampling",
         [
