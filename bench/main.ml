@@ -101,7 +101,7 @@ let run_workload ?(config = Osim.Server.default_config) key n_requests seed =
   List.iter (fun m -> ignore (Osim.Server.handle server m)) reqs;
   let dt = Unix.gettimeofday () -. t0 in
   let cow, mapped = Vm.Memory.stats proc.Osim.Process.mem in
-  (dt, server.Osim.Server.checkpoints_taken, cow, mapped, proc)
+  (dt, Osim.Server.checkpoints_taken server, cow, mapped, proc)
 
 let median l =
   let a = List.sort compare l in
@@ -403,9 +403,10 @@ type pipeline_row = {
   p_blocked : int;
   p_infections : int;
   p_first_antibody_ms : float option;
+  p_spans : int;  (** trace events emitted; 0 on the obs-off run *)
 }
 
-let pipeline_run ~n ~benign =
+let pipeline_run ?(obs = false) ~n ~benign () =
   let entry = Apps.Registry.find "apache1" in
   let t0 = Unix.gettimeofday () in
   let c =
@@ -432,9 +433,18 @@ let pipeline_run ~n ~benign =
     stream
   in
   Gc.major ();
+  if obs then begin
+    Obs.Trace.enable ();
+    Obs.Trace.clear ()
+  end;
   let t1 = Unix.gettimeofday () in
   let sched = Sweeper.Defense.run_scheduled c ~traffic in
   let run_s = Unix.gettimeofday () -. t1 in
+  let spans = if obs then Obs.Trace.event_count () else 0 in
+  if obs then begin
+    Obs.Trace.disable ();
+    Obs.Trace.clear ()
+  end;
   {
     p_hosts = n;
     p_messages = !messages;
@@ -448,6 +458,7 @@ let pipeline_run ~n ~benign =
     p_infections = c.Sweeper.Defense.stats.Sweeper.Defense.s_infections;
     p_first_antibody_ms =
       c.Sweeper.Defense.stats.Sweeper.Defense.s_first_antibody_ms;
+    p_spans = spans;
   }
 
 let write_pipeline_json rows =
@@ -455,13 +466,14 @@ let write_pipeline_json rows =
   Printf.fprintf oc "{\n  \"quantum_instrs\": %d,\n  \"scales\": [\n"
     Osim.Sched.default_quantum;
   List.iteri
-    (fun i r ->
+    (fun i (r, ro) ->
       Printf.fprintf oc
         "    { \"hosts\": %d, \"messages\": %d, \"create_s\": %.3f, \
          \"run_s\": %.3f, \"virtual_ms\": %.1f, \"instructions\": %d, \
          \"sched_steps\": %d, \"hosts_per_s\": %.1f, \"instrs_per_s\": %.3e, \
          \"crashes\": %d, \"blocked\": %d, \"infections\": %d, \
-         \"first_antibody_ms\": %s }%s\n"
+         \"first_antibody_ms\": %s, \"obs_run_s\": %.3f, \"spans\": %d, \
+         \"spans_per_s\": %.1f }%s\n"
         r.p_hosts r.p_messages r.p_create_s r.p_run_s r.p_virtual_ms
         r.p_instructions r.p_sched_steps
         (float_of_int r.p_hosts /. r.p_run_s)
@@ -470,6 +482,8 @@ let write_pipeline_json rows =
         (match r.p_first_antibody_ms with
         | Some ms -> Printf.sprintf "%.2f" ms
         | None -> "null")
+        ro.p_run_s ro.p_spans
+        (float_of_int ro.p_spans /. ro.p_run_s)
         (if i < List.length rows - 1 then "," else ""))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -485,7 +499,7 @@ let pipeline () =
   let rows =
     List.map
       (fun n ->
-        let r = pipeline_run ~n ~benign in
+        let r = pipeline_run ~n ~benign () in
         Printf.printf "%6d %9d %10.3f %10.3f %12.1f %14.3e %12.1f %10s\n"
           r.p_hosts r.p_messages r.p_create_s r.p_run_s
           (float_of_int r.p_hosts /. r.p_run_s)
@@ -494,7 +508,14 @@ let pipeline () =
           (match r.p_first_antibody_ms with
           | Some ms -> Printf.sprintf "%.1f ms" ms
           | None -> "never");
-        r)
+        (* The same population with tracing on: spans cover every served
+           message, checkpoint, and the producer's analysis stages. *)
+        let ro = pipeline_run ~obs:true ~n ~benign () in
+        Printf.printf "%6s %9s %10s %10.3f   (tracing on: %d spans, %.0f \
+                       spans/s)\n"
+          "" "" "" ro.p_run_s ro.p_spans
+          (float_of_int ro.p_spans /. ro.p_run_s);
+        (r, ro))
       pipeline_scales
   in
   if !json_output then write_pipeline_json rows;
@@ -712,6 +733,14 @@ let micro_vm () =
           (Vm.Cpu.add_post_hook cpu (fun eff ->
                writes := !writes + List.length eff.Vm.Event.e_mem_writes)))
   in
+  (* Observability overhead: with the tracer enabled nothing on the fast
+     path emits spans, so ns/instr must stay within noise of the
+     uninstrumented tier. The flight recorder is a global post-hook, so it
+     pays the instrumented path like any whole-execution monitor. *)
+  let obs_on = ns_per_instr (fun _ _ -> Obs.Trace.enable ()) in
+  Obs.Trace.disable ();
+  Obs.Trace.clear ();
+  let flight = ns_per_instr (fun cpu _ -> ignore (Obs.Recorder.attach cpu)) in
   (* Checkpoint cost in pages actually copied (COW faults / checkpoint). *)
   let _, cks, cow, _, _ =
     run_workload
@@ -726,9 +755,15 @@ let micro_vm () =
     ((one_pc /. uninstr -. 1.) *. 100.);
   Printf.printf "global taint-style hook: %8.1f ns/instr (%.1fx)\n" global
     (global /. uninstr);
+  Printf.printf "tracer enabled        : %8.1f ns/instr (%+.1f%% vs \
+                 uninstrumented)\n"
+    obs_on
+    ((obs_on /. uninstr -. 1.) *. 100.);
+  Printf.printf "flight recorder on    : %8.1f ns/instr (%.1fx)\n" flight
+    (flight /. uninstr);
   Printf.printf "pages copied/checkpoint: %7.1f (over %d checkpoints)\n"
     pages_per_ck cks;
-  (uninstr, one_pc, global, pages_per_ck, cks)
+  (uninstr, one_pc, global, obs_on, flight, pages_per_ck, cks)
 
 (* ------------------------------------------------------------------ *)
 (* Taint & slicing engines: ns/instr of the heavyweight replays.       *)
@@ -832,8 +867,8 @@ let json_escape_stage name =
   String.map (fun c -> if c = ' ' || c = '/' then '_' else Char.lowercase_ascii c)
     name
 
-let write_bench_json ~uninstr ~one_pc ~global ~pages_per_ck ~cks ~taint_fused
-    ~taint_oracle ~slice_ns ~table3 =
+let write_bench_json ~uninstr ~one_pc ~global ~obs_on ~flight ~pages_per_ck
+    ~cks ~taint_fused ~taint_oracle ~slice_ns ~table3 =
   let oc = open_out "BENCH_vm.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"ns_per_instr_uninstrumented\": %.2f,\n" uninstr;
@@ -842,6 +877,12 @@ let write_bench_json ~uninstr ~one_pc ~global ~pages_per_ck ~cks ~taint_fused
   Printf.fprintf oc "  \"one_pc_hook_overhead_pct\": %.2f,\n"
     ((one_pc /. uninstr -. 1.) *. 100.);
   Printf.fprintf oc "  \"global_hook_slowdown_x\": %.2f,\n" (global /. uninstr);
+  Printf.fprintf oc "  \"ns_per_instr_obs_enabled\": %.2f,\n" obs_on;
+  Printf.fprintf oc "  \"obs_enabled_overhead_pct\": %.2f,\n"
+    ((obs_on /. uninstr -. 1.) *. 100.);
+  Printf.fprintf oc "  \"ns_per_instr_flight_recorder\": %.2f,\n" flight;
+  Printf.fprintf oc "  \"flight_recorder_slowdown_x\": %.2f,\n"
+    (flight /. uninstr);
   Printf.fprintf oc "  \"ns_per_instr_taint_analysis\": %.2f,\n" taint_fused;
   Printf.fprintf oc "  \"ns_per_instr_taint_oracle\": %.2f,\n" taint_oracle;
   Printf.fprintf oc "  \"taint_speedup_x\": %.2f,\n" (taint_oracle /. taint_fused);
@@ -872,12 +913,14 @@ let write_bench_json ~uninstr ~one_pc ~global ~pages_per_ck ~cks ~taint_fused
 (* ------------------------------------------------------------------ *)
 
 let micro () =
-  let uninstr, one_pc, global, pages_per_ck, cks = micro_vm () in
+  let uninstr, one_pc, global, obs_on, flight, pages_per_ck, cks =
+    micro_vm ()
+  in
   let taint_fused, taint_oracle, slice_ns = micro_taint () in
   if !json_output then begin
     let table3 = table3_stage_rows () in
-    write_bench_json ~uninstr ~one_pc ~global ~pages_per_ck ~cks ~taint_fused
-      ~taint_oracle ~slice_ns ~table3
+    write_bench_json ~uninstr ~one_pc ~global ~obs_on ~flight ~pages_per_ck
+      ~cks ~taint_fused ~taint_oracle ~slice_ns ~table3
   end;
   section_header "Microbenchmarks (Bechamel)";
   let open Bechamel in

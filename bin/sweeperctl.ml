@@ -4,6 +4,7 @@
      list      - the evaluated applications (Table 1)
      attack    - run the full attack/defense pipeline against one app
      serve     - run a benign workload and report checkpointing stats
+     trace     - run an attack with tracing on; write Chrome trace JSON
      epidemic  - query the community-defense model
      outbreak  - mechanical multi-host worm outbreak with antibody sharing *)
 
@@ -33,6 +34,36 @@ let benign_arg =
     value & opt int 20
     & info [ "benign" ] ~docv:"N" ~doc:"Benign requests to serve first.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print a Prometheus-text metrics snapshot when done.")
+
+(* All subcommands share the process-wide default registry: sweeperctl is
+   one-shot, so the gauge-retention caveat on per-server registration does
+   not apply. *)
+let obs_registry = Obs.Metrics.default
+
+let maybe_print_metrics flag =
+  if flag then print_string (Obs.Metrics.to_prometheus obs_registry)
+
+(* The value of one sample from the registry snapshot, for a server-labelled
+   metric. Counters and gauges both collapse to an int here; serve's summary
+   line is integral throughout. *)
+let metric_value name server_id =
+  let labels = [ ("server", string_of_int server_id) ] in
+  match
+    List.find_opt
+      (fun s ->
+        s.Obs.Metrics.s_name = name && s.Obs.Metrics.s_labels = labels)
+      (Obs.Metrics.snapshot obs_registry)
+  with
+  | Some { Obs.Metrics.s_value = Obs.Metrics.Sample_counter n; _ } -> n
+  | Some { Obs.Metrics.s_value = Obs.Metrics.Sample_gauge v; _ } ->
+    int_of_float v
+  | _ -> 0
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -49,10 +80,14 @@ let list_cmd =
     Term.(const run $ const ())
 
 let attack_cmd =
-  let run app seed aslr benign =
+  let run app seed aslr benign metrics =
     let entry = Apps.Registry.find app in
     let proc = Osim.Process.load ~aslr ~seed (entry.r_compile ()) in
-    let server = Osim.Server.create proc in
+    let server =
+      Osim.Server.create
+        ?metrics:(if metrics then Some obs_registry else None)
+        proc
+    in
     ignore (Osim.Server.run server);
     List.iter
       (fun m -> ignore (Osim.Server.handle server m))
@@ -71,16 +106,17 @@ let attack_cmd =
         | `Served _ -> print_endline "(message served: state buildup)"
 
         | _ -> ())
-      exploit.Apps.Exploits.x_messages
+      exploit.Apps.Exploits.x_messages;
+    maybe_print_metrics metrics
   in
-  let run app seed aslr benign =
-    try run app seed aslr benign
+  let run app seed aslr benign metrics =
+    try run app seed aslr benign metrics
     with e -> Printf.eprintf "error: %s\n" (Printexc.to_string e)
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Fire the canonical exploit and run the defense pipeline")
-    Term.(const run $ app_arg $ seed_arg $ aslr_arg $ benign_arg)
+    Term.(const run $ app_arg $ seed_arg $ aslr_arg $ benign_arg $ metrics_arg)
 
 let serve_cmd =
   let requests =
@@ -94,28 +130,159 @@ let serve_cmd =
       & info [ "interval" ] ~docv:"MS"
           ~doc:"Checkpoint interval in simulated milliseconds (0 = off).")
   in
-  let run app seed interval n =
+  let run app seed interval n metrics =
     let entry = Apps.Registry.find app in
     let proc = Osim.Process.load ~seed (entry.r_compile ()) in
     let config =
       { Osim.Server.checkpoint_interval_ms = interval; keep_checkpoints = 20 }
     in
-    let server = Osim.Server.create ~config proc in
+    let server = Osim.Server.create ~config ~metrics:obs_registry proc in
     ignore (Osim.Server.run server);
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun m -> ignore (Osim.Server.handle server m))
       (Apps.Registry.workload ~seed app n);
     let dt = Unix.gettimeofday () -. t0 in
-    let cow, mapped = Vm.Memory.stats proc.Osim.Process.mem in
+    (* Every figure below is read back from the metrics registry the server
+       registered itself in — the same samples `--metrics` exposes. *)
+    let v name = metric_value name server.Osim.Server.id in
     Printf.printf
       "%d requests in %.3f s; %d instructions; %d checkpoints; %d COW page \
        copies; %d pages mapped\n"
-      n dt proc.Osim.Process.cpu.Vm.Cpu.icount server.Osim.Server.checkpoints_taken
-      cow mapped
+      n dt
+      (v "sweeper_vm_fast_instructions" + v "sweeper_vm_slow_instructions")
+      (v "sweeper_checkpoints_total")
+      (v "sweeper_vm_cow_copies")
+      (v "sweeper_vm_pages_mapped");
+    maybe_print_metrics metrics
   in
   Cmd.v (Cmd.info "serve" ~doc:"Serve a benign workload, report stats")
-    Term.(const run $ app_arg $ seed_arg $ interval $ requests)
+    Term.(const run $ app_arg $ seed_arg $ interval $ requests $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: the attack pipeline with the tracer, the metrics registry, and
+   the VM flight recorder all armed; writes Chrome trace-event JSON. *)
+
+let required_span_names =
+  "checkpoint" :: "attack" :: "recovery"
+  :: List.map
+       (fun (s : Sweeper.Stage.t) -> s.Sweeper.Stage.name)
+       [
+         Sweeper.Orchestrator.coredump_stage;
+         Sweeper.Orchestrator.membug_stage;
+         Sweeper.Orchestrator.taint_stage;
+         Sweeper.Orchestrator.isolation_stage;
+         Sweeper.Orchestrator.slicing_stage;
+       ]
+
+(* Validate a written trace file: it must parse as JSON, expose a
+   traceEvents array, and contain a span for checkpointing, for each of the
+   five analysis stages, for the attack, and for the recovery. *)
+let check_trace path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let events =
+    match
+      Option.bind
+        (Obs.Json.member "traceEvents" (Obs.Json.parse_exn contents))
+        Obs.Json.to_list
+    with
+    | Some evs -> evs
+    | None -> failwith "trace has no traceEvents array"
+  in
+  let names =
+    List.filter_map
+      (fun e ->
+        match Obs.Json.member "name" e with
+        | Some (Obs.Json.Str s) -> Some s
+        | _ -> None)
+      events
+  in
+  let missing =
+    List.filter (fun r -> not (List.mem r names)) required_span_names
+  in
+  if missing <> [] then begin
+    Printf.eprintf "trace check FAILED: missing span(s): %s\n"
+      (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf "trace check OK: %d events, all required spans present\n"
+    (List.length events)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "sweeper-trace.json"
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Where to write the Chrome trace-event JSON.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the written trace: it must parse and contain spans \
+             for checkpointing, every analysis stage, and recovery.")
+  in
+  let flight =
+    Arg.(
+      value
+      & opt int Obs.Recorder.default_capacity
+      & info [ "flight" ] ~docv:"N"
+          ~doc:"VM flight-recorder ring capacity (0 disables it).")
+  in
+  let run app seed aslr benign metrics out check flight_cap =
+    Obs.Trace.enable ();
+    Obs.Trace.clear ();
+    let entry = Apps.Registry.find app in
+    let proc = Osim.Process.load ~aslr ~seed (entry.r_compile ()) in
+    if flight_cap > 0 then
+      proc.Osim.Process.flight <-
+        Some (Obs.Recorder.attach ~capacity:flight_cap proc.Osim.Process.cpu);
+    let server = Osim.Server.create ~metrics:obs_registry proc in
+    ignore (Osim.Server.run server);
+    List.iter
+      (fun m -> ignore (Osim.Server.handle server m))
+      (Apps.Registry.workload ~seed app benign);
+    let exploit =
+      Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 app
+    in
+    let flight_dump = ref None in
+    List.iter
+      (fun m ->
+        match Sweeper.Orchestrator.protected_handle ~app server m with
+        | `Attack r ->
+          (match
+             r.Sweeper.Orchestrator.a_coredump.Sweeper.Coredump.c_flight
+           with
+          | Some d -> flight_dump := Some d
+          | None -> ());
+          Printf.printf "analyzed: %s\n" (Sweeper.Report.summary r)
+        | _ -> ())
+      exploit.Apps.Exploits.x_messages;
+    Obs.Trace.write out;
+    Printf.printf "wrote %s (%d events)\n" out (Obs.Trace.event_count ());
+    (match !flight_dump with
+    | Some d ->
+      print_endline "flight recorder at crash (oldest first):";
+      print_string d
+    | None -> ());
+    maybe_print_metrics metrics;
+    if check then check_trace out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the attack pipeline with tracing, metrics, and the flight \
+          recorder on; write a Chrome/Perfetto-openable trace")
+    Term.(
+      const run $ app_arg $ seed_arg $ aslr_arg $ benign_arg $ metrics_arg
+      $ out $ check $ flight)
 
 let epidemic_cmd =
   let beta =
@@ -160,7 +327,7 @@ let outbreak_cmd =
       value & opt int 2
       & info [ "producers" ] ~docv:"K" ~doc:"Hosts running full Sweeper.")
   in
-  let run n_hosts n_producers seed =
+  let run n_hosts n_producers seed metrics =
     let app = Apps.Registry.find "apache1" in
     let compiled = app.r_compile () in
     let rng = Random.State.make [| seed |] in
@@ -169,7 +336,11 @@ let outbreak_cmd =
     let hosts =
       List.init n_hosts (fun id ->
           let proc = Osim.Process.load ~aslr:true ~seed:(seed + id) compiled in
-          let server = Osim.Server.create proc in
+          let server =
+            Osim.Server.create
+              ?metrics:(if metrics then Some obs_registry else None)
+              proc
+          in
           ignore (Osim.Server.run server);
           (id, id < n_producers, proc, server, ref false, ref false))
     in
@@ -216,16 +387,17 @@ let outbreak_cmd =
     Printf.printf
       "outbreak over: %d/%d infected, %d crashes absorbed, %d attempts \
        blocked by antibodies\n"
-      !infected n_hosts !crashes !blocked
+      !infected n_hosts !crashes !blocked;
+    maybe_print_metrics metrics
   in
   Cmd.v
     (Cmd.info "outbreak" ~doc:"Mechanical worm outbreak across real hosts")
-    Term.(const run $ hosts $ producers $ seed_arg)
+    Term.(const run $ hosts $ producers $ seed_arg $ metrics_arg)
 
 let main =
   Cmd.group
     (Cmd.info "sweeperctl" ~version:"1.0.0"
        ~doc:"Sweeper: lightweight end-to-end defense against fast worms")
-    [ list_cmd; attack_cmd; serve_cmd; epidemic_cmd; outbreak_cmd ]
+    [ list_cmd; attack_cmd; serve_cmd; trace_cmd; epidemic_cmd; outbreak_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,6 +23,9 @@ type report = {
   c_diagnosis : diagnosis;
   c_vsef : Vsef.t option;            (** the initial VSEF *)
   c_summary : string;
+  c_flight : string option;
+      (** the VM flight-recorder ring dump, when one was attached to the
+          crashed process (post-mortem forensics) *)
 }
 
 let diagnosis_to_string = function
@@ -200,4 +203,8 @@ let analyze (p : Osim.Process.t) (fault : Vm.Event.fault) : report =
     c_diagnosis = diagnosis;
     c_vsef = vsef;
     c_summary = summary;
+    c_flight =
+      Option.map
+        (fun r -> Obs.Recorder.dump ~images:(Osim.Process.images p) r)
+        p.Osim.Process.flight;
   }

@@ -23,6 +23,9 @@ type report = {
   c_diagnosis : diagnosis;
   c_vsef : Vsef.t option;       (** the initial VSEF *)
   c_summary : string;
+  c_flight : string option;
+      (** the VM flight-recorder ring dump, when one was attached to the
+          crashed process (post-mortem forensics) *)
 }
 
 val diagnosis_to_string : diagnosis -> string

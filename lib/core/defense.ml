@@ -97,7 +97,13 @@ let publish t antibody =
   in
   if accept then begin
     t.generation <- t.generation + 1;
-    t.antibody <- Some (t.generation, antibody)
+    t.antibody <- Some (t.generation, antibody);
+    Obs.Metrics.inc
+      (Obs.Metrics.counter ~help:"antibody generations published"
+         "sweeper_antibodies_published_total");
+    Obs.Trace.instant ~cat:"community"
+      ~args:[ ("generation", string_of_int t.generation) ]
+      "antibody-published"
   end;
   accept
 
@@ -242,7 +248,13 @@ let run_scheduled ?quantum t ~(traffic : host -> string list) =
       Osim.Sched.unpark sched task
     | Osim.Sched.Raised e -> raise e
   in
+  let sp =
+    Obs.Trace.begin_span ~cat:"community"
+      ~args:[ ("hosts", string_of_int (List.length t.hosts)) ]
+      ~vts_ms:(Osim.Sched.vclock_ms sched) "community-round"
+  in
   Osim.Sched.run ~handler sched;
+  Obs.Trace.end_span ~vts_ms:(Osim.Sched.vclock_ms sched) sp;
   sched
 
 (** One worm round: the worm attacks every uninfected host once, with a
@@ -252,6 +264,28 @@ let worm_round ?quantum t ~(exploit_for : host -> string list) =
   ignore (run_scheduled ?quantum t ~traffic:exploit_for)
 
 let infected_count t = List.length (List.filter (fun h -> h.h_infected) t.hosts)
+
+(** Register the community's population-level statistics as pull-gauges. *)
+let register_metrics t registry =
+  let g name help f =
+    Obs.Metrics.gauge_fn ~registry ~help name (fun () -> float_of_int (f ()))
+  in
+  g "sweeper_community_attempts" "deliveries attempted" (fun () ->
+      t.stats.s_attempts);
+  g "sweeper_community_infections" "successful infections" (fun () ->
+      t.stats.s_infections);
+  g "sweeper_community_crashes" "detections via lightweight monitoring"
+    (fun () -> t.stats.s_crashes);
+  g "sweeper_community_blocked" "attacks stopped by antibodies" (fun () ->
+      t.stats.s_blocked);
+  g "sweeper_community_analyses" "producer pipeline runs" (fun () ->
+      t.stats.s_analyses);
+  g "sweeper_community_infected_hosts" "hosts currently infected" (fun () ->
+      infected_count t);
+  Obs.Metrics.gauge_fn ~registry
+    ~help:"analysis latency of the first antibody (ms; -1 before one exists)"
+    "sweeper_community_first_antibody_ms" (fun () ->
+      Option.value ~default:(-1.) t.stats.s_first_antibody_ms)
 
 let infection_ratio t =
   float_of_int (infected_count t) /. float_of_int (List.length t.hosts)

@@ -95,6 +95,12 @@ val worm_round : ?quantum:int -> t -> exploit_for:(host -> string list) -> unit
     deliveries run interleaved on the scheduler. *)
 
 val infected_count : t -> int
+
+val register_metrics : t -> Obs.Metrics.t -> unit
+(** Register the community's population-level statistics (attempts,
+    infections, detections, blocked attacks, analyses, first-antibody
+    latency) as pull-gauges in a metrics registry. *)
+
 val infection_ratio : t -> float
 
 val all_alive : t -> bool

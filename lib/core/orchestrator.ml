@@ -192,6 +192,7 @@ let finish ?(recover = true) (cx : Stage.ctx) : report =
         c_diagnosis = Coredump.Unclassified;
         c_vsef = None;
         c_summary = "memory-state analysis skipped";
+        c_flight = None;
       }
   in
   let membug =
@@ -277,6 +278,20 @@ let finish ?(recover = true) (cx : Stage.ctx) : report =
   in
   (* --- Recovery ---------------------------------------------------------- *)
   let all_vsefs = initial_vsefs @ refined_vsefs @ Option.to_list taint_vsef in
+  Obs.Metrics.add
+    (Obs.Metrics.counter ~help:"VSEFs generated" "sweeper_vsefs_total")
+    (List.length all_vsefs);
+  Obs.Metrics.inc
+    (Obs.Metrics.counter ~help:"antibodies assembled" "sweeper_antibodies_total");
+  (* detection-to-first-antibody: the attack span opened at detection; this
+     instant closes the latency the paper's ~60 ms claim is about. *)
+  Obs.Trace.instant ~cat:"attack" ~pid:cx.Stage.cx_server.Osim.Server.id
+    ~args:
+      [ ("app", app);
+        ("elapsed_ms", Printf.sprintf "%.3f" (Stage.elapsed_ms cx));
+        ("vsefs", string_of_int (List.length all_vsefs));
+      ]
+    "antibody-ready";
   if recover then begin
     (* Install the antibody first, then roll back and re-execute without
        the malicious input. *)
@@ -310,7 +325,15 @@ let finish ?(recover = true) (cx : Stage.ctx) : report =
     with the antibody installed (unless [recover] is false). *)
 let handle_attack ?(recover = true) ?(stages = default_stages) ~app
     (server : Osim.Server.t) (fault : Vm.Event.fault) =
-  finish ~recover (Stage.run_pipeline stages (Stage.init ~app server fault))
+  Obs.Metrics.inc
+    (Obs.Metrics.counter ~help:"attacks detected by lightweight monitoring"
+       "sweeper_detections_total");
+  Obs.Trace.with_span ~cat:"attack" ~pid:server.Osim.Server.id
+    ~vts_ms:(Osim.Server.vtime_ms server)
+    ~args:[ ("app", app); ("fault", Vm.Event.fault_to_string fault) ]
+    "attack"
+    (fun () ->
+      finish ~recover (Stage.run_pipeline stages (Stage.init ~app server fault)))
 
 (** Serve messages on a Sweeper-protected server, running the full defense
     process when the lightweight monitoring trips. Returns the analysis

@@ -18,6 +18,12 @@ type outcome = {
     [skip]. On success the server is live again (network log back in
     [Live] mode, blocked on input). *)
 let recover (server : Osim.Server.t) (ck : Osim.Checkpoint.t) ~skip : outcome =
+  let sp =
+    Obs.Trace.begin_span ~cat:"recovery" ~pid:server.Osim.Server.id
+      ~vts_ms:(Osim.Server.vtime_ms server)
+      ~args:[ ("skip", string_of_int (List.length skip)) ]
+      "recovery"
+  in
   let proc = server.Osim.Server.proc in
   let net = proc.Osim.Process.net in
   let upto = Osim.Netlog.message_count net in
@@ -46,6 +52,19 @@ let recover (server : Osim.Server.t) (ck : Osim.Checkpoint.t) ~skip : outcome =
   Stage.Replay.release proc;
   (* Leave a fresh, clean rollback point for the resumed service. *)
   if status = `Recovered then Osim.Server.take_checkpoint server;
+  Obs.Metrics.inc
+    (Obs.Metrics.counter ~help:"rollback-and-replay recoveries"
+       "sweeper_recoveries_total");
+  Obs.Trace.end_span
+    ~vts_ms:(Osim.Server.vtime_ms server)
+    ~args:
+      [ ( "outcome",
+          match status with
+          | `Recovered -> "recovered"
+          | `Crashed_again _ -> "crashed-again"
+          | `Stopped -> "stopped" );
+      ]
+    sp;
   {
     rec_status = status;
     rec_replayed = upto - ck.Osim.Checkpoint.ck_net_cursor - List.length skip;

@@ -88,20 +88,34 @@ let table3_row (r : Orchestrator.report) =
     +. stage Orchestrator.isolation_stage.Stage.name,
     stage Orchestrator.slicing_stage.Stage.name )
 
-let print_table2 proc r =
-  Printf.printf "== %s ==\n" (summary r);
+(* The render functions build strings (via buffers) so tests can capture
+   and assert the exact output; the print_* entry points below just write
+   the same bytes to stdout. *)
+
+let table2_to_buffer buf proc r =
+  Printf.bprintf buf "== %s ==\n" (summary r);
   List.iter
     (fun (k, v) ->
-      if k = "" then Printf.printf "    %s\n" v
-      else Printf.printf "  %-24s %s\n" k v)
+      if k = "" then Printf.bprintf buf "    %s\n" v
+      else Printf.bprintf buf "  %-24s %s\n" k v)
     (table2_rows proc r)
 
-let print_table3_header () =
-  Printf.printf "%-10s %12s %12s %12s %12s | %10s %10s %10s %10s\n" "App"
+let table2_to_string proc r =
+  let buf = Buffer.create 512 in
+  table2_to_buffer buf proc r;
+  Buffer.contents buf
+
+let table3_header () =
+  Printf.sprintf "%-10s %12s %12s %12s %12s | %10s %10s %10s %10s\n" "App"
     "1stVSEF(ms)" "bestVSEF(ms)" "initial(ms)" "total(ms)" "memstate"
     "membug" "taint" "slicing"
 
-let print_table3_row r =
+let table3_row_to_string r =
   let app, fv, bv, init, tot, ms, mb, ta, sl = table3_row r in
-  Printf.printf "%-10s %12.2f %12.2f %12.2f %12.2f | %10.2f %10.2f %10.2f %10.2f\n"
-    app fv bv init tot ms mb ta sl
+  Printf.sprintf
+    "%-10s %12.2f %12.2f %12.2f %12.2f | %10.2f %10.2f %10.2f %10.2f\n" app fv
+    bv init tot ms mb ta sl
+
+let print_table2 proc r = print_string (table2_to_string proc r)
+let print_table3_header () = print_string (table3_header ())
+let print_table3_row r = print_string (table3_row_to_string r)

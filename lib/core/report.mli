@@ -20,6 +20,16 @@ val table3_row :
 (** (app, first-VSEF ms, best-VSEF ms, initial ms, total ms, memory-state,
     membug, taint+isolation, slicing). *)
 
+val table2_to_buffer : Buffer.t -> Osim.Process.t -> Orchestrator.report -> unit
+
+val table2_to_string : Osim.Process.t -> Orchestrator.report -> string
+(** The full Table 2 block ([print_table2]'s exact bytes). *)
+
+val table3_header : unit -> string
+val table3_row_to_string : Orchestrator.report -> string
+
 val print_table2 : Osim.Process.t -> Orchestrator.report -> unit
+(** [print_string (table2_to_string proc r)]. *)
+
 val print_table3_header : unit -> unit
 val print_table3_row : Orchestrator.report -> unit

@@ -774,8 +774,19 @@ let run ?(fuel = 20_000_000) (proc : Osim.Process.t) : result =
   let before = cpu.Vm.Cpu.icount in
   let hook = Vm.Cpu.add_post_hook cpu (on_effect st) in
   let outcome =
-    if Vm.Cpu.global_hook_count cpu = 1 && Vm.Cpu.pc_hook_count cpu = 0 then
-      fused_run st cpu fuel
+    if Vm.Cpu.global_hook_count cpu = 1 && Vm.Cpu.pc_hook_count cpu = 0 then begin
+      let slow0 = cpu.Vm.Cpu.slow_retired in
+      let o = fused_run st cpu fuel in
+      (* Instructions the fused loop ran through [exec_fast] retire outside
+         the interpreter's dispatch, so account them as fast-path work here
+         (everything this window executed minus what [slow] stepped) to
+         keep fast + slow equal to the instructions actually executed. *)
+      cpu.Vm.Cpu.fast_retired <-
+        cpu.Vm.Cpu.fast_retired
+        + (cpu.Vm.Cpu.icount - before)
+        - (cpu.Vm.Cpu.slow_retired - slow0);
+      o
+    end
     else Vm.Cpu.run ~fuel cpu
   in
   Vm.Cpu.remove_hook cpu hook;

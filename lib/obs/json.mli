@@ -1,0 +1,26 @@
+(** Minimal JSON encoder/parser used by metrics snapshots, Chrome trace
+    export, and the trace-validation tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member key j] is the value bound to [key] when [j] is an object. *)
+
+val to_list : t -> t list option

@@ -1,0 +1,241 @@
+(** Metrics registry: named counters, gauges, and histograms with
+    JSON-snapshot and Prometheus-text exposition.
+
+    Counters and gauges are plain mutable cells so incrementing one from a
+    cold path costs a single store; the registry is only consulted at
+    registration and snapshot time. Callback gauges ([gauge_fn]) let
+    subsystems expose internal state (ring occupancy, TLB counters) without
+    pushing on every change — the closure is polled at snapshot time.
+
+    Closures registered in a registry keep whatever they capture alive, so
+    per-process gauges should go in a per-run registry (see
+    [Osim.Server.create ?metrics]) rather than {!default}. *)
+
+type counter = { mutable c_n : int }
+type gauge = { mutable g_v : float }
+
+type histogram = {
+  h_limits : float array; (* ascending upper bounds, no +inf sentinel *)
+  h_counts : int array; (* length = Array.length h_limits + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type value =
+  | Counter of counter
+  | Gauge of gauge
+  | Gauge_fn of (unit -> float)
+  | Histogram of histogram
+
+type metric = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_help : string;
+  m_value : value;
+}
+
+type t = { tbl : (string * (string * string) list, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+let clear r = Hashtbl.reset r.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Instrument primitives                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_counter () = { c_n = 0 }
+let inc c = c.c_n <- c.c_n + 1
+let add c n = c.c_n <- c.c_n + n
+let counter_value c = c.c_n
+let make_gauge () = { g_v = 0. }
+let set g v = g.g_v <- v
+let gauge_value g = g.g_v
+
+let default_buckets =
+  [| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let make_histogram ?(buckets = default_buckets) () =
+  let limits = Array.copy buckets in
+  Array.sort compare limits;
+  { h_limits = limits; h_counts = Array.make (Array.length limits + 1) 0;
+    h_sum = 0.; h_count = 0 }
+
+let observe h v =
+  let n = Array.length h.h_limits in
+  let rec slot i = if i >= n || v <= h.h_limits.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let register r ?(help = "") ?(labels = []) name value =
+  let labels = norm_labels labels in
+  Hashtbl.replace r.tbl (name, labels)
+    { m_name = name; m_labels = labels; m_help = help; m_value = value }
+
+let find_or r ?help ?(labels = []) name make =
+  let key = (name, norm_labels labels) in
+  match Hashtbl.find_opt r.tbl key with
+  | Some m -> m.m_value
+  | None ->
+    let v = make () in
+    register r ?help ~labels name v;
+    v
+
+let counter ?(registry = default) ?help ?labels name =
+  match
+    find_or registry ?help ?labels name (fun () -> Counter (make_counter ()))
+  with
+  | Counter c -> c
+  | _ -> invalid_arg (name ^ ": registered as a non-counter")
+
+let gauge ?(registry = default) ?help ?labels name =
+  match
+    find_or registry ?help ?labels name (fun () -> Gauge (make_gauge ()))
+  with
+  | Gauge g -> g
+  | _ -> invalid_arg (name ^ ": registered as a non-gauge")
+
+let histogram ?(registry = default) ?buckets ?help ?labels name =
+  match
+    find_or registry ?help ?labels name (fun () ->
+        Histogram (make_histogram ?buckets ()))
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (name ^ ": registered as a non-histogram")
+
+let gauge_fn ?(registry = default) ?help ?labels name f =
+  register registry ?help ?labels name (Gauge_fn f)
+
+let attach_counter ?(registry = default) ?help ?labels name c =
+  register registry ?help ?labels name (Counter c)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type sample_value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_histogram of (float * int) list * float * int
+      (** cumulative (upper_bound, count) buckets, sum, total count *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_value : sample_value;
+}
+
+let sample_of m =
+  let v =
+    match m.m_value with
+    | Counter c -> Sample_counter c.c_n
+    | Gauge g -> Sample_gauge g.g_v
+    | Gauge_fn f -> Sample_gauge (f ())
+    | Histogram h ->
+      let cum = ref 0 and buckets = ref [] in
+      Array.iteri
+        (fun i limit ->
+          cum := !cum + h.h_counts.(i);
+          buckets := (limit, !cum) :: !buckets)
+        h.h_limits;
+      Sample_histogram (List.rev !buckets, h.h_sum, h.h_count)
+  in
+  { s_name = m.m_name; s_labels = m.m_labels; s_help = m.m_help; s_value = v }
+
+let snapshot r =
+  Hashtbl.fold (fun _ m acc -> sample_of m :: acc) r.tbl []
+  |> List.sort (fun a b ->
+         match compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
+         | c -> c)
+
+let to_json r =
+  let metric_json s =
+    let base =
+      [ ("name", Json.Str s.s_name);
+        ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.s_labels));
+      ]
+    in
+    let value =
+      match s.s_value with
+      | Sample_counter n -> [ ("type", Json.Str "counter"); ("value", Json.Int n) ]
+      | Sample_gauge v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
+      | Sample_histogram (buckets, sum, count) ->
+        [ ("type", Json.Str "histogram");
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (le, n) ->
+                   Json.Obj [ ("le", Json.Float le); ("count", Json.Int n) ])
+                 buckets) );
+          ("sum", Json.Float sum);
+          ("count", Json.Int count);
+        ]
+    in
+    Json.Obj (base @ value)
+  in
+  Json.Obj [ ("metrics", Json.List (List.map metric_json (snapshot r))) ]
+
+let prom_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let to_prometheus r =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem seen_header s.s_name) then begin
+        Hashtbl.add seen_header s.s_name ();
+        if s.s_help <> "" then
+          Printf.bprintf buf "# HELP %s %s\n" s.s_name s.s_help;
+        let ty =
+          match s.s_value with
+          | Sample_counter _ -> "counter"
+          | Sample_gauge _ -> "gauge"
+          | Sample_histogram _ -> "histogram"
+        in
+        Printf.bprintf buf "# TYPE %s %s\n" s.s_name ty
+      end;
+      match s.s_value with
+      | Sample_counter n ->
+        Printf.bprintf buf "%s%s %d\n" s.s_name (prom_labels s.s_labels) n
+      | Sample_gauge v ->
+        Printf.bprintf buf "%s%s %s\n" s.s_name (prom_labels s.s_labels)
+          (prom_value v)
+      | Sample_histogram (buckets, sum, count) ->
+        List.iter
+          (fun (le, n) ->
+            Printf.bprintf buf "%s_bucket%s %d\n" s.s_name
+              (prom_labels (s.s_labels @ [ ("le", prom_value le) ]))
+              n)
+          buckets;
+        Printf.bprintf buf "%s_bucket%s %d\n" s.s_name
+          (prom_labels (s.s_labels @ [ ("le", "+Inf") ]))
+          count;
+        Printf.bprintf buf "%s_sum%s %s\n" s.s_name (prom_labels s.s_labels)
+          (prom_value sum);
+        Printf.bprintf buf "%s_count%s %d\n" s.s_name (prom_labels s.s_labels)
+          count)
+    (snapshot r);
+  Buffer.contents buf

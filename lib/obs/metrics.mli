@@ -1,0 +1,79 @@
+(** Metrics registry: named counters, gauges, and histograms with
+    JSON-snapshot and Prometheus-text exposition.
+
+    Instruments ([counter], [gauge], [histogram]) are plain mutable cells;
+    updating one never touches the registry, so cold-path instrumentation
+    costs a single store. Callback gauges are polled only at snapshot time.
+
+    Closures registered via [gauge_fn] keep whatever they capture alive for
+    the registry's lifetime; per-process gauges belong in a per-run
+    [create ()] registry, not in {!default}. *)
+
+type counter
+type gauge
+type histogram
+type t
+
+val create : unit -> t
+val default : t
+val clear : t -> unit
+
+(** {1 Instruments} *)
+
+val make_counter : unit -> counter
+(** An unregistered counter (attach later with {!attach_counter}). *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : histogram -> float -> unit
+
+(** {1 Registration} *)
+
+val counter :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string ->
+  counter
+(** Get-or-create by (name, labels). *)
+
+val gauge :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string ->
+  gauge
+
+val histogram :
+  ?registry:t -> ?buckets:float array -> ?help:string ->
+  ?labels:(string * string) list -> string -> histogram
+
+val gauge_fn :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string ->
+  (unit -> float) -> unit
+(** Register (replacing any previous binding) a gauge polled at snapshot
+    time. *)
+
+val attach_counter :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string ->
+  counter -> unit
+(** Register an existing counter cell under a name, replacing any previous
+    binding for (name, labels). *)
+
+(** {1 Snapshots} *)
+
+type sample_value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_histogram of (float * int) list * float * int
+      (** cumulative (upper_bound, count) buckets, sum, total count *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_value : sample_value;
+}
+
+val snapshot : t -> sample list
+(** Deterministic order: sorted by name, then labels. *)
+
+val to_json : t -> Json.t
+val to_prometheus : t -> string

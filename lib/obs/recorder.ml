@@ -1,0 +1,90 @@
+(** VM flight recorder: a bounded ring of recently retired instructions
+    with the syscall/net event each one raised, for post-mortem forensics.
+
+    Built entirely on the VM's hook machinery: attaching installs a single
+    global post-hook, which routes execution through the instrumented slow
+    path exactly like any other global hook. When no recorder is attached
+    the uninstrumented fast path is untouched — recording off costs
+    nothing. *)
+
+type record = {
+  r_pc : int;
+  r_icount : int;  (** instruction count after this instruction retired *)
+  r_instr : Vm.Isa.instr;
+  r_sys : Vm.Event.sys_io;
+}
+
+type t = {
+  ring : record array;
+  mutable next : int; (* next write slot *)
+  mutable filled : int; (* total records written, saturating at capacity *)
+  cpu : Vm.Cpu.t;
+  mutable hook_id : Vm.Cpu.hook_id option;
+}
+
+let default_capacity = 256
+
+let dummy =
+  { r_pc = 0; r_icount = 0; r_instr = Vm.Isa.Halt; r_sys = Vm.Event.Io_none }
+
+let attach ?(capacity = default_capacity) cpu =
+  if capacity <= 0 then invalid_arg "Recorder.attach: capacity must be > 0";
+  let t =
+    { ring = Array.make capacity dummy; next = 0; filled = 0; cpu;
+      hook_id = None }
+  in
+  let on_retire (e : Vm.Event.effect_) =
+    t.ring.(t.next) <-
+      { r_pc = e.Vm.Event.e_pc; r_icount = cpu.Vm.Cpu.icount;
+        r_instr = e.Vm.Event.e_instr; r_sys = e.Vm.Event.e_sys };
+    t.next <- (t.next + 1) mod capacity;
+    if t.filled < capacity then t.filled <- t.filled + 1
+  in
+  t.hook_id <- Some (Vm.Cpu.add_post_hook cpu on_retire);
+  t
+
+let detach t =
+  match t.hook_id with
+  | None -> ()
+  | Some id ->
+    Vm.Cpu.remove_hook t.cpu id;
+    t.hook_id <- None
+
+let attached t = t.hook_id <> None
+let capacity t = Array.length t.ring
+let size t = t.filled
+
+let records t =
+  let cap = Array.length t.ring in
+  let start = if t.filled < cap then 0 else t.next in
+  List.init t.filled (fun i -> t.ring.((start + i) mod cap))
+
+let sys_suffix = function
+  | Vm.Event.Io_none -> ""
+  | Vm.Event.Io_recv { buf; len; msg_id } ->
+    Printf.sprintf " ; recv(buf=0x%x, len=%d, msg=%d)" buf len msg_id
+  | Vm.Event.Io_send { buf; len } ->
+    Printf.sprintf " ; send(buf=0x%x, len=%d)" buf len
+  | Vm.Event.Io_alloc { ptr; size } ->
+    Printf.sprintf " ; alloc(%d) = 0x%x" size ptr
+  | Vm.Event.Io_free { ptr; status } ->
+    Printf.sprintf " ; free(0x%x)%s" ptr
+      (match status with
+      | `Ok -> ""
+      | `Double_free -> " DOUBLE FREE"
+      | `Bad_pointer -> " BAD POINTER")
+  | Vm.Event.Io_exec { cmd } -> Printf.sprintf " ; exec(%S)" cmd
+  | Vm.Event.Io_exit code -> Printf.sprintf " ; exit(%d)" code
+  | Vm.Event.Io_other s -> Printf.sprintf " ; %s" s
+
+let dump ?images t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "flight recorder: last %d instruction(s)\n" t.filled;
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "  [%8d] %-18s %s%s\n" r.r_icount
+        (Vm.Disasm.addr_to_string ?images r.r_pc)
+        (Vm.Disasm.instr_to_string r.r_instr)
+        (sys_suffix r.r_sys))
+    (records t);
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** VM flight recorder: a bounded ring of recently retired instructions
+    with the syscall/net event each raised, dumped by crash reports for
+    post-mortem forensics.
+
+    Attaching installs one global post-hook on the CPU, which steers
+    execution through the instrumented slow path like any other global
+    hook; with no recorder attached the uninstrumented fast path is
+    untouched, so recording off costs nothing. *)
+
+type record = {
+  r_pc : int;
+  r_icount : int;  (** instruction count after this instruction retired *)
+  r_instr : Vm.Isa.instr;
+  r_sys : Vm.Event.sys_io;
+}
+
+type t
+
+val default_capacity : int
+
+val attach : ?capacity:int -> Vm.Cpu.t -> t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val detach : t -> unit
+val attached : t -> bool
+val capacity : t -> int
+
+val size : t -> int
+(** Records currently held (≤ capacity). *)
+
+val records : t -> record list
+(** Oldest first; the last element is the most recently retired
+    instruction. *)
+
+val dump : ?images:Vm.Asm.image list -> t -> string
+(** Human-readable ring dump, one line per record; [images] attributes pcs
+    to symbols as in crash reports. *)

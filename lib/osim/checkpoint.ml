@@ -58,9 +58,10 @@ let rollback (p : Process.t) ck =
 type ring = {
   capacity : int;
   mutable items : t list;  (** newest first *)
+  mutable purges : int;  (** checkpoints dropped by {!purge_after} *)
 }
 
-let create_ring ?(capacity = 20) () = { capacity; items = [] }
+let create_ring ?(capacity = 20) () = { capacity; items = []; purges = 0 }
 
 let add ring ck =
   let rec trim n = function
@@ -88,4 +89,9 @@ let oldest ring =
     recovery: checkpoints taken while a now-quarantined message was in
     flight contain the attack's effects and must never be rolled back to. *)
 let purge_after ring ~cursor =
-  ring.items <- List.filter (fun ck -> ck.ck_net_cursor <= cursor) ring.items
+  let before = List.length ring.items in
+  ring.items <- List.filter (fun ck -> ck.ck_net_cursor <= cursor) ring.items;
+  ring.purges <- ring.purges + (before - List.length ring.items)
+
+(** Checkpoints dropped by {!purge_after} over the ring's lifetime. *)
+let purge_count ring = ring.purges

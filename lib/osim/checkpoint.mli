@@ -43,6 +43,9 @@ val purge_after : ring -> cursor:int -> unit
     recovery: checkpoints taken while a now-quarantined message was in
     flight contain the attack's effects and must never be rolled back to. *)
 
+val purge_count : ring -> int
+(** Checkpoints dropped by {!purge_after} over the ring's lifetime. *)
+
 val before_message : ring -> msg_index:int -> t option
 (** The most recent checkpoint taken before the message at log index
     [msg_index] was consumed — the right rollback point for analyzing an

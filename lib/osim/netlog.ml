@@ -81,6 +81,8 @@ let remove_filter t ~name =
   t.filters <- List.filter (fun f -> f.f_name <> name) t.filters
 
 let filter_count t = List.length t.filters
+let dropped_count t = List.length t.filtered
+let quarantined_count t = Int_set.cardinal t.quarantined
 
 (** The next message for [recv], honouring the current mode; [None] means
     the syscall must block. Advances the cursor. *)

@@ -36,6 +36,12 @@ val add_filter : t -> name:string -> (string -> bool) -> unit
 val remove_filter : t -> name:string -> unit
 val filter_count : t -> int
 
+val dropped_count : t -> int
+(** Messages dropped by input filters since creation. *)
+
+val quarantined_count : t -> int
+(** Messages permanently excluded from replay. *)
+
 val quarantine : t -> int list -> unit
 (** Permanently exclude messages from any future replay. *)
 

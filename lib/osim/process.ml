@@ -32,6 +32,9 @@ type t = {
      itself here. *)
   mutable rollback_hooks : (int * (unit -> unit)) list;
   mutable next_rollback_hook : int;
+  mutable flight : Obs.Recorder.t option;
+      (** the attached VM flight recorder, if any; crash reports dump its
+          ring (see {!Sweeper.Coredump}) *)
 }
 
 (** Register a callback to run after every rollback of this process.
@@ -235,6 +238,7 @@ let load ?(aslr = true) ?(seed = 0) (app : Minic.Codegen.compiled) =
       rng;
       rollback_hooks = [];
       next_rollback_hook = 0;
+      flight = None;
     }
   in
   cpu.Vm.Cpu.sys_handler <- (fun cpu eff n -> handle_syscall p cpu eff n);

@@ -27,6 +27,9 @@ type t = {
   rng : Random.State.t;
   mutable rollback_hooks : (int * (unit -> unit)) list;
   mutable next_rollback_hook : int;
+  mutable flight : Obs.Recorder.t option;
+      (** the attached VM flight recorder, if any; crash reports dump its
+          ring (see {!Sweeper.Coredump}) *)
 }
 
 val add_rollback_hook : t -> (unit -> unit) -> int

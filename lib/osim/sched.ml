@@ -40,6 +40,8 @@ type task = {
   mutable sk_vtime_ms : float;     (** per-task virtual clock *)
   mutable sk_delivered : int;
   mutable sk_served : int;
+  mutable sk_span : Obs.Trace.span option;
+      (** the open per-message serve span (delivery to Served/park) *)
   sk_on_deliver : (string -> unit) option;
       (** runs just before a message enters the host's network log *)
 }
@@ -51,6 +53,8 @@ type t = {
   mutable vclock_ms : float;
   mutable steps : int;
   mutable instructions : int;
+  mutable parks : int;
+  mutable unparks : int;
   mutable dirty : bool;  (** a post/unpark may have made a task deliverable *)
 }
 
@@ -64,6 +68,8 @@ let create ?(quantum = default_quantum) () =
     vclock_ms = 0.;
     steps = 0;
     instructions = 0;
+    parks = 0;
+    unparks = 0;
     dirty = false;
   }
 
@@ -82,6 +88,7 @@ let add ?on_deliver t server =
       sk_vtime_ms = 0.;
       sk_delivered = 0;
       sk_served = 0;
+      sk_span = None;
       sk_on_deliver = on_deliver;
     }
   in
@@ -109,14 +116,54 @@ let post t task payload =
   t.dirty <- true
 
 let unpark t task =
-  (match task.sk_state with Parked _ -> task.sk_state <- Waiting | _ -> ());
+  (match task.sk_state with
+  | Parked _ ->
+    task.sk_state <- Waiting;
+    t.unparks <- t.unparks + 1
+  | _ -> ());
   t.dirty <- true
 
 let vtime_ms task = task.sk_vtime_ms
 let vclock_ms t = t.vclock_ms
 let instructions t = t.instructions
 let steps t = t.steps
+let parks t = t.parks
+let unparks t = t.unparks
 let tasks t = List.rev t.tasks
+
+(** Register scheduler-wide gauges (turns, instructions, parks/unparks,
+    virtual clock) in a metrics registry. *)
+let register_metrics t registry =
+  let gauge name help f =
+    Obs.Metrics.gauge_fn ~registry ~help name (fun () -> float_of_int (f ()))
+  in
+  gauge "sweeper_sched_steps" "scheduling turns taken" (fun () -> t.steps);
+  gauge "sweeper_sched_instructions" "instructions run under the scheduler"
+    (fun () -> t.instructions);
+  gauge "sweeper_sched_parks" "tasks parked on events" (fun () -> t.parks);
+  gauge "sweeper_sched_unparks" "parked tasks returned to service" (fun () ->
+      t.unparks);
+  Obs.Metrics.gauge_fn ~registry ~help:"scheduler virtual clock (simulated ms)"
+    "sweeper_sched_vclock_ms" (fun () -> t.vclock_ms)
+
+let event_outcome = function
+  | Filtered _ -> "filtered"
+  | Served _ -> "served"
+  | Crashed _ -> "crashed"
+  | Infected _ -> "infected"
+  | Stopped -> "stopped"
+  | Raised _ -> "raised"
+
+(* Close the open serve span, stamping the task's (just-accounted) virtual
+   time as the end timestamp. *)
+let close_span ~outcome task =
+  match task.sk_span with
+  | None -> ()
+  | Some sp ->
+    Obs.Trace.end_span ~vts_ms:task.sk_vtime_ms
+      ~args:[ ("outcome", outcome) ]
+      sp;
+    task.sk_span <- None
 
 (* Move inbox messages into the network log until one is admitted (filters
    reject at delivery time, like a drop at the proxy). *)
@@ -132,6 +179,13 @@ let rec deliver t handler task =
     | Ok id ->
       task.sk_pending <- Some id;
       task.sk_delivered <- task.sk_delivered + 1;
+      if Obs.Trace.enabled () then
+        task.sk_span <-
+          Some
+            (Obs.Trace.begin_span ~cat:"sched" ~pid:task.sk_server.Server.id
+               ~tid:task.sk_id ~vts_ms:task.sk_vtime_ms
+               ~args:[ ("msg", string_of_int id) ]
+               "serve");
       task.sk_state <- Runnable)
 
 let account t task before =
@@ -145,6 +199,8 @@ let account t task before =
 let step_task t handler task =
   let before = task.sk_server.Server.proc.Process.cpu.Vm.Cpu.icount in
   let park ev =
+    t.parks <- t.parks + 1;
+    close_span ~outcome:(event_outcome ev) task;
     task.sk_state <- Parked ev;
     handler task ev
   in
@@ -163,6 +219,7 @@ let step_task t handler task =
       | Some id ->
         task.sk_pending <- None;
         task.sk_served <- task.sk_served + 1;
+        close_span ~outcome:"served" task;
         handler task (Served id)
       | None -> ());
       (* Only downgrade to Waiting if the handler (on Served) did not

@@ -39,6 +39,8 @@ type task = {
   mutable sk_vtime_ms : float;      (** per-task virtual clock *)
   mutable sk_delivered : int;
   mutable sk_served : int;
+  mutable sk_span : Obs.Trace.span option;
+      (** the open per-message serve span (delivery to Served/park) *)
   sk_on_deliver : (string -> unit) option;
 }
 
@@ -74,6 +76,16 @@ val instructions : t -> int
 
 val steps : t -> int
 (** Scheduling turns taken. *)
+
+val parks : t -> int
+(** Tasks parked on events (crash, infection, stop, veto). *)
+
+val unparks : t -> int
+(** Parked tasks returned to service by the driver. *)
+
+val register_metrics : t -> Obs.Metrics.t -> unit
+(** Register scheduler-wide gauges (turns, instructions, parks/unparks,
+    virtual clock) in a metrics registry. *)
 
 val tasks : t -> task list
 (** All registered tasks, in registration order. *)

@@ -24,6 +24,7 @@ type status =
   | Infected of string  (** exploit reached [system]; payload command *)
 
 type t = {
+  id : int;  (** process/host id; trace spans use it as their pid *)
   proc : Process.t;
   ring : Checkpoint.ring;
   origin : Checkpoint.t;
@@ -31,30 +32,102 @@ type t = {
           and purges as the rollback point of last resort *)
   config : config;
   mutable next_ck_at : int;  (** icount threshold for the next checkpoint *)
-  mutable checkpoints_taken : int;
+  ck_counter : Obs.Metrics.counter;
+      (** checkpoints taken — the single source of truth; registered in a
+          metrics registry when the caller provides one *)
 }
 
+let next_id = ref 0
 let interval_instrs config = config.checkpoint_interval_ms * instrs_per_ms
 
-let create ?(config = default_config) proc =
+(** The server's virtual clock: simulated milliseconds of progress. *)
+let vtime_ms t =
+  float_of_int t.proc.Process.cpu.Vm.Cpu.icount /. float_of_int instrs_per_ms
+
+let checkpoints_taken t = Obs.Metrics.counter_value t.ck_counter
+
+(** Register this server's observability surface in [registry]: the
+    checkpoint counter plus pull-gauges over the ring, the network log,
+    and the VM's fast/slow-path, TLB, and COW counters. Gauge closures
+    retain the process, so use a per-run registry (not the global default)
+    when servers come and go. *)
+let register_metrics t registry =
+  let labels = [ ("server", string_of_int t.id) ] in
+  let gauge name help f =
+    Obs.Metrics.gauge_fn ~registry ~help ~labels name (fun () ->
+        float_of_int (f ()))
+  in
+  Obs.Metrics.attach_counter ~registry ~labels
+    ~help:"checkpoints taken (including the origin)" "sweeper_checkpoints_total"
+    t.ck_counter;
+  gauge "sweeper_checkpoint_ring_occupancy" "checkpoints currently retained"
+    (fun () -> Checkpoint.count t.ring);
+  gauge "sweeper_checkpoint_purges" "checkpoints dropped by recovery purges"
+    (fun () -> Checkpoint.purge_count t.ring);
+  gauge "sweeper_netlog_drops" "messages dropped by input filters" (fun () ->
+      Netlog.dropped_count t.proc.Process.net);
+  gauge "sweeper_netlog_quarantined" "messages excluded from replay"
+    (fun () -> Netlog.quarantined_count t.proc.Process.net);
+  gauge "sweeper_netlog_filters" "input filters installed" (fun () ->
+      Netlog.filter_count t.proc.Process.net);
+  gauge "sweeper_netlog_messages" "messages logged" (fun () ->
+      Netlog.message_count t.proc.Process.net);
+  let cpu = t.proc.Process.cpu in
+  gauge "sweeper_vm_fast_instructions"
+    "instructions retired on the uninstrumented fast path" (fun () ->
+      cpu.Vm.Cpu.fast_retired);
+  gauge "sweeper_vm_slow_instructions"
+    "instructions retired on the instrumented path" (fun () ->
+      cpu.Vm.Cpu.slow_retired);
+  gauge "sweeper_vm_faults" "machine faults surfaced" (fun () ->
+      cpu.Vm.Cpu.fault_count);
+  let mem = t.proc.Process.mem in
+  gauge "sweeper_vm_tlb_read_misses" "read-TLB refills" (fun () ->
+      let r, _, _ = Vm.Memory.tlb_stats mem in
+      r);
+  gauge "sweeper_vm_tlb_write_misses" "write-TLB refills" (fun () ->
+      let _, w, _ = Vm.Memory.tlb_stats mem in
+      w);
+  gauge "sweeper_vm_tlb_invalidations" "TLB invalidations" (fun () ->
+      let _, _, i = Vm.Memory.tlb_stats mem in
+      i);
+  gauge "sweeper_vm_cow_copies" "pages copied for snapshot sharing"
+    (fun () -> fst (Vm.Memory.stats mem));
+  gauge "sweeper_vm_pages_mapped" "pages ever materialized" (fun () ->
+      snd (Vm.Memory.stats mem))
+
+let create ?(config = default_config) ?metrics proc =
   let ring = Checkpoint.create_ring ~capacity:config.keep_checkpoints () in
   (* An initial checkpoint so there is always a rollback point. *)
   let origin = Checkpoint.take proc in
   Checkpoint.add ring origin;
-  {
-    proc;
-    ring;
-    origin;
-    config;
-    next_ck_at =
-      (if config.checkpoint_interval_ms = 0 then max_int
-       else proc.Process.cpu.Vm.Cpu.icount + interval_instrs config);
-    checkpoints_taken = 1;
-  }
+  incr next_id;
+  let ck_counter = Obs.Metrics.make_counter () in
+  Obs.Metrics.inc ck_counter;
+  let t =
+    {
+      id = !next_id;
+      proc;
+      ring;
+      origin;
+      config;
+      next_ck_at =
+        (if config.checkpoint_interval_ms = 0 then max_int
+         else proc.Process.cpu.Vm.Cpu.icount + interval_instrs config);
+      ck_counter;
+    }
+  in
+  (match metrics with Some registry -> register_metrics t registry | None -> ());
+  t
 
 let take_checkpoint t =
+  let vts = vtime_ms t in
+  let sp =
+    Obs.Trace.begin_span ~cat:"checkpoint" ~pid:t.id ~vts_ms:vts "checkpoint"
+  in
   Checkpoint.add t.ring (Checkpoint.take t.proc);
-  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  Obs.Metrics.inc t.ck_counter;
+  Obs.Trace.end_span ~vts_ms:vts sp;
   if t.config.checkpoint_interval_ms > 0 then
     t.next_ck_at <- t.proc.Process.cpu.Vm.Cpu.icount + interval_instrs t.config
 

@@ -22,6 +22,7 @@ type status =
   | Infected of string  (** exploit reached [system]; payload command *)
 
 type t = {
+  id : int;  (** process/host id; trace spans use it as their pid *)
   proc : Process.t;
   ring : Checkpoint.ring;
   origin : Checkpoint.t;
@@ -29,12 +30,27 @@ type t = {
           and purges as the rollback point of last resort *)
   config : config;
   mutable next_ck_at : int;
-  mutable checkpoints_taken : int;
+  ck_counter : Obs.Metrics.counter;
+      (** checkpoints taken — single source of truth (see
+          {!checkpoints_taken}) *)
 }
 
-val create : ?config:config -> Process.t -> t
+val create : ?config:config -> ?metrics:Obs.Metrics.t -> Process.t -> t
 (** Wrap a process; takes an initial checkpoint so a rollback point always
-    exists. *)
+    exists. When [metrics] is given, {!register_metrics} is applied. *)
+
+val vtime_ms : t -> float
+(** The server's virtual clock: simulated milliseconds of progress
+    (icount / {!instrs_per_ms}). *)
+
+val checkpoints_taken : t -> int
+
+val register_metrics : t -> Obs.Metrics.t -> unit
+(** Register this server's checkpoint counter and pull-gauges (ring
+    occupancy/purges, netlog drops/quarantines, VM fast/slow-path, TLB and
+    COW counters) in a registry, labelled with the server id. The gauge
+    closures retain the process, so prefer a per-run registry over the
+    global default when servers come and go. *)
 
 val take_checkpoint : t -> unit
 

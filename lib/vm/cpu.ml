@@ -49,6 +49,14 @@ type t = {
       (** OS services; fills [e_sys] of the effect it is given *)
   mutable halted : bool;
   mutable icount : int;  (** dynamic instructions executed *)
+  mutable fast_retired : int;
+      (** instructions retired on the uninstrumented fast path. Batched:
+          charged at each fast-run exit, never per instruction, so the
+          hot loop is untouched. Monotonic — unlike [icount], rollback
+          does not rewind it. *)
+  mutable slow_retired : int;
+      (** instructions retired on the instrumented path. Monotonic. *)
+  mutable fault_count : int;  (** machine faults surfaced by {!run} *)
   hooks : hooks;
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: byte [i] is non-zero iff some per-pc
@@ -82,6 +90,9 @@ let create ~mem ~layout ~code =
     sys_handler = (fun _ _ _ -> ());
     halted = false;
     icount = 0;
+    fast_retired = 0;
+    slow_retired = 0;
+    fault_count = 0;
     hooks =
       { pre_all = []; post_all = []; n_pre_all = 0; n_post_all = 0;
         pre_at = Hashtbl.create 16; post_at = Hashtbl.create 16;
@@ -490,6 +501,7 @@ let step cpu =
   run_hooks cpu.hooks.pre_all eff;
   commit cpu eff;
   cpu.icount <- cpu.icount + 1;
+  cpu.slow_retired <- cpu.slow_retired + 1;
   if cpu.hooks.n_post_at <> 0 then (
     match Hashtbl.find_opt cpu.hooks.post_at pc with
     | Some hs -> run_hooks hs eff
@@ -747,12 +759,18 @@ let run ?(fuel = max_int) cpu =
           ignore (step cpu : Event.effect_);
           go (n' - 1)
         end
-        else go n'
+        else begin
+          (* batch-account the whole fast burst at its exit *)
+          cpu.fast_retired <- cpu.fast_retired + (n - n');
+          go n'
+        end
       end
       else dispatch n pc (i + 1)
   in
   try go fuel with
-  | Event.Fault f -> Faulted f
+  | Event.Fault f ->
+    cpu.fault_count <- cpu.fault_count + 1;
+    Faulted f
   | Event.Blocked -> Blocked
 
 (* ------------------------------------------------------------------ *)

@@ -32,6 +32,13 @@ type t = {
       (** OS services; fills [e_sys] of the effect it is given *)
   mutable halted : bool;
   mutable icount : int;  (** dynamic instructions executed *)
+  mutable fast_retired : int;
+      (** instructions retired on the uninstrumented fast path. Batched:
+          charged at each fast-run exit, never per instruction. Monotonic —
+          unlike [icount], rollback does not rewind it. *)
+  mutable slow_retired : int;
+      (** instructions retired on the instrumented path. Monotonic. *)
+  mutable fault_count : int;  (** machine faults surfaced by {!run} *)
   hooks : hooks;
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: non-zero bytes mark pcs with per-pc

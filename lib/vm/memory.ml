@@ -36,6 +36,11 @@ type t = {
   mutable r_tlb : Bytes.t;
   mutable w_tlb_idx : int;
   mutable w_tlb : Bytes.t;
+  (* Counted on the refill/invalidate paths only; the TLB hit path stays
+     a compare and a return. Hits are derivable (accesses - misses). *)
+  mutable r_tlb_misses : int;
+  mutable w_tlb_misses : int;
+  mutable tlb_invalidations : int;
 }
 
 (** An immutable snapshot of the whole address space. Restoring it is a
@@ -57,15 +62,21 @@ let create () =
     r_tlb = no_page;
     w_tlb_idx = -1;
     w_tlb = no_page;
+    r_tlb_misses = 0;
+    w_tlb_misses = 0;
+    tlb_invalidations = 0;
   }
 
 let invalidate_tlbs mem =
+  mem.tlb_invalidations <- mem.tlb_invalidations + 1;
   mem.r_tlb_idx <- -1;
   mem.r_tlb <- no_page;
   mem.w_tlb_idx <- -1;
   mem.w_tlb <- no_page
 
 let stats mem = (mem.cow_copies, mem.pages_mapped)
+
+let tlb_stats mem = (mem.r_tlb_misses, mem.w_tlb_misses, mem.tlb_invalidations)
 
 let reset_stats mem =
   mem.cow_copies <- 0;
@@ -112,6 +123,7 @@ let read_page mem addr =
   let idx = addr lsr page_bits in
   if idx = mem.r_tlb_idx then mem.r_tlb
   else begin
+    mem.r_tlb_misses <- mem.r_tlb_misses + 1;
     let p = page_for_read mem addr in
     mem.r_tlb_idx <- idx;
     mem.r_tlb <- p.data;
@@ -122,6 +134,7 @@ let write_page mem addr =
   let idx = addr lsr page_bits in
   if idx = mem.w_tlb_idx then mem.w_tlb
   else begin
+    mem.w_tlb_misses <- mem.w_tlb_misses + 1;
     let p = page_for_write mem addr in
     mem.w_tlb_idx <- idx;
     mem.w_tlb <- p.data;

@@ -29,6 +29,11 @@ val stats : t -> int * int
 
 val reset_stats : t -> unit
 
+val tlb_stats : t -> int * int * int
+(** [(read_misses, write_misses, invalidations)] for the one-entry TLBs.
+    Counted on the refill/invalidate paths only — the hit path is
+    untouched; hits are derivable as accesses minus misses. Monotonic. *)
+
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
 

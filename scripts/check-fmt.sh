@@ -1,7 +1,9 @@
 #!/bin/sh
 # Formatting check, gated on the formatter being available: CI images
 # without ocamlformat (or with a different version) skip instead of
-# failing the build. Run from the repository root.
+# failing the build. Run from the repository root. The @fmt alias covers
+# every library (lib/vm, lib/minic, lib/osim, lib/apps, lib/core,
+# lib/epidemic, lib/obs) plus bin/, bench/, test/, examples/.
 set -e
 if ! command -v ocamlformat >/dev/null 2>&1; then
   echo "check-fmt: ocamlformat not installed; skipping format check"

@@ -128,7 +128,7 @@ let test_attack_after_long_benign_stream () =
   List.iter
     (fun m -> ignore (Osim.Server.handle server m))
     (Apps.Registry.workload ~seed:32 key 300);
-  check_bool "ring wrapped" true (server.Osim.Server.checkpoints_taken > 6);
+  check_bool "ring wrapped" true (Osim.Server.checkpoints_taken server > 6);
   let exploit = Apps.Registry.exploit ~system_guess:0x23456789 ~cmd_ptr:0 key in
   let report = ref None in
   List.iter

@@ -34,7 +34,7 @@ let observe (proc : Osim.Process.t) (server : Osim.Server.t) ~served =
     o_served = served;
     o_icount = proc.Osim.Process.cpu.Vm.Cpu.icount;
     o_cursor = Osim.Netlog.cursor proc.Osim.Process.net;
-    o_checkpoints = server.Osim.Server.checkpoints_taken;
+    o_checkpoints = Osim.Server.checkpoints_taken server;
     o_latest_ck =
       (match Osim.Checkpoint.latest server.Osim.Server.ring with
       | Some ck -> ck.Osim.Checkpoint.ck_icount
