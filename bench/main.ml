@@ -855,6 +855,121 @@ let micro_taint () =
   Printf.printf "backward slice (paged last-writer): %6.1f ns/instr\n" slice;
   (fused, oracle, slice)
 
+(* ------------------------------------------------------------------ *)
+(* Static prefilter: hook points pruned by Static_an.Staint and what    *)
+(* that buys the taint replay. Two reductions are reported per app:     *)
+(*   - static: 1 - |K|/|program| over decoded pcs (hook points that     *)
+(*     never need installing);                                          *)
+(*   - executed: the fraction of dynamically replayed instructions that *)
+(*     retire on the uninstrumented fast path when only K is hooked     *)
+(*     (the baseline global-hook replay instruments every one).         *)
+(* The replay is the app's own exploit, and the pruned runs must agree  *)
+(* with the unpruned run byte-for-byte.                                 *)
+(* ------------------------------------------------------------------ *)
+
+type static_row = {
+  s_app : string;
+  s_instructions : int;  (** decoded pcs in the image *)
+  s_prop : int;          (** |S|, may-propagate pcs *)
+  s_hook : int;          (** |K|, must-hook pcs *)
+  s_static_pct : float;  (** 1 - |K|/|program|, as a percentage *)
+  s_exec_pct : float;    (** replayed instrs retiring uninstrumented, % *)
+  s_ms : float;          (** analysis time *)
+  s_base_ns : float;     (** global-hook fused taint replay, ns/instr *)
+  s_pruned_ns : float;   (** statically pruned fused replay, ns/instr *)
+}
+
+(* Load the app and queue benign traffic followed by its exploit stream;
+   the taint replay then consumes all of it up to the fault. The benign
+   prefix makes the replay long enough (tens of thousands of
+   instructions instead of a few thousand) that per-replay setup —
+   building the tracker, validating the static result against the code —
+   amortizes out of the ns/instr numbers, as it does in the epoch-sized
+   replays the defense actually runs. A fixed seed keeps every load of
+   one app at the same layout, so one static analysis serves all of
+   them. *)
+let exploit_replay_proc key =
+  let entry = Apps.Registry.find key in
+  let proc = Osim.Process.load ~aslr:true ~seed:13 (entry.r_compile ()) in
+  ignore (Osim.Process.run proc);
+  List.iter
+    (fun m -> ignore (Osim.Process.send_message proc m))
+    (Apps.Registry.workload ~seed:5 key (sc 150 6));
+  let exploit = Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 key in
+  List.iter
+    (fun m -> ignore (Osim.Process.send_message proc m))
+    exploit.Apps.Exploits.x_messages;
+  proc
+
+let static_bench key =
+  let trials = sc 5 2 in
+  let mk () = exploit_replay_proc key in
+  let sa =
+    Static_an.Staint.analyze (mk ()).Osim.Process.cpu.Vm.Cpu.code
+  in
+  let base_ns, _ =
+    replay_ns_per_instr trials mk Sweeper.Taint.run (fun r ->
+        r.Sweeper.Taint.t_instructions)
+  in
+  let pruned_ns, _ =
+    replay_ns_per_instr trials mk
+      (Sweeper.Taint.run ~static:sa)
+      (fun r -> r.Sweeper.Taint.t_instructions)
+  in
+  (* Execution-weighted instrumentation: hook only K (per-pc hooks) and
+     read the interpreter's own fast/slow retirement counters. *)
+  let proc = mk () in
+  let cpu = proc.Osim.Process.cpu in
+  let f0 = cpu.Vm.Cpu.fast_retired and s0 = cpu.Vm.Cpu.slow_retired in
+  let per_pc = Sweeper.Taint.run_pruned ~static:sa proc in
+  let fast = cpu.Vm.Cpu.fast_retired - f0
+  and slow = cpu.Vm.Cpu.slow_retired - s0 in
+  let exec_pct =
+    if fast + slow = 0 then 0.
+    else 100. *. float_of_int fast /. float_of_int (fast + slow)
+  in
+  (* Pruning must be invisible: same verdict, same propagation pcs. *)
+  let summarize (r : Sweeper.Taint.result) =
+    ( Sweeper.Taint.verdict_to_string r.Sweeper.Taint.t_verdict,
+      r.Sweeper.Taint.t_prop_pcs )
+  in
+  let unpruned = Sweeper.Taint.run (mk ()) in
+  let pruned = Sweeper.Taint.run ~static:sa (mk ()) in
+  if summarize unpruned <> summarize pruned
+     || summarize unpruned <> summarize per_pc
+  then failwith (key ^ ": statically pruned taint replay diverged");
+  let total = Static_an.Staint.total sa in
+  {
+    s_app = key;
+    s_instructions = total;
+    s_prop = Static_an.Staint.prop_count sa;
+    s_hook = Static_an.Staint.hook_count sa;
+    s_static_pct = 100. *. Static_an.Staint.reduction sa;
+    s_exec_pct = exec_pct;
+    s_ms = Static_an.Staint.analysis_ms sa;
+    s_base_ns = base_ns;
+    s_pruned_ns = pruned_ns;
+  }
+
+let micro_static () =
+  section_header
+    "Static prefilter: taint hook points pruned and replay impact";
+  Printf.printf "%-8s %7s %7s %7s %11s %11s %9s %10s %10s\n" "app" "pcs" "|S|"
+    "|K|" "static(%)" "exec(%)" "ms" "base ns/i" "pruned ns/i";
+  let rows = List.map static_bench apps in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %7d %7d %7d %11.1f %11.1f %9.3f %10.1f %10.1f\n"
+        r.s_app r.s_instructions r.s_prop r.s_hook r.s_static_pct r.s_exec_pct
+        r.s_ms r.s_base_ns r.s_pruned_ns)
+    rows;
+  Printf.printf
+    "(static %% = decoded pcs provably needing no taint hook; exec %% = \
+     replayed instructions retiring on the uninstrumented fast path when \
+     only the must-hook set K is instrumented; pruned replays are verified \
+     byte-identical to the global-hook replay)\n";
+  rows
+
 (* Per-stage Table 3 wall-clock, collected for the JSON dump. *)
 let table3_stage_rows () =
   List.map
@@ -867,45 +982,89 @@ let json_escape_stage name =
   String.map (fun c -> if c = ' ' || c = '/' then '_' else Char.lowercase_ascii c)
     name
 
+(* BENCH_vm.json accumulates results from several producers, so a `bench
+   micro --json` run must only replace the keys it recomputes: read the
+   existing object, substitute refreshed keys in place, append new ones.
+   (The old writer emitted a fresh file and silently dropped everything
+   another section or tool had recorded.) *)
+let merge_json_file file (fresh : (string * Obs.Json.t) list) =
+  let existing =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.parse s with Ok (Obs.Json.Obj kvs) -> kvs | _ -> []
+    end
+    else []
+  in
+  let merged =
+    List.map
+      (fun (k, v) ->
+        match List.assoc_opt k fresh with Some v' -> (k, v') | None -> (k, v))
+      existing
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k existing)) fresh
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string (Obs.Json.Obj merged));
+  output_char oc '\n';
+  close_out oc
+
 let write_bench_json ~uninstr ~one_pc ~global ~obs_on ~flight ~pages_per_ck
-    ~cks ~taint_fused ~taint_oracle ~slice_ns ~table3 =
-  let oc = open_out "BENCH_vm.json" in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"ns_per_instr_uninstrumented\": %.2f,\n" uninstr;
-  Printf.fprintf oc "  \"ns_per_instr_one_pc_hook\": %.2f,\n" one_pc;
-  Printf.fprintf oc "  \"ns_per_instr_global_taint_hook\": %.2f,\n" global;
-  Printf.fprintf oc "  \"one_pc_hook_overhead_pct\": %.2f,\n"
-    ((one_pc /. uninstr -. 1.) *. 100.);
-  Printf.fprintf oc "  \"global_hook_slowdown_x\": %.2f,\n" (global /. uninstr);
-  Printf.fprintf oc "  \"ns_per_instr_obs_enabled\": %.2f,\n" obs_on;
-  Printf.fprintf oc "  \"obs_enabled_overhead_pct\": %.2f,\n"
-    ((obs_on /. uninstr -. 1.) *. 100.);
-  Printf.fprintf oc "  \"ns_per_instr_flight_recorder\": %.2f,\n" flight;
-  Printf.fprintf oc "  \"flight_recorder_slowdown_x\": %.2f,\n"
-    (flight /. uninstr);
-  Printf.fprintf oc "  \"ns_per_instr_taint_analysis\": %.2f,\n" taint_fused;
-  Printf.fprintf oc "  \"ns_per_instr_taint_oracle\": %.2f,\n" taint_oracle;
-  Printf.fprintf oc "  \"taint_speedup_x\": %.2f,\n" (taint_oracle /. taint_fused);
-  Printf.fprintf oc "  \"ns_per_instr_slice_analysis\": %.2f,\n" slice_ns;
-  Printf.fprintf oc "  \"pages_copied_per_checkpoint\": %.2f,\n" pages_per_ck;
-  Printf.fprintf oc "  \"checkpoints\": %d,\n" cks;
-  Printf.fprintf oc "  \"table3_stage_ms\": {\n";
-  List.iteri
-    (fun i (key, (r : Sweeper.Orchestrator.report)) ->
-      Printf.fprintf oc "    \"%s\": {\n" key;
-      List.iter
-        (fun (st : Sweeper.Orchestrator.stage_timing) ->
-          Printf.fprintf oc "      \"%s\": %.3f,\n"
-            (json_escape_stage st.st_name) st.st_wall_ms)
-        r.Sweeper.Orchestrator.a_timings;
-      Printf.fprintf oc "      \"time_to_first_vsef\": %.3f,\n"
-        r.Sweeper.Orchestrator.a_time_to_first_vsef_ms;
-      Printf.fprintf oc "      \"total\": %.3f\n"
-        r.Sweeper.Orchestrator.a_total_ms;
-      Printf.fprintf oc "    }%s\n" (if i < List.length table3 - 1 then "," else ""))
-    table3;
-  Printf.fprintf oc "  }\n}\n";
-  close_out oc;
+    ~cks ~taint_fused ~taint_oracle ~slice_ns ~static_rows ~table3 =
+  let f x = Obs.Json.Float x in
+  let fresh =
+    [
+      ("ns_per_instr_uninstrumented", f uninstr);
+      ("ns_per_instr_one_pc_hook", f one_pc);
+      ("ns_per_instr_global_taint_hook", f global);
+      ("one_pc_hook_overhead_pct", f ((one_pc /. uninstr -. 1.) *. 100.));
+      ("global_hook_slowdown_x", f (global /. uninstr));
+      ("ns_per_instr_obs_enabled", f obs_on);
+      ("obs_enabled_overhead_pct", f ((obs_on /. uninstr -. 1.) *. 100.));
+      ("ns_per_instr_flight_recorder", f flight);
+      ("flight_recorder_slowdown_x", f (flight /. uninstr));
+      ("ns_per_instr_taint_analysis", f taint_fused);
+      ("ns_per_instr_taint_oracle", f taint_oracle);
+      ("taint_speedup_x", f (taint_oracle /. taint_fused));
+      ("ns_per_instr_slice_analysis", f slice_ns);
+      ("pages_copied_per_checkpoint", f pages_per_ck);
+      ("checkpoints", Obs.Json.Int cks);
+      ( "static_prefilter",
+        Obs.Json.Obj
+          (List.map
+             (fun r ->
+               ( r.s_app,
+                 Obs.Json.Obj
+                   [
+                     ("instructions", Obs.Json.Int r.s_instructions);
+                     ("taint_prop_pcs", Obs.Json.Int r.s_prop);
+                     ("taint_hook_pcs", Obs.Json.Int r.s_hook);
+                     ("static_hook_reduction_pct", f r.s_static_pct);
+                     ("exec_uninstrumented_pct", f r.s_exec_pct);
+                     ("analysis_ms", f r.s_ms);
+                     ("ns_per_instr_taint_global", f r.s_base_ns);
+                     ("ns_per_instr_taint_pruned", f r.s_pruned_ns);
+                   ] ))
+             static_rows) );
+      ( "table3_stage_ms",
+        Obs.Json.Obj
+          (List.map
+             (fun (key, (r : Sweeper.Orchestrator.report)) ->
+               ( key,
+                 Obs.Json.Obj
+                   (List.map
+                      (fun (st : Sweeper.Orchestrator.stage_timing) ->
+                        (json_escape_stage st.st_name, f st.st_wall_ms))
+                      r.Sweeper.Orchestrator.a_timings
+                   @ [
+                       ( "time_to_first_vsef",
+                         f r.Sweeper.Orchestrator.a_time_to_first_vsef_ms );
+                       ("total", f r.Sweeper.Orchestrator.a_total_ms);
+                     ]) ))
+             table3) );
+    ]
+  in
+  merge_json_file "BENCH_vm.json" fresh;
   Printf.printf "(wrote BENCH_vm.json)\n"
 
 (* ------------------------------------------------------------------ *)
@@ -917,10 +1076,11 @@ let micro () =
     micro_vm ()
   in
   let taint_fused, taint_oracle, slice_ns = micro_taint () in
+  let static_rows = micro_static () in
   if !json_output then begin
     let table3 = table3_stage_rows () in
     write_bench_json ~uninstr ~one_pc ~global ~obs_on ~flight ~pages_per_ck
-      ~cks ~taint_fused ~taint_oracle ~slice_ns ~table3
+      ~cks ~taint_fused ~taint_oracle ~slice_ns ~static_rows ~table3
   end;
   section_header "Microbenchmarks (Bechamel)";
   let open Bechamel in
@@ -1000,6 +1160,7 @@ let all_sections =
     ("pipeline", pipeline);
     ("sampling", sampling);
     ("ablations", ablations);
+    ("static", fun () -> ignore (micro_static () : static_row list));
     ("micro", micro);
   ]
 

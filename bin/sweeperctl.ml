@@ -5,6 +5,7 @@
      attack    - run the full attack/defense pipeline against one app
      serve     - run a benign workload and report checkpointing stats
      trace     - run an attack with tracing on; write Chrome trace JSON
+     analyze   - static CFG + taint reachability over an app's loaded code
      epidemic  - query the community-defense model
      outbreak  - mechanical multi-host worm outbreak with antibody sharing *)
 
@@ -284,6 +285,90 @@ let trace_cmd =
       const run $ app_arg $ seed_arg $ aslr_arg $ benign_arg $ metrics_arg
       $ out $ check $ flight)
 
+(* ------------------------------------------------------------------ *)
+(* analyze: static CFG recovery + taint reachability over an app's loaded
+   code, reporting the instrumentation-point reduction the taint replay
+   gets from the static prefilter. *)
+
+let analyze_cmd =
+  let cfg_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cfg-out" ] ~docv:"PATH"
+          ~doc:"Write the recovered control-flow graph as Graphviz DOT.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the analysis summary as JSON.")
+  in
+  let run app seed cfg_out json =
+    let entry = Apps.Registry.find app in
+    let proc = Osim.Process.load ~seed (entry.r_compile ()) in
+    let code = proc.Osim.Process.cpu.Vm.Cpu.code in
+    let cfg = Static_an.Cfg.build code in
+    let sa = Static_an.Staint.analyze code in
+    let blocks = Static_an.Cfg.blocks cfg in
+    let edges =
+      Array.fold_left
+        (fun acc (b : Static_an.Cfg.block) ->
+          acc + List.length b.Static_an.Cfg.b_succs)
+        0 blocks
+    in
+    let total = Static_an.Staint.total sa in
+    let reduction_pct = 100. *. Static_an.Staint.reduction sa in
+    (match cfg_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Static_an.Cfg.to_dot ~name:"sweeper" cfg);
+      close_out oc;
+      if not json then Printf.printf "wrote %s\n" path
+    | None -> ());
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("app", Obs.Json.Str app);
+                ("instructions", Obs.Json.Int total);
+                ("cfg_blocks", Obs.Json.Int (Array.length blocks));
+                ("cfg_edges", Obs.Json.Int edges);
+                ( "max_stack_depth_bytes",
+                  Obs.Json.Int (Static_an.Dataflow.max_stack_depth cfg) );
+                ("taint_prop_pcs", Obs.Json.Int (Static_an.Staint.prop_count sa));
+                ("taint_hook_pcs", Obs.Json.Int (Static_an.Staint.hook_count sa));
+                ("hook_reduction_pct", Obs.Json.Float reduction_pct);
+                ("analysis_ms", Obs.Json.Float (Static_an.Staint.analysis_ms sa));
+              ]))
+    else begin
+      Printf.printf "static analysis of %s (%d decoded instructions)\n" app
+        total;
+      Printf.printf "  CFG: %d blocks, %d edges%s\n" (Array.length blocks)
+        edges
+        (match Static_an.Cfg.unknown cfg with
+        | Some _ -> " (+ unknown-target sink)"
+        | None -> "");
+      Printf.printf "  max static stack depth: %d bytes\n"
+        (Static_an.Dataflow.max_stack_depth cfg);
+      Printf.printf "  taint may-propagate set S: %d pcs\n"
+        (Static_an.Staint.prop_count sa);
+      Printf.printf "  taint must-hook set K:     %d pcs\n"
+        (Static_an.Staint.hook_count sa);
+      Printf.printf
+        "  hook reduction: %.1f%% of instrumentation points pruned\n"
+        reduction_pct;
+      Printf.printf "  analysis time: %.2f ms\n"
+        (Static_an.Staint.analysis_ms sa)
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static CFG recovery and taint reachability over an application's \
+          loaded code")
+    Term.(const run $ app_arg $ seed_arg $ cfg_out $ json)
+
 let epidemic_cmd =
   let beta =
     Arg.(value & opt float 0.1 & info [ "beta" ] ~docv:"B" ~doc:"Contact rate.")
@@ -398,6 +483,7 @@ let main =
   Cmd.group
     (Cmd.info "sweeperctl" ~version:"1.0.0"
        ~doc:"Sweeper: lightweight end-to-end defense against fast worms")
-    [ list_cmd; attack_cmd; serve_cmd; trace_cmd; epidemic_cmd; outbreak_cmd ]
+    [ list_cmd; attack_cmd; serve_cmd; trace_cmd; analyze_cmd; epidemic_cmd;
+      outbreak_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -34,9 +34,17 @@ val complete :
   unit ->
   t
 
-val deploy : Osim.Process.t -> t -> Vsef.installed list
+val validate_static :
+  Osim.Process.t -> Static_an.Staint.t -> t -> (string * int list) list
+(** Check every taint filter's propagation locations against the static
+    may-propagate set of [proc]'s code. Dynamically-generated filters
+    provably pass; a non-empty result (as [(vsef name, offending pcs)])
+    means the bundle is stale or corrupted. *)
+
+val deploy : ?static:Static_an.Staint.t -> Osim.Process.t -> t -> Vsef.installed list
 (** Install the VSEFs on the process and the input signature at its
-    network proxy. *)
+    network proxy. [static] is threaded to {!Vsef.install} to prune taint
+    filters to the statically-reachable propagation set. *)
 
 val undeploy : Osim.Process.t -> t -> Vsef.installed list -> unit
 

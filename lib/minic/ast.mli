@@ -1,0 +1,78 @@
+(** Abstract syntax of MiniC, the small unsafe C dialect the victim servers
+    are written in.
+
+    The language is deliberately faithful to the hazards of C: no bounds
+    checks, pointer arithmetic, NUL-terminated strings, manual malloc/free,
+    and function pointers — everything the paper's four vulnerability
+    classes need in order to exist. *)
+
+type ty =
+  | Tvoid
+  | Tint   (** 32-bit signed word *)
+  | Tchar  (** 8-bit byte *)
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tstruct of string
+  | Tfunptr  (** pointer to function; calls through it are unchecked *)
+
+type unop =
+  | Neg       (** -e *)
+  | Lnot      (** !e *)
+  | Bnot      (** ~e *)
+  | Addr_of   (** &e *)
+  | Deref     (** *e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit *)
+
+type expr =
+  | Num of int
+  | Chr of char
+  | Str of string             (** string literal; decays to [char *] *)
+  | Var of string
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Assign of expr * expr     (** lvalue = rvalue *)
+  | Call of string * expr list
+  | Call_ptr of expr * expr list  (** call through a function pointer *)
+  | Index of expr * expr      (** e1[e2] *)
+  | Field of expr * string    (** e.f — [e] must be an lvalue of struct type *)
+  | Arrow of expr * string    (** e->f *)
+  | Cast of ty * expr
+  | Sizeof of ty
+  | Cond of expr * expr * expr  (** e1 ? e2 : e3 *)
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type func = {
+  f_name : string;
+  f_ret : ty;
+  f_params : (ty * string) list;
+  f_body : stmt list;
+}
+
+type struct_def = {
+  s_name : string;
+  s_fields : (ty * string) list;
+}
+
+type global =
+  | Gfunc of func
+  | Gvar of ty * string * expr option
+  | Gstruct of struct_def
+
+type program = global list
+
+val ty_to_string : ty -> string

@@ -1,0 +1,19 @@
+(** Code generation from the typed AST to relocatable VM units.
+
+    Conventions (what makes the stack smashable):
+    - arguments are pushed right-to-left; [Call] pushes the return address;
+    - prologue: [push fp; mov fp, sp; sub sp, frame_size], so for a frame:
+      locals at [fp-frame..fp), saved fp at [fp], return address at [fp+4],
+      arguments from [fp+8] — a local buffer that overflows upward reaches
+      the saved frame pointer and then the return address;
+    - results in [r0]; all registers are caller-saved scratch. *)
+
+(** The result of compiling one translation unit. *)
+type compiled = {
+  unit_ : Vm.Asm.unit_;
+  data : Sema.tdata list;
+  funcs : string list;  (** names of defined functions, for extern linking *)
+}
+
+val gen : name:string -> Sema.tprog -> compiled
+(** Generate code for an analyzed program. *)

@@ -2,14 +2,9 @@
 
 exception Compile_error of string
 
-(** Compile one MiniC translation unit. [extern] declares functions
-    resolved at load time from another unit (see {!Libc.signatures}). *)
-let compile ~name ?(extern = []) src : Codegen.compiled =
-  try
-    let ast = Parser.parse src in
-    let tp = Sema.check ~extern_funcs:extern ast in
-    Codegen.gen ~name tp
-  with
+(* The front-end exceptions, rewrapped with the unit name. *)
+let wrap_front ~name f =
+  try f () with
   | Lexer.Lex_error (msg, line) ->
     raise (Compile_error (Printf.sprintf "%s: lex error line %d: %s" name line msg))
   | Parser.Parse_error (msg, line) ->
@@ -17,6 +12,26 @@ let compile ~name ?(extern = []) src : Codegen.compiled =
       (Compile_error (Printf.sprintf "%s: parse error line %d: %s" name line msg))
   | Sema.Error msg ->
     raise (Compile_error (Printf.sprintf "%s: %s" name msg))
+
+(** Run only the static overflow linter over one translation unit. *)
+let lint ~name src : Sema.lint list =
+  wrap_front ~name (fun () -> Sema.lint_prog (Parser.parse src))
+
+(** Compile one MiniC translation unit. [extern] declares functions
+    resolved at load time from another unit (see {!Libc.signatures}).
+    [werror] promotes static-linter findings to {!Compile_error}. *)
+let compile ~name ?(extern = []) ?(werror = false) src : Codegen.compiled =
+  let ast = wrap_front ~name (fun () -> Parser.parse src) in
+  (if werror then
+     match Sema.lint_prog ast with
+     | [] -> ()
+     | lints ->
+       raise
+         (Compile_error
+            (Printf.sprintf "%s: -Werror: %s" name
+               (String.concat "; " (List.map Sema.lint_to_string lints)))));
+  wrap_front ~name (fun () ->
+      Codegen.gen ~name (Sema.check ~extern_funcs:extern ast))
 
 let libc_cache : Codegen.compiled option ref = ref None
 

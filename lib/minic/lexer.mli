@@ -1,0 +1,24 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_KW | CHAR_KW | VOID_KW | STRUCT_KW
+  | IF | ELSE | WHILE | FOR | RETURN | BREAK | CONTINUE | SIZEOF
+  | IDENT of string
+  | NUM of int
+  | STRING of string
+  | CHARLIT of char
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL_T | SHR_T
+  | BANG | ANDAND | OROR
+  | ASSIGN | EQ_T | NE_T | LT_T | LE_T | GT_T | GE_T
+  | DOT | ARROW_T | QUESTION | COLON
+  | EOF
+
+exception Lex_error of string * int  (** message, line *)
+
+val tokenize : string -> (token * int) list
+(** Tokenize [src]; returns tokens paired with their line numbers, ending
+    with [EOF]. Supports line ([//]) and block comments, decimal and hex
+    integers, and the usual C escapes in string/char literals. *)

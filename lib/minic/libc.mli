@@ -1,0 +1,16 @@
+(** The C runtime library, written in MiniC and compiled into the
+    randomized library segment of every process.
+
+    Keeping libc as compiled VM code (rather than native helpers) matters:
+    the paper's analyses attribute faults to instructions {e inside}
+    library routines — "0x4f0f0907 in strcat, when called by
+    ftpBuildTitleUrl" — and its VSEFs hook those very instructions. Our
+    [strcat]/[strcpy] loops contain the genuine overflowing stores, and
+    [free] contains the genuine double-free abort, at addresses that move
+    with address-space randomization. *)
+
+val source : string
+(** MiniC source of the library. *)
+
+val signatures : (string * Ast.ty * Ast.ty list) list
+(** Signatures exported to application units (for extern linking). *)

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : string -> Ast.program
+(** Parse a complete MiniC translation unit. Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)

@@ -481,3 +481,202 @@ let check ?(extern_funcs = []) (prog : program) : tprog =
       env.strings
   in
   { tp_funcs = List.rev !funcs; tp_data = List.rev !data @ string_data }
+
+(* ------------------------------------------------------------------ *)
+(* Static overflow linter                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two syntactic rules over the untyped AST, aimed at the overflow shapes
+   the dynamic membug detector catches at replay time (stores through a
+   fixed buffer's end). Deliberately scoped to stores into {e named
+   arrays} whose size is visible in the unit being linted — copies
+   through pointer parameters are the callee's business (the caller's
+   buffer is out of scope), which keeps the linter's verdict aligned with
+   "the overflowing store retires in this image". *)
+
+type lint = {
+  l_func : string;  (** enclosing function *)
+  l_rule : string;  (** {!lint_rule_oob} or {!lint_rule_copy} *)
+  l_msg : string;
+}
+
+let lint_rule_oob = "const-oob-index"
+let lint_rule_copy = "unbounded-copy"
+
+let lint_to_string l = Printf.sprintf "%s: [%s] %s" l.l_func l.l_rule l.l_msg
+
+(* Does [e] contain a sub-expression satisfying [p]? Also serves as a
+   plain visitor when [p] is a side-effecting always-false predicate. *)
+let rec expr_contains p e =
+  p e
+  ||
+  match e with
+  | Num _ | Chr _ | Str _ | Var _ | Sizeof _ -> false
+  | Un (_, a) | Field (a, _) | Arrow (a, _) | Cast (_, a) -> expr_contains p a
+  | Bin (_, a, b) | Assign (a, b) | Index (a, b) ->
+    expr_contains p a || expr_contains p b
+  | Call (_, args) -> List.exists (expr_contains p) args
+  | Call_ptr (f, args) -> expr_contains p f || List.exists (expr_contains p) args
+  | Cond (a, b, c) ->
+    expr_contains p a || expr_contains p b || expr_contains p c
+
+(* Can the stored value carry data of unbounded provenance — a memory
+   read or a call result? Pure arithmetic on locals (an [itoa] digit
+   loop) is not a copy. *)
+let reads_memory rhs =
+  expr_contains
+    (function Index _ | Un (Deref, _) | Call _ | Call_ptr _ -> true | _ -> false)
+    rhs
+
+(* Does the loop condition directly compare the store index against a
+   constant that keeps it inside [n] elements? Any other direct
+   comparison of the index also counts as a bound (the programmer is
+   steering it; proving such loops wrong needs value analysis, and the
+   point here is the loops with {e no} rein on the index at all). *)
+let bounds_index ivar n cond =
+  expr_contains
+    (function
+      | Bin ((Lt | Le | Gt | Ge | Eq | Ne) as op, Var v, Num k) when v = ivar
+        -> (
+        match op with Lt -> k <= n | Le -> k < n | _ -> true)
+      | Bin ((Lt | Le | Gt | Ge | Eq | Ne) as op, Num k, Var v) when v = ivar
+        -> (
+        match op with Gt -> k <= n | Ge -> k < n | _ -> true)
+      | Bin ((Lt | Le | Gt | Ge | Eq | Ne), Var v, _) when v = ivar -> true
+      | Bin ((Lt | Le | Gt | Ge | Eq | Ne), _, Var v) when v = ivar -> true
+      | _ -> false)
+    cond
+
+(* [i = i + _] / [i = _ + i], anywhere inside [e]. *)
+let increments ivar e =
+  expr_contains
+    (function
+      | Assign (Var v, Bin (Add, Var v', _)) -> v = ivar && v' = ivar
+      | Assign (Var v, Bin (Add, _, Var v')) -> v = ivar && v' = ivar
+      | _ -> false)
+    e
+
+(* Every expression in a statement subtree. *)
+let rec stmt_exprs (s : stmt) : expr list =
+  match s with
+  | Sexpr e -> [ e ]
+  | Sdecl (_, _, init) -> Option.to_list init
+  | Sif (c, t, e) ->
+    (c :: List.concat_map stmt_exprs t) @ List.concat_map stmt_exprs e
+  | Swhile (c, body) -> c :: List.concat_map stmt_exprs body
+  | Sfor (init, cond, step, body) ->
+    Option.to_list (Option.map (fun s -> stmt_exprs s) init)
+    |> List.concat
+    |> fun l ->
+    l @ Option.to_list cond @ Option.to_list step
+    @ List.concat_map stmt_exprs body
+  | Sreturn e -> Option.to_list e
+  | Sbreak | Scontinue -> []
+  | Sblock b -> List.concat_map stmt_exprs b
+
+(** Lint a parsed program (no sema required — the rules are syntactic,
+    so even units that would fail later stages can be linted). Returns
+    findings in source order. *)
+let lint_prog (prog : program) : lint list =
+  let lints = ref [] in
+  let garrays =
+    List.filter_map
+      (function
+        | Gvar (Tarray (_, n), name, _) -> Some (name, n)
+        | Gvar _ | Gfunc _ | Gstruct _ -> None)
+      prog
+  in
+  let lint_func (f : func) =
+    let add rule msg =
+      let l = { l_func = f.f_name; l_rule = rule; l_msg = msg } in
+      if not (List.mem l !lints) then lints := l :: !lints
+    in
+    (* Rule 1: a constant index provably outside a visible array. *)
+    let check_expr env e =
+      ignore
+        (expr_contains
+           (function
+             | Index (Var a, Num k) ->
+               (match List.assoc_opt a env with
+               | Some n when k < 0 || k >= n ->
+                 add lint_rule_oob
+                   (Printf.sprintf "%s[%d] is out of bounds for %s[%d]" a k a
+                      n)
+               | _ -> ());
+               false
+             | _ -> false)
+           e)
+    in
+    (* Rule 2: inside a loop, [arr[i] = <memory read>] where the body
+       advances [i] but the loop condition never reins it in (or its
+       constant bound exceeds the array) — the strcpy-into-fixed-buffer
+       shape. *)
+    let check_loop env cond step body =
+      let exprs = List.concat_map stmt_exprs body @ Option.to_list step in
+      List.iter
+        (fun e ->
+          ignore
+            (expr_contains
+               (function
+                 | Assign (Index (Var arr, Var iv), rhs) ->
+                   (match List.assoc_opt arr env with
+                   | Some n
+                     when reads_memory rhs
+                          && List.exists (increments iv) exprs
+                          && not
+                               (match cond with
+                               | Some c -> bounds_index iv n c
+                               | None -> false) ->
+                     add lint_rule_copy
+                       (Printf.sprintf
+                          "loop copies into %s[%d] without bounding index %s"
+                          arr n iv)
+                   | _ -> ());
+                   false
+                 | _ -> false)
+               e))
+        exprs
+    in
+    let rec walk_stmts env stmts =
+      match stmts with
+      | [] -> ()
+      | s :: rest -> walk_stmts (walk_stmt env s) rest
+    and walk_stmt env (s : stmt) =
+      match s with
+      | Sdecl (ty, name, init) -> (
+        Option.iter (check_expr env) init;
+        match ty with Tarray (_, n) -> (name, n) :: env | _ -> env)
+      | Sexpr e ->
+        check_expr env e;
+        env
+      | Sif (c, t, e) ->
+        check_expr env c;
+        walk_stmts env t;
+        walk_stmts env e;
+        env
+      | Swhile (c, body) ->
+        check_expr env c;
+        check_loop env (Some c) None body;
+        walk_stmts env body;
+        env
+      | Sfor (init, cond, step, body) ->
+        let env_i =
+          match init with Some s -> walk_stmt env s | None -> env
+        in
+        Option.iter (check_expr env_i) cond;
+        Option.iter (check_expr env_i) step;
+        check_loop env_i cond step body;
+        walk_stmts env_i body;
+        env
+      | Sreturn e ->
+        Option.iter (check_expr env) e;
+        env
+      | Sbreak | Scontinue -> env
+      | Sblock b ->
+        walk_stmts env b;
+        env
+    in
+    walk_stmts garrays f.f_body
+  in
+  List.iter (function Gfunc f -> lint_func f | Gvar _ | Gstruct _ -> ()) prog;
+  List.rev !lints

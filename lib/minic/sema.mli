@@ -1,0 +1,100 @@
+(** Semantic analysis: scope resolution, struct layout, pointer-arithmetic
+    scaling, and frame allocation. Produces the typed AST consumed by
+    {!Codegen}. Also home of the static overflow linter.
+
+    The analysis is deliberately permissive about C's weak typing (ints and
+    pointers mix freely through casts) but strict about what the code
+    generator cannot express (struct-by-value, unknown identifiers). *)
+
+exception Error of string
+
+(** {1 Typed AST} *)
+
+type var_loc =
+  | Loc_frame of int   (** FP-relative byte offset *)
+  | Loc_global of string
+  | Loc_func of string (** a function used as a value *)
+
+type texpr = { ty : Ast.ty; node : tnode }
+
+and tnode =
+  | Tnum of int
+  | Tstr of string  (** data symbol of the string literal *)
+  | Tload of tlval
+  | Taddr of tlval
+  | Tfun_addr of string
+  | Tun of Ast.unop * texpr
+  | Tbin of Ast.binop * texpr * texpr
+  | Tassign of tlval * texpr
+  | Tcall of string * texpr list
+  | Tcall_ptr of texpr * texpr list
+  | Tcond of texpr * texpr * texpr
+
+and tlval =
+  | Lvar of var_loc * Ast.ty   (** directly addressable scalar *)
+  | Lmem of texpr * Ast.ty     (** computed address, pointee type *)
+
+type tstmt =
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tstmt option * texpr option * texpr option * tstmt list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+
+type tfunc = {
+  tf_name : string;
+  tf_params : (string * Ast.ty) list;
+  tf_frame_size : int;  (** bytes reserved below FP for locals *)
+  tf_body : tstmt list;
+}
+
+(** Global data item: symbol, byte size, optional initial bytes. *)
+type tdata = { d_sym : string; d_size : int; d_init : string option }
+
+type tprog = {
+  tp_funcs : tfunc list;
+  tp_data : tdata list;
+}
+
+val is_intrinsic : string -> bool
+(** Built-ins lowered directly by {!Codegen} ([_recv], [_send], …) rather
+    than called through the normal linkage. *)
+
+val check :
+  ?extern_funcs:(string * Ast.ty * Ast.ty list) list ->
+  Ast.program ->
+  tprog
+(** Analyze a parsed program. [extern_funcs] declares functions defined in
+    another unit (name, return type, parameter types). Raises {!Error}. *)
+
+(** {1 Static overflow linter}
+
+    Two syntactic rules over the untyped AST, aimed at the overflow shapes
+    the dynamic membug detector catches at replay time. Scoped to stores
+    into named arrays whose size is visible in the unit being linted —
+    copies through pointer parameters are the callee's business, which
+    keeps the linter's verdict aligned with "the overflowing store retires
+    in this image". *)
+
+type lint = {
+  l_func : string;  (** enclosing function *)
+  l_rule : string;  (** {!lint_rule_oob} or {!lint_rule_copy} *)
+  l_msg : string;
+}
+
+val lint_rule_oob : string
+(** A constant index provably outside a visible fixed-size array. *)
+
+val lint_rule_copy : string
+(** A loop storing memory-derived bytes into a fixed-size array without a
+    constant bound on the index (or with one exceeding the array). *)
+
+val lint_to_string : lint -> string
+
+val lint_prog : Ast.program -> lint list
+(** Lint a parsed program (no sema required — the rules are syntactic, so
+    even units that would fail later stages can be linted). Returns
+    findings in source order. *)

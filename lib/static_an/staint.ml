@@ -1,0 +1,340 @@
+(** Static taint reachability: a provable over-approximation of the
+    dynamic engine in [Sweeper.Taint].
+
+    The abstract state at an instruction is one int: bits
+    [0 .. num_regs-1] say "this register may hold tainted data here" and
+    {!mem_bit} says "some memory byte may be tainted" (one global
+    may-bit — the analysis never tracks addresses, which is what makes
+    it a few sweeps over the code instead of a points-to problem). The
+    transfer function mirrors the dynamic propagation rules
+    ([Taint.on_effect]) abstractly: a register move copies the source
+    bit, a load may pick up taint iff memory may be tainted, a store of
+    a possibly-tainted register sets the memory bit (and a provably
+    clean store cannot {e clear} it — the bit covers all addresses).
+    Taint enters only at [Syscall sys_recv]; no syscall clears the
+    [r0] bit statically because the syscall layer's failure paths leave
+    [r0] untouched.
+
+    Control flow is handled without a call-string or points-to
+    analysis. Direct jumps/branches/calls propagate to their decoded
+    targets. [Ret] joins its out-state into a single {e return state}
+    [R] that flows into every {e return site} — the instruction after
+    any [Call]/[CallInd]. This is the context-insensitive "a return
+    goes to some return site" model: it covers ordinary returns and
+    even a smashed return address that lands on the {e wrong} return
+    site, but not one landing at an arbitrary pc. Pruned dynamic runs
+    close that gap with a one-compare tripwire after every retired
+    [Ret] (see [Taint.run ?static]): if the landing pc is not in the
+    return-site set the replay falls back to full instrumentation, so
+    the optimistic model is only ever {e assumed} on executions where
+    it was {e checked}. [CallInd] and unresolved targets (which decoded
+    images do not contain) still join into a broadcast-to-everywhere
+    hijack state [H], joined into every instruction's in-state.
+
+    Two pc sets fall out of the fixpoint:
+
+    - [S] (may-propagate): pcs where the dynamic engine could ever mark
+      a propagation ([Taint.mark_if] with a non-zero label). Every pc in
+      a dynamic [t_prop_pcs] list is in [S] — the soundness contract the
+      qcheck differential suite enforces.
+    - [K] (must-hook), a superset of [S]: pcs where the dynamic tracker
+      could mark {e or} change its own state (clear a register it may
+      consider tainted, overwrite possibly-tainted shadow memory, or
+      observe a syscall). Running the tracker's hook only at pcs in [K]
+      is byte-identical to hooking every instruction: at any pc outside
+      [K] the dynamic update is the identity on every state the tracker
+      can actually be in (dynamic taint ⊆ static taint, by induction
+      along the executed path; the tripwire discharges the return-site
+      assumption that induction leans on). [Syscall] is always in [K] —
+      sources, result-register cleaning, and [sources_seen] live there.
+
+    [1 - |K| / total] is the instrumentation-point reduction reported in
+    the bench tables. *)
+
+let mem_bit = 1 lsl Vm.Isa.num_regs
+
+type t = {
+  sa_prog : Vm.Program.t;
+  sa_in : int array array;
+      (** per segment, per instruction: in-state with [H]/[R] joined in *)
+  sa_prop : Bytes.t array;  (** [S] as per-segment masks, like prop_mask *)
+  sa_hook : Bytes.t array;  (** [K] as per-segment masks *)
+  sa_ret : Bytes.t array;
+      (** return sites (instruction after a call) as per-segment masks *)
+  sa_total : int;
+  sa_prop_count : int;
+  sa_hook_count : int;
+  sa_ms : float;  (** analysis wall time, milliseconds *)
+}
+
+let bit r = 1 lsl Vm.Isa.reg_index r
+
+(* Abstract transfer: out-state of [instr] given in-state [s]. Mirrors
+   [Taint.on_effect] over the (reg-bits, mem-bit) abstraction. *)
+let transfer (instr : Vm.Isa.instr) s =
+  match instr with
+  | Mov (rd, Reg rs) ->
+    if s land bit rs <> 0 then s lor bit rd else s land lnot (bit rd)
+  | Mov (rd, (Imm _ | Sym _)) -> s land lnot (bit rd)
+  | Bin (_, rd, Reg rs) -> if s land bit rs <> 0 then s lor bit rd else s
+  | Bin (_, _, (Imm _ | Sym _)) | Not _ | Neg _ -> s
+  | Load (rd, _, _) | Loadb (rd, _, _) | Pop rd ->
+    if s land mem_bit <> 0 then s lor bit rd else s land lnot (bit rd)
+  | Store (_, _, rs) | Storeb (_, _, rs) | Push (Reg rs) ->
+    if s land bit rs <> 0 then s lor mem_bit else s
+  | Push (Imm _ | Sym _) -> s
+  | Syscall n -> if n = Vm.Sysno.sys_recv then s lor mem_bit else s
+  | Call _ | CallInd _ | Cmp _ | Jmp _ | Jcc _ | Ret | Halt | Nop -> s
+
+(* May the dynamic engine mark this pc as a propagation site
+   ([mark_if] with non-zero label)? *)
+let may_mark_in (instr : Vm.Isa.instr) s =
+  match instr with
+  | Mov (_, Reg rs) -> s land bit rs <> 0
+  | Mov (_, (Imm _ | Sym _)) -> false
+  | Bin (_, rd, Reg rs) -> s land (bit rd lor bit rs) <> 0
+  | Bin (_, rd, (Imm _ | Sym _)) -> s land bit rd <> 0
+  | Not r | Neg r -> s land bit r <> 0
+  | Load _ | Loadb _ | Pop _ -> s land mem_bit <> 0
+  | Store (_, _, rs) | Storeb (_, _, rs) | Push (Reg rs) -> s land bit rs <> 0
+  | Push (Imm _ | Sym _) -> false
+  | Call _ | CallInd _ | Cmp _ | Jmp _ | Jcc _ | Ret | Syscall _ | Halt | Nop
+    ->
+    false
+
+(* Must the dynamic tracker's hook run here? True when the update could
+   mark, or change tracker state: clear a possibly-tainted register,
+   write over possibly-tainted shadow memory (a clean store is only a
+   shadow no-op when no memory taint exists), or handle a syscall. *)
+let needs_hook_in (instr : Vm.Isa.instr) s =
+  match instr with
+  | Mov (rd, Reg rs) -> s land (bit rd lor bit rs) <> 0
+  | Mov (rd, (Imm _ | Sym _)) -> s land bit rd <> 0
+  | Bin (_, rd, Reg rs) -> s land (bit rd lor bit rs) <> 0
+  | Bin (_, rd, (Imm _ | Sym _)) -> s land bit rd <> 0
+  | Not r | Neg r -> s land bit r <> 0
+  | Load (rd, _, _) | Loadb (rd, _, _) | Pop rd ->
+    s land (mem_bit lor bit rd) <> 0
+  | Store (_, _, rs) | Storeb (_, _, rs) | Push (Reg rs) ->
+    s land (bit rs lor mem_bit) <> 0
+  | Push (Imm _ | Sym _) -> s land mem_bit <> 0
+  | Call _ | CallInd _ -> s land mem_bit <> 0
+  | Syscall _ -> true
+  | Cmp _ | Jmp _ | Jcc _ | Ret | Halt | Nop -> false
+
+let analyze (prog : Vm.Program.t) : t =
+  let t0 = Sys.time () in
+  let segs = prog.Vm.Program.segments in
+  let states =
+    Array.map
+      (fun s -> Array.make (Array.length s.Vm.Program.seg_instrs) 0)
+      segs
+  in
+  (* Return sites: the instruction a balanced [Ret] resumes at — located
+     by address ([pc_of_call + 4]) so a call ending one segment still
+     finds its return site at the next segment's base. *)
+  let ret_site =
+    Array.map
+      (fun s -> Bytes.make (Array.length s.Vm.Program.seg_instrs) '\000')
+      segs
+  in
+  Array.iter
+    (fun seg ->
+      Array.iteri
+        (fun i (instr : Vm.Isa.instr) ->
+          match instr with
+          | Call _ | CallInd _ -> (
+            let ra =
+              seg.Vm.Program.seg_base + ((i + 1) * Vm.Isa.instr_size)
+            in
+            match Vm.Program.locate prog ra with
+            | Some (sj, j) -> Bytes.set ret_site.(sj) j '\001'
+            | None -> ())
+          | _ -> ())
+        seg.Vm.Program.seg_instrs)
+    segs;
+  let is_ret_site si i = Bytes.get ret_site.(si) i <> '\000' in
+  let h = ref 0 and r = ref 0 in
+  let changed = ref true in
+  let join_into si i v =
+    let cur = states.(si).(i) in
+    if cur lor v <> cur then begin
+      states.(si).(i) <- cur lor v;
+      changed := true
+    end
+  in
+  let join_target a v =
+    match Vm.Program.locate prog a with
+    | Some (si, i) -> join_into si i v
+    | None -> ()  (* branches to unmapped code fault before executing *)
+  in
+  let join_h v =
+    if !h lor v <> !h then begin
+      h := !h lor v;
+      changed := true
+    end
+  in
+  let join_r v =
+    if !r lor v <> !r then begin
+      r := !r lor v;
+      changed := true
+    end
+  in
+  (* Sweep to fixpoint. States, [H], and [R] only grow and the lattice is
+     finite (num_regs + 1 bits), so this terminates. *)
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun si seg ->
+        let instrs = seg.Vm.Program.seg_instrs in
+        let n = Array.length instrs in
+        for i = 0 to n - 1 do
+          let instr = instrs.(i) in
+          let s_in = states.(si).(i) lor !h in
+          let s_in = if is_ret_site si i then s_in lor !r else s_in in
+          let out = transfer instr s_in in
+          let next () = if i + 1 < n then join_into si (i + 1) out in
+          match instr with
+          | Jmp (Addr a) -> join_target a out
+          | Jcc (_, Addr a) ->
+            join_target a out;
+            next ()
+          | Call (Addr a) ->
+            (* The return site is fed by the callee's [Ret] through [R],
+               not by a direct edge — the machine really does continue
+               wherever the popped address says. *)
+            join_target a out
+          | Ret -> join_r out
+          | Jmp (Lbl _) | Call (Lbl _) | CallInd _ -> join_h out
+          | Jcc (_, Lbl _) ->
+            join_h out;
+            next ()
+          | Halt -> ()
+          | Mov _ | Bin _ | Not _ | Neg _ | Load _ | Loadb _ | Store _
+          | Storeb _ | Push _ | Pop _ | Cmp _ | Syscall _ | Nop ->
+            next ()
+        done)
+      segs
+  done;
+  (* Fold [H] (and [R] at return sites) into every stored state, then
+     read off [S] and [K]. *)
+  let prop =
+    Array.map
+      (fun s -> Bytes.make (Array.length s.Vm.Program.seg_instrs) '\000')
+      segs
+  in
+  let hook =
+    Array.map
+      (fun s -> Bytes.make (Array.length s.Vm.Program.seg_instrs) '\000')
+      segs
+  in
+  let total = ref 0 and n_prop = ref 0 and n_hook = ref 0 in
+  Array.iteri
+    (fun si seg ->
+      Array.iteri
+        (fun i instr ->
+          let s = states.(si).(i) lor !h in
+          let s = if is_ret_site si i then s lor !r else s in
+          states.(si).(i) <- s;
+          incr total;
+          if may_mark_in instr s then begin
+            Bytes.set prop.(si) i '\001';
+            incr n_prop
+          end;
+          if needs_hook_in instr s then begin
+            Bytes.set hook.(si) i '\001';
+            incr n_hook
+          end)
+        seg.Vm.Program.seg_instrs)
+    segs;
+  {
+    sa_prog = prog;
+    sa_in = states;
+    sa_prop = prop;
+    sa_hook = hook;
+    sa_ret = ret_site;
+    sa_total = !total;
+    sa_prop_count = !n_prop;
+    sa_hook_count = !n_hook;
+    sa_ms = (Sys.time () -. t0) *. 1000.;
+  }
+
+let program t = t.sa_prog
+
+(** Does [t] describe this program? Static results are only valid for
+    the exact code they were computed from. *)
+let matches t (prog : Vm.Program.t) =
+  t.sa_prog == prog
+  ||
+  let a = t.sa_prog.Vm.Program.segments and b = prog.Vm.Program.segments in
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun sa sb ->
+         sa.Vm.Program.seg_base = sb.Vm.Program.seg_base
+         && sa.Vm.Program.seg_limit = sb.Vm.Program.seg_limit
+         && (sa.Vm.Program.seg_instrs == sb.Vm.Program.seg_instrs
+             (* separate loads of the same image at the same layout decode
+                to fresh but equal arrays; [Isa.instr] is a pure variant,
+                so structural equality is exact *)
+             || sa.Vm.Program.seg_instrs = sb.Vm.Program.seg_instrs))
+       a b
+
+let lookup masks t pc =
+  match Vm.Program.locate t.sa_prog pc with
+  | Some (si, i) -> Bytes.get masks.(si) i <> '\000'
+  | None -> false
+
+let may_propagate t pc = lookup t.sa_prop t pc
+let must_hook t pc = lookup t.sa_hook t pc
+
+(* Called from the pruned replay loop on every retired [Ret]; open-coded
+   segment search instead of [lookup] so the hot path never allocates
+   (Program.locate returns an option of a tuple). *)
+let is_return_site t pc =
+  let segs = t.sa_prog.Vm.Program.segments in
+  let n = Array.length segs in
+  let rec go i =
+    i < n
+    &&
+    let s = Array.unsafe_get segs i in
+    let off = pc - s.Vm.Program.seg_base in
+    if off >= 0 && pc < s.Vm.Program.seg_limit then
+      off land 3 = 0
+      && Bytes.unsafe_get (Array.unsafe_get t.sa_ret i) (off lsr 2) <> '\000'
+    else go (i + 1)
+  in
+  go 0
+
+let in_state t pc =
+  match Vm.Program.locate t.sa_prog pc with
+  | Some (si, i) -> Some t.sa_in.(si).(i)
+  | None -> None
+
+let pcs_of masks t =
+  let segs = t.sa_prog.Vm.Program.segments in
+  let acc = ref [] in
+  for si = Array.length segs - 1 downto 0 do
+    let mask = masks.(si) in
+    let base = segs.(si).Vm.Program.seg_base in
+    for i = Bytes.length mask - 1 downto 0 do
+      if Bytes.get mask i <> '\000' then
+        acc := base + (i * Vm.Isa.instr_size) :: !acc
+    done
+  done;
+  !acc
+
+let prop_pcs t = pcs_of t.sa_prop t
+let hook_pcs t = pcs_of t.sa_hook t
+let total t = t.sa_total
+let prop_count t = t.sa_prop_count
+let hook_count t = t.sa_hook_count
+let analysis_ms t = t.sa_ms
+
+let reduction t =
+  if t.sa_total = 0 then 0.
+  else 1. -. (float_of_int t.sa_hook_count /. float_of_int t.sa_total)
+
+(* Per-segment hook mask for the fused replay loop: byte [i] is non-zero
+   iff the pc at instruction index [i] of segment [si] is in [K]. *)
+let hook_mask t si = t.sa_hook.(si)
+let ret_site_mask t si = t.sa_ret.(si)

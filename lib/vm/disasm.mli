@@ -1,0 +1,9 @@
+(** Pretty-printing of instructions and addresses, for analysis reports. *)
+
+val operand_to_string : Isa.operand -> string
+val target_to_string : Isa.target -> string
+val instr_to_string : Isa.instr -> string
+
+val addr_to_string : ?images:Asm.image list -> int -> string
+(** "0x4f0f0907 (strcat+0x1c)" — attribute an address to a symbol using the
+    loaded images' symbol tables. *)

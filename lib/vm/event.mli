@@ -1,0 +1,104 @@
+(** Execution events: the per-instruction effect records that instrumentation
+    hooks observe, and the machine faults that lightweight monitoring turns
+    into attack detections.
+
+    Every analysis in Sweeper — memory-bug detection, taint tracking,
+    backward slicing, VSEF filters — consumes exactly these records, which
+    is the moral equivalent of the paper's PIN instrumentation API. *)
+
+(** One memory access performed by an instruction. Fields are mutable so
+    the interpreter can reuse scratch records on the instrumented path (see
+    the ownership note on {!effect_}); hooks must treat them as read-only. *)
+type access = {
+  mutable a_addr : int;
+  mutable a_size : int;  (** 1 or 4 bytes *)
+  mutable a_value : int;
+}
+
+(** Where control goes after the instruction. All constructors are
+    constant so that recording a control transfer never allocates; the
+    operands live in the effect record's [e_ctrl_a]/[e_ctrl_ret] fields:
+    - [Jump]: [e_ctrl_a] is the destination pc
+    - [Call_to]: [e_ctrl_a] is the call target, [e_ctrl_ret] the return pc
+    - [Ret_to]: [e_ctrl_a] is the address being returned to
+    - [Sys]: [e_ctrl_a] is the syscall number *)
+type ctrl = Next | Jump | Call_to | Ret_to | Sys | Stop
+
+(** Side effects of a syscall, reported by the OS layer so that analyses can
+    see I/O (taint sources, allocation events, infection attempts). *)
+type sys_io =
+  | Io_none
+  | Io_recv of { buf : int; len : int; msg_id : int }
+      (** [len] network bytes of message [msg_id] written at [buf] *)
+  | Io_send of { buf : int; len : int }
+  | Io_alloc of { ptr : int; size : int }
+  | Io_free of { ptr : int; status : [ `Ok | `Double_free | `Bad_pointer ] }
+  | Io_exec of { cmd : string }  (** arbitrary code execution — infection *)
+  | Io_exit of int
+  | Io_other of string
+
+(** Machine faults. These are what address-space randomization converts an
+    exploit attempt into, and hence what the lightweight monitor sees. *)
+type fault =
+  | Segv_read of int   (** load from an unmapped/unreadable address *)
+  | Segv_write of int  (** store to an unmapped/unwritable address *)
+  | Exec_violation of int
+      (** control transfer to a non-code address (smashed return address,
+          corrupted function pointer) *)
+  | Div_zero
+
+(** The effect record for one executed instruction. Pre-hooks observe it
+    {e before} the machine state is updated (so a filter can veto the
+    instruction); post-hooks observe it afterwards, with [e_sys] filled in
+    for syscalls.
+
+    Ownership: the interpreter owns the record. On the instrumented path it
+    reuses one scratch record (and scratch {!access} buffers) per CPU, so
+    an effect — including the one {!Cpu.step} returns — is only valid until
+    the next instruction executes. Hooks read it during their callback and
+    copy out whatever they keep; nothing in the system retains one. *)
+type effect_ = {
+  mutable e_seq : int;  (** dynamic instruction number *)
+  mutable e_pc : int;
+  mutable e_instr : Isa.instr;
+  mutable e_regs_read : Isa.reg list;
+      (** interned per-shape lists — never mutate *)
+  mutable e_rw_count : int;
+      (** register writes this instruction performs: 0, 1 or 2. Kept as
+          fixed immediate slots (not a list) so the instrumented path never
+          allocates; {!regs_written} rebuilds the list view. *)
+  mutable e_rw0 : Isa.reg;
+  mutable e_rw0_val : int;
+  mutable e_rw1 : Isa.reg;  (** second slot — only [Pop rd]: rd then SP *)
+  mutable e_rw1_val : int;
+  mutable e_mem_reads : access list;
+  mutable e_mem_writes : access list;
+  mutable e_flags_read : bool;
+  mutable e_flags_written : bool;
+  mutable e_ctrl : ctrl;
+  mutable e_ctrl_a : int;    (** see {!ctrl} *)
+  mutable e_ctrl_ret : int;  (** see {!ctrl} *)
+  mutable e_sys : sys_io;
+  mutable e_fault : fault option;
+      (** the fault this instruction is about to raise. Pre-hooks see it
+          before it happens — a VSEF can veto the very instruction that
+          would have crashed — and commit raises it without mutating any
+          state. *)
+}
+
+val regs_written : effect_ -> (Isa.reg * int) list
+(** The register writes as an association list (allocates — analyses on
+    the hot path read the [e_rw*] slots directly). *)
+
+val written_value : effect_ -> Isa.reg -> int option
+(** The value this effect writes to [r], if any. As with [List.assoc] on
+    the old list representation, the first matching slot wins. *)
+
+exception Fault of fault
+
+exception Blocked
+(** Raised by the OS layer when a syscall cannot complete yet (e.g. [recv]
+    with no pending input); the CPU run loop yields without advancing. *)
+
+val fault_to_string : fault -> string
+val pp_fault : Format.formatter -> fault -> unit

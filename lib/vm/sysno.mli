@@ -1,0 +1,27 @@
+(** System call numbers, shared between the code generator (which emits
+    [Syscall n]) and the OS layer (which implements them).
+
+    Conventions: arguments in [r0]..[r3], result (if any) in [r0].
+    - [sys_exit]: r0 = exit code.
+    - [sys_recv]: r0 = buffer, r1 = max length; returns bytes read.
+    - [sys_send]: r0 = buffer, r1 = length.
+    - [sys_malloc]: r0 = size; returns user pointer, 0 on exhaustion.
+    - [sys_free]: r0 = user pointer.
+    - [sys_log]: r0 = NUL-terminated string.
+    - [sys_exec]: r0 = command string — arbitrary code execution, the
+      infection event every exploit is trying to reach.
+    - [sys_random]: returns a pseudo-random word (logged for replay).
+    - [sys_time]: returns a logical clock value (logged for replay). *)
+
+val sys_exit : int
+val sys_recv : int
+val sys_send : int
+val sys_malloc : int
+val sys_free : int
+val sys_log : int
+val sys_exec : int
+val sys_random : int
+val sys_time : int
+
+val name : int -> string
+(** Human-readable name for traces ("recv", "exec", …). *)

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Formatting check, gated on the formatter being available: CI images
 # without ocamlformat (or with a different version) skip instead of
-# failing the build. Run from the repository root. The @fmt alias covers
-# every library (lib/vm, lib/minic, lib/osim, lib/apps, lib/core,
-# lib/epidemic, lib/obs) plus bin/, bench/, test/, examples/.
+# failing the build. Runs ocamlformat --check directly on the sources
+# (not `dune build @fmt`) so it can also run from inside a dune rule —
+# see the @lint alias in the root dune file. Run from the repository
+# root (or a sandbox copy of it).
 set -e
 if ! command -v ocamlformat >/dev/null 2>&1; then
   echo "check-fmt: ocamlformat not installed; skipping format check"
@@ -15,4 +16,12 @@ if [ -n "$want" ] && [ "$have" != "$want" ]; then
   echo "check-fmt: ocamlformat $have != pinned $want; skipping format check"
   exit 0
 fi
-exec dune build @fmt
+status=0
+for f in $(find lib bin bench test examples \
+             \( -name '*.ml' -o -name '*.mli' \) 2>/dev/null | sort); do
+  if ! ocamlformat --check "$f"; then
+    echo "check-fmt: $f is not formatted (run: ocamlformat -i $f)"
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Interface-coverage check: every library module must have an explicit
+# .mli so its public surface is deliberate (and -warn-error +a can catch
+# dead exports). Exemptions: *_intf.ml (signature-only modules, their
+# whole point is to be included) and registry.ml files that are pure
+# data catalogues — currently none need the exemption, it documents the
+# policy. Run from the repository root (or a sandbox copy of it).
+set -e
+status=0
+for ml in $(find lib -name '*.ml' | sort); do
+  case "$(basename "$ml")" in
+    *_intf.ml) continue ;;
+  esac
+  mli="${ml%.ml}.mli"
+  if [ ! -f "$mli" ]; then
+    echo "check-mli: $ml has no interface file ($mli)"
+    status=1
+  fi
+done
+if [ $status -eq 0 ]; then
+  echo "check-mli: all library modules have interfaces"
+fi
+exit $status

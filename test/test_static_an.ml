@@ -1,0 +1,623 @@
+(* The static analysis layer: CFG recovery edge cases, the worklist
+   dataflow anchors, and — the load-bearing part — the soundness contract
+   of the static taint prefilter:
+
+   - for random MiniC programs, every pc the dynamic taint engine
+     propagates at must be in the static may-propagate set [S];
+   - replays pruned to the must-hook set [K] (fused and per-pc-hook
+     alike) must be byte-identical to fully instrumented ones;
+   - the per-[Ret] tripwire must restore full instrumentation when a
+     return lands off the statically assumed return-site set (exercised
+     by a hand-built hijack that returns into straight-line code);
+   - a whole pipeline run with the static-prefilter stage must render
+     the exact same Table 2 as one without it.
+
+   Plus the MiniC overflow linter: unit rules and the cross-check that
+   the statically flagged apps are exactly those where the dynamic
+   membug detector attributes an overflow-class store to the app image. *)
+
+module O = Sweeper.Orchestrator
+module St = Static_an.Staint
+module Cfg = Static_an.Cfg
+module Df = Static_an.Dataflow
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* Deterministic qcheck runs by default; QCHECK_SEED overrides. *)
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> 0x5EED)
+    | None -> 0x5EED
+  in
+  Random.State.make [| seed |]
+
+(* ------------------------------------------------------------------ *)
+(* CFG edge cases                                                      *)
+(* ------------------------------------------------------------------ *)
+
+open Vm.Isa
+
+let test_cfg_empty_segment () =
+  let prog =
+    Vm.Program.of_segments [ Vm.Program.make_segment ~base:0x1000 [||] ]
+  in
+  let cfg = Cfg.build prog in
+  check_int "no blocks" 0 (Array.length (Cfg.blocks cfg));
+  check_bool "no sink" true (Cfg.unknown cfg = None)
+
+let test_cfg_single_block_loop () =
+  let prog = Vm.Program.of_instrs ~base:0x1000 [| Jmp (Addr 0x1000) |] in
+  let cfg = Cfg.build prog in
+  let bs = Cfg.blocks cfg in
+  check_int "one block" 1 (Array.length bs);
+  check_bool "self loop" true (Cfg.succs bs.(0) = [ bs.(0).Cfg.b_id ]);
+  check_bool "self pred" true (Cfg.preds bs.(0) = [ bs.(0).Cfg.b_id ])
+
+let test_cfg_indirect_call_no_targets () =
+  let prog = Vm.Program.of_instrs ~base:0x1000 [| CallInd R0; Halt |] in
+  let cfg = Cfg.build prog in
+  match Cfg.unknown cfg with
+  | None -> Alcotest.fail "expected an unknown-target sink"
+  | Some sink ->
+    let b0 =
+      match Cfg.block_at cfg 0x1000 with
+      | Some b -> b
+      | None -> Alcotest.fail "no block at 0x1000"
+    in
+    check_bool "edge into the sink" true (List.mem sink (Cfg.succs b0));
+    check_bool "sink kind is Unknown" true
+      (List.exists
+         (fun (id, k) -> id = sink && k = Cfg.Unknown)
+         b0.Cfg.b_succs)
+
+let test_cfg_fallthrough_into_segment_end () =
+  (* The last instruction just falls off the end of the segment: no
+     successor edge (the CPU faults on the fetch), and the block must
+     still be recovered. *)
+  let prog =
+    Vm.Program.of_instrs ~base:0x1000
+      [| Mov (R0, Imm 1); Bin (Add, R0, Imm 2) |]
+  in
+  let cfg = Cfg.build prog in
+  let bs = Cfg.blocks cfg in
+  check_int "one block" 1 (Array.length bs);
+  check_int "both instructions" 2 (Array.length bs.(0).Cfg.b_instrs);
+  check_bool "no successors" true (Cfg.succs bs.(0) = [])
+
+let golden_dot =
+  "digraph golden {\n\
+  \  node [shape=box, fontname=\"monospace\"];\n\
+  \  b0 [label=\"0x001000  mov r0, 0x0\\l\"];\n\
+  \  b1 [label=\"0x001004  cmp r0, 0x3\\l0x001008  jge 0x1014\\l\"];\n\
+  \  b2 [label=\"0x00100c  add r0, 0x1\\l0x001010  jmp 0x1004\\l\"];\n\
+  \  b3 [label=\"0x001014  halt\\l\"];\n\
+  \  b0 -> b1 [label=\"fallthrough\"];\n\
+  \  b1 -> b3 [label=\"branch\", style=dashed];\n\
+  \  b1 -> b2 [label=\"fallthrough\"];\n\
+  \  b2 -> b1 [label=\"jump\"];\n\
+   }\n"
+
+let test_cfg_dot_golden () =
+  let prog =
+    Vm.Program.of_instrs ~base:0x1000
+      [|
+        Mov (R0, Imm 0);
+        Cmp (R0, Imm 3);
+        Jcc (Ge, Addr 0x1014);
+        Bin (Add, R0, Imm 1);
+        Jmp (Addr 0x1004);
+        Halt;
+      |]
+  in
+  check_str "DOT output" golden_dot
+    (Cfg.to_dot ~name:"golden" (Cfg.build prog))
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow anchors                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_liveness_straight_line () =
+  (* r1 := 1; r0 := r1 (as a bin op reads r0 too); halt.  At entry of the
+     program nothing but the consumed inputs may be live. *)
+  let prog =
+    Vm.Program.of_instrs ~base:0
+      [| Mov (R1, Imm 1); Bin (Add, R0, Reg R1); Halt |]
+  in
+  let cfg = Cfg.build prog in
+  let live = Df.liveness cfg in
+  let entry_live = live.Df.d_out.(0) in
+  (* r0 is read by the add before any write: live at entry. r1 is written
+     first: dead at entry. *)
+  check_bool "r0 live at entry" true
+    (entry_live land (1 lsl reg_index R0) <> 0);
+  check_bool "r1 dead at entry" true
+    (entry_live land (1 lsl reg_index R1) = 0)
+
+let test_max_stack_depth_balanced_call () =
+  (* main pushes one word and calls a leaf that pushes another; calls are
+     treated as stack-balanced (the return slot [Call] pushes is popped
+     by the matching [Ret]), so the bound is the two explicit pushes —
+     the callee frame counted through the call edge, the return slot
+     not. *)
+  let prog =
+    Vm.Program.of_instrs ~base:0
+      [|
+        Push (Imm 1);
+        (* 0x0: depth 4 *)
+        Call (Addr 0x10);
+        (* 0x4 *)
+        Pop R0;
+        (* 0x8 *)
+        Halt;
+        (* 0xc *)
+        Push (Imm 2);
+        (* 0x10: leaf, +4 through the call edge *)
+        Pop R1;
+        (* 0x14 *)
+        Ret;
+        (* 0x18 *)
+      |]
+  in
+  let cfg = Cfg.build prog in
+  check_int "stack bound" 8 (Df.max_stack_depth cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Random MiniC soundness + pruning identity                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Same program-recipe shape as the taint differential suite: one fixed
+   skeleton whose knobs span clean runs, stack smashes, and exec-sink
+   hijacks, so every generated source compiles. *)
+type recipe = {
+  cap : int;
+  reps : int;
+  stride : int;
+  addk : int;
+  use_words : bool;
+  vuln : int; (* 0 = clean, 1 = stack smash, 2 = exec sink *)
+  over : int;
+  msg_len : int;
+  msg_seed : int;
+}
+
+let source_of r =
+  let words =
+    if r.use_words then
+      "int *p = (int*)buf; acc = acc + p[0] + p[1] + p[2];"
+    else ""
+  in
+  let sink =
+    match r.vuln with
+    | 1 -> Printf.sprintf "vuln(buf, n + %d);" r.over
+    | 2 -> Printf.sprintf "dst[%d] = 0; system(dst);" (r.cap - 1)
+    | _ -> ""
+  in
+  Printf.sprintf
+    {|
+    char buf[%d];
+    char dst[%d];
+    int sink;
+    void vuln(char *s, int n) {
+      char local[16];
+      int i = 0;
+      while (s[i] != 0 && i < n) { local[i] = s[i]; i = i + 1; }
+    }
+    int main() {
+      int n = _recv(buf, %d);
+      int acc = 0;
+      int r = 0;
+      while (r < %d) {
+        int i = 0;
+        while (i + %d < %d) {
+          acc = acc + buf[i];
+          dst[i] = (char)(buf[i + %d] + %d);
+          i = i + 1;
+        }
+        r = r + 1;
+      }
+      %s
+      sink = acc;
+      %s
+      return 0;
+    }
+  |}
+    r.cap r.cap r.cap r.reps r.stride r.cap r.stride r.addk words sink
+
+let message_of r =
+  String.init r.msg_len (fun i ->
+      Char.chr (1 + (((r.msg_seed * 31) + (i * 7)) land 0x7F)))
+
+let gen_recipe =
+  QCheck.Gen.(
+    oneofl [ 16; 64; 128 ] >>= fun cap ->
+    int_range 1 4 >>= fun reps ->
+    int_range 0 4 >>= fun stride ->
+    int_range 0 60 >>= fun addk ->
+    bool >>= fun use_words ->
+    int_range 0 2 >>= fun vuln ->
+    int_range 0 40 >>= fun over ->
+    int_range 1 cap >>= fun msg_len ->
+    int_range 0 9999 >>= fun msg_seed ->
+    return
+      { cap; reps; stride; addk; use_words; vuln; over; msg_len; msg_seed })
+
+let print_recipe r =
+  Printf.sprintf
+    "cap=%d reps=%d stride=%d addk=%d words=%b vuln=%d over=%d len=%d seed=%d"
+    r.cap r.reps r.stride r.addk r.use_words r.vuln r.over r.msg_len
+    r.msg_seed
+
+let load_and_poke app msg =
+  let proc = Osim.Process.load ~aslr:true ~seed:17 app in
+  ignore (Osim.Process.run proc);
+  ignore (Osim.Process.send_message proc msg);
+  proc
+
+let summarize (res : Sweeper.Taint.result) =
+  ( Sweeper.Taint.verdict_to_string res.Sweeper.Taint.t_verdict,
+    Sweeper.Taint.verdict_msgs res.Sweeper.Taint.t_verdict,
+    res.Sweeper.Taint.t_prop_pcs,
+    res.Sweeper.Taint.t_instructions )
+
+(* One compile, three identical processes (same image, same ASLR seed,
+   same message): fully instrumented, fused-pruned, and per-pc-hook
+   pruned. The first must stay inside [S]; all three must agree
+   byte-for-byte. *)
+let soundness_qcheck =
+  QCheck.Test.make
+    ~name:"dynamic taint within static S; pruned runs byte-identical"
+    ~count:25
+    (QCheck.make ~print:print_recipe gen_recipe)
+    (fun r ->
+      let app = Minic.Driver.compile_app ~name:"stprog" (source_of r) in
+      let msg = message_of r in
+      let base = Sweeper.Taint.run (load_and_poke app msg) in
+      let proc_f = load_and_poke app msg in
+      let sa = St.analyze proc_f.Osim.Process.cpu.Vm.Cpu.code in
+      let fused = Sweeper.Taint.run ~static:sa proc_f in
+      let proc_p = load_and_poke app msg in
+      let sa_p = St.analyze proc_p.Osim.Process.cpu.Vm.Cpu.code in
+      let pruned = Sweeper.Taint.run_pruned ~static:sa_p proc_p in
+      List.for_all (St.may_propagate sa) base.Sweeper.Taint.t_prop_pcs
+      && summarize base = summarize fused
+      && summarize base = summarize pruned)
+
+(* S must also contain the propagation pcs of the four real exploit
+   replays, and K must cut the hook set by a substantial margin. *)
+let test_registry_soundness key () =
+  let entry = Apps.Registry.find key in
+  let prime () =
+    let proc = Osim.Process.load ~aslr:true ~seed:13 (entry.r_compile ()) in
+    ignore (Osim.Process.run proc);
+    let exploit =
+      Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 key
+    in
+    List.iter
+      (fun m -> ignore (Osim.Process.send_message proc m))
+      exploit.Apps.Exploits.x_messages;
+    proc
+  in
+  let base = Sweeper.Taint.run (prime ()) in
+  let proc = prime () in
+  let sa = St.analyze proc.Osim.Process.cpu.Vm.Cpu.code in
+  check_bool "dynamic props inside S" true
+    (List.for_all (St.may_propagate sa) base.Sweeper.Taint.t_prop_pcs);
+  let pruned = Sweeper.Taint.run_pruned ~static:sa proc in
+  check_bool "pruned replay identical" true (summarize base = summarize pruned);
+  check_bool
+    (Printf.sprintf "hook reduction >= 30%% (got %.1f%%)"
+       (100. *. St.reduction sa))
+    true
+    (St.reduction sa >= 0.30)
+
+(* ------------------------------------------------------------------ *)
+(* The return tripwire                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-built program whose only interesting control transfer is a
+   [Ret] through a forged return address into plain straight-line code:
+
+     main:    sub sp, 64            ; stack buffer
+              recv(sp, 64)          ; taints the buffer
+              ldb r2, [sp+0]        ; r2 := tainted byte   (in K)
+              mov r3, $landing
+              push r3
+              ret                   ; lands at landing — NOT a return site
+     landing: mov r4, r2            ; propagates taint — statically
+              add sp, 64            ;   unreachable, so outside S and K
+              ret                   ; back to _start
+
+   Statically, taint never reaches [landing] (a [Ret] only flows to
+   return sites), so its pcs are outside [K] and a pruned replay would
+   skip the r2→r4 propagation — unless the tripwire notices the landing
+   pc and restores full instrumentation. The assertions below both
+   require byte-identity and positively confirm the trip happened: the
+   landing pc shows up in the dynamic propagation set while being
+   outside [S]. *)
+let tripwire_app () =
+  let items =
+    [
+      Vm.Asm.Label "main";
+      Vm.Asm.Ins (Bin (Sub, SP, Imm 64));
+      Vm.Asm.Ins (Mov (R0, Reg SP));
+      Vm.Asm.Ins (Mov (R1, Imm 64));
+      Vm.Asm.Ins (Syscall Vm.Sysno.sys_recv);
+      Vm.Asm.Ins (Loadb (R2, SP, 0));
+      Vm.Asm.Ins (Mov (R3, Sym "landing"));
+      Vm.Asm.Ins (Push (Reg R3));
+      Vm.Asm.Ins Ret;
+      Vm.Asm.Label "landing";
+      Vm.Asm.Ins (Mov (R4, Reg R2));
+      Vm.Asm.Ins (Bin (Add, SP, Imm 64));
+      Vm.Asm.Ins Ret;
+    ]
+  in
+  {
+    Minic.Codegen.unit_ = Vm.Asm.make_unit "tripwire" items;
+    data = [];
+    funcs = [ "main" ];
+  }
+
+let test_ret_tripwire () =
+  let app = tripwire_app () in
+  let msg = "ABCD" in
+  let base = Sweeper.Taint.run (load_and_poke app msg) in
+  let proc_f = load_and_poke app msg in
+  let landing = Vm.Asm.symbol proc_f.Osim.Process.app_image "landing" in
+  let sa = St.analyze proc_f.Osim.Process.cpu.Vm.Cpu.code in
+  check_bool "landing is not a return site" false (St.is_return_site sa landing);
+  check_bool "landing outside S" false (St.may_propagate sa landing);
+  check_bool "landing propagated dynamically" true
+    (List.mem landing base.Sweeper.Taint.t_prop_pcs);
+  let fused = Sweeper.Taint.run ~static:sa proc_f in
+  check_bool "fused-pruned identical despite the hijack" true
+    (summarize base = summarize fused);
+  let proc_p = load_and_poke app msg in
+  let sa_p = St.analyze proc_p.Osim.Process.cpu.Vm.Cpu.code in
+  let pruned = Sweeper.Taint.run_pruned ~static:sa_p proc_p in
+  check_bool "hook-pruned identical despite the hijack" true
+    (summarize base = summarize pruned)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-pipeline identity and antibody validation                     *)
+(* ------------------------------------------------------------------ *)
+
+let crash_server ?(benign = 10) ?(seed = 42) key =
+  let entry = Apps.Registry.find key in
+  let proc = Osim.Process.load ~aslr:true ~seed (entry.r_compile ()) in
+  let server = Osim.Server.create proc in
+  ignore (Osim.Server.run server);
+  List.iter
+    (fun m -> ignore (Osim.Server.handle server m))
+    (Apps.Registry.workload key benign);
+  let exploit = Apps.Registry.exploit ~system_guess:0x12345678 ~cmd_ptr:0 key in
+  let fault = ref None in
+  List.iter
+    (fun m ->
+      match Osim.Server.handle server m with
+      | `Crashed (_, f) -> fault := Some f
+      | _ -> ())
+    exploit.Apps.Exploits.x_messages;
+  match !fault with
+  | Some f -> (proc, server, f)
+  | None -> Alcotest.fail (key ^ ": exploit did not crash")
+
+let no_static_stages =
+  List.filter (fun s -> s != O.static_stage) O.default_stages
+
+let test_pipeline_table2_identical key () =
+  let proc_a, server_a, fault_a = crash_server key in
+  let r_a = O.handle_attack ~app:key server_a fault_a in
+  let proc_b, server_b, fault_b = crash_server key in
+  let r_b = O.handle_attack ~stages:no_static_stages ~app:key server_b fault_b in
+  check_str "Table 2 byte-identical with and without the prefilter"
+    (Sweeper.Report.table2_to_string proc_b r_b)
+    (Sweeper.Report.table2_to_string proc_a r_a);
+  check_bool "same taint propagation pcs" true
+    (r_a.O.a_taint.Sweeper.Taint.t_prop_pcs
+    = r_b.O.a_taint.Sweeper.Taint.t_prop_pcs)
+
+let test_antibody_validates_statically () =
+  let proc, server, fault = crash_server "apache1" in
+  let r = O.handle_attack ~app:"apache1" server fault in
+  let sa = St.analyze proc.Osim.Process.cpu.Vm.Cpu.code in
+  check_bool "taint-filter pcs all inside S" true
+    (Sweeper.Antibody.validate_static proc sa r.O.a_antibody = [])
+
+(* ------------------------------------------------------------------ *)
+(* The MiniC overflow linter                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lint src = Minic.Driver.lint ~name:"lint-test" src
+
+let rules lints = List.map (fun l -> l.Minic.Sema.l_rule) lints
+
+let test_lint_const_oob () =
+  let ls = lint "int a[4]; int main() { a[5] = 1; return a[3]; }" in
+  check_bool "a[5] flagged" true
+    (rules ls = [ Minic.Sema.lint_rule_oob ]);
+  check_int "in-bounds access clean" 0
+    (List.length (lint "int a[4]; int main() { a[3] = 1; return a[0]; }"))
+
+let test_lint_unbounded_copy () =
+  let unbounded =
+    {|
+    char dst[16];
+    int main(char *s) {
+      int i = 0;
+      while (s[i] != 0) { dst[i] = s[i]; i = i + 1; }
+      return 0;
+    }
+  |}
+  in
+  check_bool "unbounded copy flagged" true
+    (rules (lint unbounded) = [ Minic.Sema.lint_rule_copy ])
+
+let test_lint_bounded_copy_clean () =
+  let bounded =
+    {|
+    char dst[16];
+    int main(char *s) {
+      int i = 0;
+      while (s[i] != 0 && i < 15) { dst[i] = s[i]; i = i + 1; }
+      return 0;
+    }
+  |}
+  in
+  check_int "bounded copy clean" 0 (List.length (lint bounded))
+
+let test_lint_bound_exceeds_buffer () =
+  let off_by_lots =
+    {|
+    char dst[16];
+    int main(char *s) {
+      int i = 0;
+      while (s[i] != 0 && i < 64) { dst[i] = s[i]; i = i + 1; }
+      return 0;
+    }
+  |}
+  in
+  check_bool "constant bound past the buffer still flagged" true
+    (rules (lint off_by_lots) = [ Minic.Sema.lint_rule_copy ])
+
+let test_lint_constant_stores_clean () =
+  (* itoa-style digit loop: the stored value derives from arithmetic, not
+     from memory — not a copy, not flagged. *)
+  let digits =
+    {|
+    char dst[16];
+    int main(int v) {
+      int i = 0;
+      while (v > 0) { dst[i] = (char)(48 + v % 10); v = v / 10; i = i + 1; }
+      return i;
+    }
+  |}
+  in
+  check_int "digit loop clean" 0 (List.length (lint digits))
+
+let test_lint_werror () =
+  let src = "int a[4]; int main() { a[9] = 1; return 0; }" in
+  check_bool "werror raises" true
+    (match Minic.Driver.compile ~name:"w" ~werror:true src with
+    | exception Minic.Driver.Compile_error msg ->
+      let has s sub =
+        let ns = String.length s and nb = String.length sub in
+        let rec go i =
+          i + nb <= ns && (String.sub s i nb = sub || go (i + 1))
+        in
+        go 0
+      in
+      has msg "-Werror"
+    | _ -> false);
+  check_bool "compiles without werror" true
+    (match Minic.Driver.compile ~name:"w" src with
+    | _ -> true
+    | exception _ -> false)
+
+(* Cross-check: the set of registry apps the linter flags must equal the
+   set where the dynamic membug detector attributes an overflow-class
+   finding (stack smash / heap overflow) to a store {e in the app image}.
+   Library-side overflows (squid's strcat) are out of the linter's scope
+   by design: the app sources it sees contain no overflowing store. *)
+let test_lint_matches_dynamic_overflows () =
+  let lint_flagged =
+    List.filter_map
+      (fun (e : Apps.Registry.entry) ->
+        match Minic.Driver.lint ~name:e.r_key e.r_source with
+        | [] -> None
+        | _ -> Some e.r_key)
+      Apps.Registry.all
+  in
+  let dynamic_flagged =
+    List.filter_map
+      (fun (e : Apps.Registry.entry) ->
+        let proc, server, fault = crash_server e.r_key in
+        let r = O.handle_attack ~app:e.r_key server fault in
+        let app_overflow =
+          List.exists
+            (fun f ->
+              match f with
+              | Sweeper.Membug.Stack_smash { store_pc; _ }
+              | Sweeper.Membug.Heap_overflow { store_pc; _ } ->
+                (Sweeper.Vsef.loc_of_pc proc store_pc).Sweeper.Vsef.l_seg
+                = `App
+              | Sweeper.Membug.Double_free _
+              | Sweeper.Membug.Dangling_write _ ->
+                false)
+            r.O.a_membug.Sweeper.Membug.m_findings
+        in
+        if app_overflow then Some e.r_key else None)
+      Apps.Registry.all
+  in
+  check_bool
+    (Printf.sprintf "lint {%s} == dynamic app-image overflows {%s}"
+       (String.concat "," lint_flagged)
+       (String.concat "," dynamic_flagged))
+    true
+    (lint_flagged = dynamic_flagged);
+  check_bool "the set is exactly {apache1}" true
+    (lint_flagged = [ "apache1" ])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) in
+  Alcotest.run "static-an"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "empty segment" `Quick test_cfg_empty_segment;
+          Alcotest.test_case "single-block loop" `Quick
+            test_cfg_single_block_loop;
+          Alcotest.test_case "indirect call with no static targets" `Quick
+            test_cfg_indirect_call_no_targets;
+          Alcotest.test_case "fallthrough into segment end" `Quick
+            test_cfg_fallthrough_into_segment_end;
+          Alcotest.test_case "DOT golden" `Quick test_cfg_dot_golden;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "liveness at entry" `Quick
+            test_liveness_straight_line;
+          Alcotest.test_case "stack depth of a balanced call" `Quick
+            test_max_stack_depth_balanced_call;
+        ] );
+      ( "soundness",
+        [
+          qt soundness_qcheck;
+          Alcotest.test_case "apache1 exploit replay" `Quick
+            (test_registry_soundness "apache1");
+          Alcotest.test_case "squid exploit replay" `Quick
+            (test_registry_soundness "squid");
+          Alcotest.test_case "return tripwire restores instrumentation" `Quick
+            test_ret_tripwire;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "Table 2 identical with prefilter (apache1)"
+            `Quick
+            (test_pipeline_table2_identical "apache1");
+          Alcotest.test_case "Table 2 identical with prefilter (cvs)" `Quick
+            (test_pipeline_table2_identical "cvs");
+          Alcotest.test_case "antibody validates against S" `Quick
+            test_antibody_validates_statically;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "constant OOB index" `Quick test_lint_const_oob;
+          Alcotest.test_case "unbounded copy loop" `Quick
+            test_lint_unbounded_copy;
+          Alcotest.test_case "bounded copy is clean" `Quick
+            test_lint_bounded_copy_clean;
+          Alcotest.test_case "bound past the buffer" `Quick
+            test_lint_bound_exceeds_buffer;
+          Alcotest.test_case "constant stores are clean" `Quick
+            test_lint_constant_stores_clean;
+          Alcotest.test_case "-Werror promotion" `Quick test_lint_werror;
+          Alcotest.test_case "lint set == dynamic app-image overflow set"
+            `Quick test_lint_matches_dynamic_overflows;
+        ] );
+    ]
