@@ -157,6 +157,12 @@ type t = {
           analysis's return-site set and reverts to full instrumentation
           on a miss (see [unprune]); [None] once tripped or when running
           unpruned *)
+  trip_ret : Bytes.t array;
+      (** per-segment return-site masks, parallel to the code segments,
+          prefetched from the static result so the fused loop's [k_ret]
+          check is one byte load in the common same-segment case;
+          all-empty when running unpruned (no plan is ever [k_ret], so
+          the masks are never consulted) *)
 }
 
 (* The taint-relevant content of one instruction, packed into one
@@ -177,6 +183,19 @@ let k_push_reg = 9
 let k_push_const = 10
 let k_pop = 11
 let k_call = 12     (* pushed return-address slot becomes clean *)
+
+(* Pruned plans only: [Ret] plus the return-site tripwire. [Ret] is
+   outside [K] (its dynamic update is a no-op), so the static model's
+   one optimistic assumption — returns land on return sites — is
+   checked on this kind, after the landing pc is committed. A miss
+   (including a landing outside any segment, which the next dispatch
+   faults on anyway) reverts to full instrumentation before the
+   landed-on instruction executes, so no un-hooked pc ever runs outside
+   the checked assumption. Keeping the check inside the plan dispatch
+   (rather than re-matching the instruction after every step) makes the
+   pruned loop's per-instruction cost identical to the global one
+   everywhere except at an actual [Ret]. *)
+let k_ret = 13
 
 let pack kind a b off =
   kind lor (a lsl 4) lor (b lsl 8) lor (off lsl 12)
@@ -234,13 +253,23 @@ let create ?static proc =
             let hooks = Static_an.Staint.hook_mask sa si in
             Array.mapi
               (fun i instr ->
-                if Bytes.get hooks i = '\000' then k_exec
-                else plan_of_instr instr)
+                match instr with
+                | Vm.Isa.Ret -> k_ret (* arms the return-site tripwire *)
+                | _ ->
+                  if Bytes.get hooks i = '\000' then k_exec
+                  else plan_of_instr instr)
               s.Vm.Program.seg_instrs)
           code.Vm.Program.segments);
     any_taint = false;
     sources_seen = Int_set.empty;
     trip_static = static;
+    trip_ret =
+      (match static with
+      | None -> Array.map (fun _ -> Bytes.empty) code.Vm.Program.segments
+      | Some sa ->
+        Array.mapi
+          (fun si _ -> Static_an.Staint.ret_site_mask sa si)
+          code.Vm.Program.segments);
   }
 
 (* Label id of one shadow byte. Absent pages are all-clean; the one-entry
@@ -646,7 +675,29 @@ let unprune st =
     segs;
   st.trip_static <- None
 
-let rec fused_seg st cpu s mask plan fuel =
+(* The [k_ret] check: the landing pc (already committed by the [Ret])
+   must be a statically known return site, else the pruned plans stop
+   being trustworthy and [unprune] restores full instrumentation. *)
+let check_return_site st cpu =
+  match st.trip_static with
+  | Some sa when not (Static_an.Staint.is_return_site sa cpu.Vm.Cpu.pc) ->
+    unprune st
+  | _ -> ()
+
+(* Same-segment fast path for the [k_ret] tripwire: most returns land in
+   the segment they retired in, whose return-site mask the fused loop
+   already holds — one bounds check and one byte load, no cross-module
+   call. Cross-segment (or unmapped/misaligned) landings take
+   [check_return_site]'s full search, which reaches the same verdict. *)
+let ret_check st cpu s ret =
+  let pc = cpu.Vm.Cpu.pc in
+  let off = pc - s.Vm.Program.seg_base in
+  if off >= 0 && pc < s.Vm.Program.seg_limit && off land 3 = 0 then begin
+    if Bytes.unsafe_get ret (off lsr 2) = '\000' then unprune st
+  end
+  else check_return_site st cpu
+
+let rec fused_seg st cpu s mask plan ret fuel =
   if cpu.Vm.Cpu.halted || fuel <= 0 then fuel
   else
     let pc = cpu.Vm.Cpu.pc in
@@ -658,8 +709,14 @@ let rec fused_seg st cpu s mask plan fuel =
       let instr = Array.unsafe_get s.Vm.Program.seg_instrs ii in
       (if not st.any_taint then begin
          (* All-clean: propagation is the identity, only machine
-            semantics run. *)
-         if not (Vm.Cpu.exec_fast cpu instr) then slow cpu
+            semantics run. The tripwire stays armed even before the
+            first tainted byte exists: a wild return during the clean
+            prefix invalidates the static model's control-flow
+            assumptions for everything executed after it. In global
+            mode no plan is ever [k_ret], so the extra compare never
+            fires there. *)
+         if not (Vm.Cpu.exec_fast cpu instr) then slow cpu;
+         if Array.unsafe_get plan ii = k_ret then ret_check st cpu s ret
        end
        else
          let p = Array.unsafe_get plan ii in
@@ -767,31 +824,18 @@ let rec fused_seg st cpu s mask plan fuel =
              Array.unsafe_set rt ((p lsr 4) land 15) t
            end
            else slow cpu
-         | _ (* k_call *) ->
+         | 12 (* k_call *) ->
            let addr =
              (Array.unsafe_get cpu.Vm.Cpu.regs sp_idx - 4) land 0xFFFFFFFF
            in
            if Vm.Cpu.exec_fast cpu instr then
              (* The pushed return address is clean. *)
              set_mem_word st addr 0
-           else slow cpu);
-      (* Pruned-mode return tripwire. [Ret] is outside [K] (its dynamic
-         update is a no-op), so the static model's one optimistic
-         assumption — returns land on return sites — is checked here,
-         after the landing pc is committed. A miss (including a landing
-         outside any segment, which the next dispatch faults on anyway)
-         reverts to full instrumentation before the landed-on
-         instruction executes, so no un-hooked pc ever runs outside the
-         checked assumption. *)
-      (match instr with
-      | Vm.Isa.Ret -> (
-        match st.trip_static with
-        | Some sa
-          when not (Static_an.Staint.is_return_site sa cpu.Vm.Cpu.pc) ->
-          unprune st
-        | _ -> ())
-      | _ -> ());
-      fused_seg st cpu s mask plan (fuel - 1)
+           else slow cpu
+         | _ (* k_ret: pruned plans only, see [k_ret] *) ->
+           if not (Vm.Cpu.exec_fast cpu instr) then slow cpu;
+           ret_check st cpu s ret);
+      fused_seg st cpu s mask plan ret (fuel - 1)
     end
 
 let fused_run st cpu fuel =
@@ -812,6 +856,7 @@ let fused_run st cpu fuel =
           fused_seg st cpu s
             (Array.unsafe_get st.prop_mask i)
             (Array.unsafe_get st.plans i)
+            (Array.unsafe_get st.trip_ret i)
             n
         in
         if n' = n then begin

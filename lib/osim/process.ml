@@ -213,6 +213,12 @@ let load ?(aslr = true) ?(seed = 0) (app : Minic.Codegen.compiled) =
   (* The CPU's code store: both images' dense segments. *)
   let code = Vm.Program.merge [ lib_image.Vm.Asm.code; app_image.Vm.Asm.code ] in
   let cpu = Vm.Cpu.create ~mem ~layout ~code in
+  (* Engage the block-superinstruction tier: recover the CFG once at
+     load time and compile every basic block. Hooked or invalidated
+     blocks demote themselves to the per-instruction tiers, so this is
+     transparent to every analysis attached later. *)
+  Vm.Block_compile.install cpu
+    (Static_an.Cfg.block_bounds (Static_an.Cfg.build code));
   cpu.Vm.Cpu.pc <- Vm.Asm.symbol app_image "_start";
   Vm.Cpu.set_reg cpu Vm.Isa.SP (layout.Vm.Layout.stack_top - 16);
   let p =

@@ -79,6 +79,11 @@ let register_metrics t registry =
   gauge "sweeper_vm_slow_instructions"
     "instructions retired on the instrumented path" (fun () ->
       cpu.Vm.Cpu.slow_retired);
+  gauge "sweeper_vm_block_instructions"
+    "instructions retired inside block superinstructions" (fun () ->
+      cpu.Vm.Cpu.block_retired);
+  gauge "sweeper_vm_blocks_compiled" "basic blocks compiled for tier 3"
+    (fun () -> Vm.Cpu.block_count cpu);
   gauge "sweeper_vm_faults" "machine faults surfaced" (fun () ->
       cpu.Vm.Cpu.fault_count);
   let mem = t.proc.Process.mem in

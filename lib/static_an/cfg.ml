@@ -37,6 +37,21 @@ type t = {
 
 let blocks t = t.c_blocks
 let unknown t = t.c_unknown
+
+(** [(entry_pc, length)] of every ordinary block, ascending pc. The
+    unknown sink (the conservative target of indirect control, [b_pc] =
+    [-1], no instructions) is excluded: it names no code range, so there
+    is nothing for the VM's block-superinstruction tier to compile —
+    indirect transfers resolve at run time and land on whichever real
+    block (or fault) the target address denotes. *)
+let block_bounds t =
+  let bs = t.c_blocks in
+  let n =
+    match t.c_unknown with
+    | Some _ -> Array.length bs - 1
+    | None -> Array.length bs
+  in
+  Array.init n (fun i -> (bs.(i).b_pc, Array.length bs.(i).b_instrs))
 let is_entry t (b : block) = List.mem b.b_id t.c_entries
 let succs (b : block) = List.map fst b.b_succs
 let preds (b : block) = b.b_preds

@@ -34,6 +34,12 @@ val blocks : t -> block array
 val unknown : t -> int option
 (** Id of the unknown sink node, when one exists. *)
 
+val block_bounds : t -> (int * int) array
+(** [(entry_pc, instruction-count)] of every ordinary block, ascending
+    pc — the input {!Vm.Block_compile.install} consumes. The unknown
+    sink is excluded: it names no code range, so there is nothing to
+    compile for it; indirect control resolves at run time. *)
+
 val is_entry : t -> block -> bool
 (** Whether the block starts at a segment base. *)
 

@@ -1,0 +1,28 @@
+(** Basic-block superinstruction compiler (execution tier 3).
+
+    Compiles each basic block of a program into one fused OCaml closure —
+    a chain of per-instruction specialized closures where fallthrough is
+    a tail call — so {!Cpu.run} pays one bounds check and one
+    hook-mask/fuel test per {e block} instead of per instruction. Every
+    closure honors the same decline-before-mutate contract as
+    {!Cpu.exec_fast}: a mid-block syscall, fault, unresolved symbol, or
+    invalid indirect-control target stops before mutating state and hands
+    the pc back to the per-instruction tiers, leaving machine state
+    byte-identical to per-instruction execution. *)
+
+val compile : Program.t -> entry_pc:int -> len:int -> Cpu.t -> int
+(** [compile code ~entry_pc ~len] fuses the [len] instructions starting
+    at [entry_pc] into one closure obeying the tier-3 contract: it
+    returns the number of instructions retired (= [len] iff the whole
+    block ran, including via a taken terminator), leaves [pc] at the
+    next instruction to execute, and never touches [icount] or the
+    retirement counters — {!Cpu.run} accounts the returned count.
+    Raises [Invalid_argument] if the range is not decoded code within a
+    single segment. *)
+
+val install : Cpu.t -> (int * int) array -> unit
+(** [install cpu bounds] compiles each [(entry_pc, length)] pair —
+    typically [Static_an.Cfg.block_bounds] of the CPU's program — and
+    installs the resulting table via {!Cpu.install_blocks}, engaging
+    tier 3 for subsequent {!Cpu.run} calls. Blocks overlapping currently
+    hooked pcs stay demoted until the hooks detach. *)

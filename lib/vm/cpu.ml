@@ -56,11 +56,17 @@ type t = {
           does not rewind it. *)
   mutable slow_retired : int;
       (** instructions retired on the instrumented path. Monotonic. *)
+  mutable block_retired : int;
+      (** instructions retired inside compiled basic-block
+          superinstructions (tier 3). Batched per block. Monotonic. *)
   mutable fault_count : int;  (** machine faults surfaced by {!run} *)
   hooks : hooks;
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: byte [i] is non-zero iff some per-pc
           hook (pre or post) is installed at that instruction *)
+  mutable blocks : block_table option;
+      (** compiled basic-block superinstructions, when installed (see
+          {!Block_compile}); [None] falls back to per-instruction tiers *)
   scratch : Event.effect_;
       (** the one effect record the instrumented path reuses for every
           instruction — hooks may read it only during their callback *)
@@ -68,6 +74,30 @@ type t = {
   scr_write : Event.access;  (** scratch buffer: the instruction's one write *)
   scr_mr : Event.access list;  (** preallocated [[scr_read]] *)
   scr_mw : Event.access list;  (** preallocated [[scr_write]] *)
+}
+
+(* The block-superinstruction tier's dispatch tables. [bt_entry] steers
+   the tier loop (one array read per block-entry pc); [bt_cover] maps any
+   instruction index to the block containing it, so hook attach/detach
+   and invalidation can demote exactly the affected block. A block is
+   runnable ([bt_ok]) iff it has not been invalidated ([bt_valid]) and no
+   pc inside it carries a per-pc hook ([bt_hooks] = 0) — the whole
+   hook-mask test the compiled body skips, taken once at entry. *)
+and block_table = {
+  bt_entry : int array array;
+      (** per segment: instruction index -> block id at entry pcs, else -1 *)
+  bt_cover : int array array;
+      (** per segment: instruction index -> covering block id, else -1 *)
+  bt_len : int array;  (** per block: instruction count *)
+  bt_fn : (t -> int) array;
+      (** per block: the fused closure. Returns the number of instructions
+          retired (= length on completion; on a mid-block decline, state —
+          including [pc] — is byte-identical to per-instruction execution
+          up to the declining pc, which has not run). Never touches
+          [icount] or the retirement counters; the caller accounts. *)
+  bt_hooks : int array;  (** per block: pcs currently on the hook mask *)
+  bt_valid : Bytes.t;  (** per block: ['\001'] unless invalidated *)
+  bt_ok : Bytes.t;  (** per block: [bt_valid] && [bt_hooks] = 0 *)
 }
 
 type outcome =
@@ -92,6 +122,7 @@ let create ~mem ~layout ~code =
     icount = 0;
     fast_retired = 0;
     slow_retired = 0;
+    block_retired = 0;
     fault_count = 0;
     hooks =
       { pre_all = []; post_all = []; n_pre_all = 0; n_post_all = 0;
@@ -101,6 +132,7 @@ let create ~mem ~layout ~code =
       Array.map
         (fun s -> Bytes.make (Array.length s.Program.seg_instrs) '\000')
         code.Program.segments;
+    blocks = None;
     scratch =
       {
         Event.e_seq = 0;
@@ -143,7 +175,20 @@ type hook_id =
 
 (* Keep the presence mask in sync with the pre_at/post_at tables. A pc
    outside every code segment has no mask slot — harmless, since such a
-   pc can only be reached through the slow path's fetch fault anyway. *)
+   pc can only be reached through the slow path's fetch fault anyway.
+
+   The block tier piggybacks on the same transition: each mask-byte flip
+   adjusts the covering block's hooked-pc count and its runnable flag, so
+   a hook attached anywhere inside a compiled block demotes that block to
+   per-instruction execution no later than the next block entry (the
+   compiled body never runs user code, so no hook can appear while it is
+   in flight — exactly the fast loop's staleness argument). *)
+let sync_block_ok bt bid =
+  Bytes.set bt.bt_ok bid
+    (if bt.bt_hooks.(bid) = 0 && Bytes.get bt.bt_valid bid <> '\000' then
+       '\001'
+     else '\000')
+
 let sync_mask cpu pc =
   match Program.locate cpu.code pc with
   | None -> ()
@@ -151,7 +196,18 @@ let sync_mask cpu pc =
     let present =
       Hashtbl.mem cpu.hooks.pre_at pc || Hashtbl.mem cpu.hooks.post_at pc
     in
-    Bytes.set cpu.pc_hook_mask.(si) ii (if present then '\001' else '\000')
+    let mask = cpu.pc_hook_mask.(si) in
+    let was = Bytes.get mask ii <> '\000' in
+    Bytes.set mask ii (if present then '\001' else '\000');
+    if present <> was then (
+      match cpu.blocks with
+      | None -> ()
+      | Some bt ->
+        let bid = bt.bt_cover.(si).(ii) in
+        if bid >= 0 then begin
+          bt.bt_hooks.(bid) <- bt.bt_hooks.(bid) + (if present then 1 else -1);
+          sync_block_ok bt bid
+        end)
 
 (** Register a hook on every instruction, before state commit. *)
 let add_pre_hook cpu f =
@@ -228,6 +284,76 @@ let pc_hook_count cpu =
     Analyses that fuse their instrumentation into a private run loop use
     this to check that nobody else is listening. *)
 let global_hook_count cpu = cpu.hooks.n_pre_all + cpu.hooks.n_post_all
+
+(* ------------------------------------------------------------------ *)
+(* Block-superinstruction table management (tier 3)                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Install compiled basic blocks: [(entry_pc, length, closure)] triples,
+    normally produced by {!Block_compile.install}. Blocks whose pcs carry
+    hooks at install time start demoted; {!sync_mask} keeps the counts
+    live from then on. Replaces any previously installed table. *)
+let install_blocks cpu (blocks : (int * int * (t -> int)) array) =
+  let segs = cpu.code.Program.segments in
+  let nb = Array.length blocks in
+  let bt =
+    {
+      bt_entry =
+        Array.map
+          (fun s -> Array.make (Array.length s.Program.seg_instrs) (-1))
+          segs;
+      bt_cover =
+        Array.map
+          (fun s -> Array.make (Array.length s.Program.seg_instrs) (-1))
+          segs;
+      bt_len = Array.make nb 0;
+      bt_fn = Array.make nb (fun (_ : t) -> 0);
+      bt_hooks = Array.make nb 0;
+      bt_valid = Bytes.make nb '\001';
+      bt_ok = Bytes.make nb '\001';
+    }
+  in
+  Array.iteri
+    (fun bid (pc, len, fn) ->
+      match Program.locate cpu.code pc with
+      | None -> invalid_arg "Cpu.install_blocks: entry pc outside code"
+      | Some (si, ii) ->
+        if len <= 0 || ii + len > Array.length segs.(si).Program.seg_instrs
+        then invalid_arg "Cpu.install_blocks: block overruns its segment";
+        bt.bt_len.(bid) <- len;
+        bt.bt_fn.(bid) <- fn;
+        bt.bt_entry.(si).(ii) <- bid;
+        let mask = cpu.pc_hook_mask.(si) in
+        for k = ii to ii + len - 1 do
+          bt.bt_cover.(si).(k) <- bid;
+          if Bytes.get mask k <> '\000' then
+            bt.bt_hooks.(bid) <- bt.bt_hooks.(bid) + 1
+        done;
+        sync_block_ok bt bid)
+    blocks;
+  cpu.blocks <- Some bt
+
+let clear_blocks cpu = cpu.blocks <- None
+
+(** Permanently demote the block containing [pc] to the per-instruction
+    tiers (e.g. because a static-analysis client no longer trusts it).
+    Takes effect no later than the next block entry. *)
+let invalidate_block cpu ~pc =
+  match cpu.blocks with
+  | None -> ()
+  | Some bt -> (
+    match Program.locate cpu.code pc with
+    | None -> ()
+    | Some (si, ii) ->
+      let bid = bt.bt_cover.(si).(ii) in
+      if bid >= 0 then begin
+        Bytes.set bt.bt_valid bid '\000';
+        sync_block_ok bt bid
+      end)
+
+(** Number of compiled blocks installed (0 when the tier is off). *)
+let block_count cpu =
+  match cpu.blocks with None -> 0 | Some bt -> Array.length bt.bt_len
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented (slow-path) step                                       *)
@@ -724,6 +850,48 @@ let rec fast_run cpu s mask n =
         fast_run cpu s mask (n - 1)
       else n (* declined (before any state change): slow path re-runs *)
 
+(* Tier-3 loop: like [fast_run], but when the pc sits on a runnable block
+   entry (and enough fuel remains to retire the whole block — the
+   block-entry fuel clamp that keeps {!run}'s [fuel] exact, so scheduler
+   quanta and checkpoint thresholds land on the same icounts as
+   per-instruction execution), the block's compiled closure executes the
+   whole body with no per-instruction fetch/decode/mask work. Everything
+   else — mid-block resumption after a decline, demoted (hooked or
+   invalidated) blocks, the fuel tail — retires one instruction at a time
+   through [exec_fast]. Declines return with fuel reflecting the retired
+   prefix; the dispatcher's no-progress protocol (fuel unchanged => one
+   instrumented [step]) is preserved because a decline at the current pc
+   with no prior progress returns [n] untouched. *)
+let rec tier_run cpu s mask bt entry n =
+  if cpu.halted || n <= 0 then n
+  else
+    let pc = cpu.pc in
+    let off = pc - s.Program.seg_base in
+    if off < 0 || pc >= s.Program.seg_limit then n (* left the segment *)
+    else if off land 3 <> 0 then n (* misaligned: slow path faults *)
+    else
+      let idx = off lsr 2 in
+      if Bytes.unsafe_get mask idx <> '\000' then n (* hooked pc *)
+      else
+        let bid = Array.unsafe_get entry idx in
+        if
+          bid >= 0
+          && Bytes.unsafe_get bt.bt_ok bid <> '\000'
+          && n >= Array.unsafe_get bt.bt_len bid
+        then begin
+          let r = (Array.unsafe_get bt.bt_fn bid) cpu in
+          cpu.icount <- cpu.icount + r;
+          cpu.block_retired <- cpu.block_retired + r;
+          if r = Array.unsafe_get bt.bt_len bid then
+            tier_run cpu s mask bt entry (n - r)
+          else n - r (* declined mid-block: slow path re-runs at [pc] *)
+        end
+        else if exec_fast cpu (Array.unsafe_get s.Program.seg_instrs idx) then begin
+          cpu.fast_retired <- cpu.fast_retired + 1;
+          tier_run cpu s mask bt entry (n - 1)
+        end
+        else n (* declined (before any state change): slow path re-runs *)
+
 (** Run until halt, fault, block, or [fuel] instructions. Fault state is
     preserved (pc stays at the faulting instruction) so the core-dump
     analyzer can inspect it. Unhooked instructions execute on the
@@ -754,16 +922,33 @@ let run ?(fuel = max_int) cpu =
     else
       let s = Array.unsafe_get segs i in
       if pc >= s.Program.seg_base && pc < s.Program.seg_limit then begin
-        let n' = fast_run cpu s (Array.unsafe_get cpu.pc_hook_mask i) n in
-        if n' = n then begin
-          ignore (step cpu : Event.effect_);
-          go (n' - 1)
-        end
-        else begin
-          (* batch-account the whole fast burst at its exit *)
-          cpu.fast_retired <- cpu.fast_retired + (n - n');
-          go n'
-        end
+        match cpu.blocks with
+        | Some bt ->
+          (* Block tier engaged: [tier_run] accounts its own retirement
+             (block-batched and per-single), so no batch charge here. *)
+          let n' =
+            tier_run cpu s
+              (Array.unsafe_get cpu.pc_hook_mask i)
+              bt
+              (Array.unsafe_get bt.bt_entry i)
+              n
+          in
+          if n' = n then begin
+            ignore (step cpu : Event.effect_);
+            go (n' - 1)
+          end
+          else go n'
+        | None ->
+          let n' = fast_run cpu s (Array.unsafe_get cpu.pc_hook_mask i) n in
+          if n' = n then begin
+            ignore (step cpu : Event.effect_);
+            go (n' - 1)
+          end
+          else begin
+            (* batch-account the whole fast burst at its exit *)
+            cpu.fast_retired <- cpu.fast_retired + (n - n');
+            go n'
+          end
       end
       else dispatch n pc (i + 1)
   in

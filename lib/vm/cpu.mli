@@ -20,6 +20,13 @@ type hook = Event.effect_ -> unit
 
 type hooks
 
+type block_table
+(** Dispatch tables for the block-superinstruction tier (tier 3): per
+    basic block, a fused closure executing the whole body with one bounds
+    check and one hook-mask/fuel test at entry. Built by
+    {!Block_compile.install}; managed through {!install_blocks},
+    {!clear_blocks}, and {!invalidate_block}. *)
+
 type t = {
   regs : int array;
   mutable pc : int;
@@ -38,11 +45,18 @@ type t = {
           unlike [icount], rollback does not rewind it. *)
   mutable slow_retired : int;
       (** instructions retired on the instrumented path. Monotonic. *)
+  mutable block_retired : int;
+      (** instructions retired inside compiled basic-block
+          superinstructions (tier 3). Batched per block. Monotonic;
+          [block_retired + fast_retired + slow_retired] equals the
+          instructions ever executed, in every configuration. *)
   mutable fault_count : int;  (** machine faults surfaced by {!run} *)
   hooks : hooks;
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: non-zero bytes mark pcs with per-pc
           hooks, steering {!run}'s dispatch to the instrumented path *)
+  mutable blocks : block_table option;
+      (** compiled basic-block superinstructions, when installed *)
   scratch : Event.effect_;
       (** the one effect record the instrumented path reuses for every
           instruction — hooks may read it only during their callback *)
@@ -120,8 +134,32 @@ val step : t -> Event.effect_
 val run : ?fuel:int -> t -> outcome
 (** Run until halt, fault, block, or [fuel] instructions. Fault state is
     preserved so the core-dump analyzer can inspect it. Unhooked
-    instructions execute on the uninstrumented fast path; observable
-    semantics are identical to repeated {!step}. *)
+    instructions execute on the uninstrumented fast path — or, when a
+    block table is installed, on compiled block superinstructions —
+    observable semantics are identical to repeated {!step}. [fuel] is
+    exact in every tier: a block is entered only when the remaining fuel
+    covers its whole body (block-entry fuel clamping), so [Out_of_fuel]
+    lands on the same icount as per-instruction execution. *)
+
+(** {2 Block-superinstruction tier (tier 3)} *)
+
+val install_blocks : t -> (int * int * (t -> int)) array -> unit
+(** Install compiled basic blocks as [(entry_pc, length, closure)]
+    triples — normally via {!Block_compile.install}, which derives the
+    bounds from a CFG and compiles the closures. Blocks containing
+    currently hooked pcs start demoted to the per-instruction tiers;
+    subsequent hook attach/detach keeps the demotion in sync, effective
+    no later than the next block entry. *)
+
+val clear_blocks : t -> unit
+(** Remove the block table; execution falls back to the fast/slow tiers. *)
+
+val invalidate_block : t -> pc:int -> unit
+(** Permanently demote the block containing [pc] to per-instruction
+    execution (takes effect no later than the next block entry). *)
+
+val block_count : t -> int
+(** Compiled blocks installed (0 when the tier is off). *)
 
 (** Register-file snapshots (memory snapshots live in {!Memory}; the OS
     layer combines both into checkpoints). *)

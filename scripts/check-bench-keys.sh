@@ -1,0 +1,70 @@
+#!/bin/sh
+# BENCH_vm.json schema check: the committed benchmark record must carry
+# every key the docs and the roadmap quote, including the tier-3 keys
+# (ns_per_instr_block_compiled and the tier_counters audit objects whose
+# block/fast/slow counts must sum to executed). Catches a bench writer
+# that silently drops a key (the merge-don't-clobber writer makes that
+# easy to miss) and a hand-edited file that loses a section. Run from
+# the repository root (or a sandbox copy of it).
+set -e
+file=BENCH_vm.json
+if [ ! -f "$file" ]; then
+  echo "check-bench-keys: $file missing (run: dune exec bench/main.exe -- micro --json)"
+  exit 1
+fi
+status=0
+require() {
+  if ! grep -q "\"$1\"" "$file"; then
+    echo "check-bench-keys: $file lacks key \"$1\""
+    status=1
+  fi
+}
+# Interpreter tiers.
+require ns_per_instr_uninstrumented
+require ns_per_instr_block_compiled
+require block_compiled_speedup_x
+require ns_per_instr_one_pc_hook
+require ns_per_instr_global_taint_hook
+require one_pc_hook_overhead_pct
+require global_hook_slowdown_x
+# Observability.
+require ns_per_instr_obs_enabled
+require obs_enabled_overhead_pct
+require ns_per_instr_flight_recorder
+require flight_recorder_slowdown_x
+# Tier-counter audit: the named configs plus the per-app pruned replays.
+require tier_counters
+for config in hooked obs_on flight_recorder \
+              taint_pruned_apache1 taint_pruned_apache2 \
+              taint_pruned_cvs taint_pruned_squid; do
+  require "$config"
+done
+require block
+require fast
+require slow
+require executed
+# Analysis replays.
+require ns_per_instr_taint_analysis
+require ns_per_instr_taint_oracle
+require taint_speedup_x
+require ns_per_instr_slice_analysis
+# Checkpointing.
+require pages_copied_per_checkpoint
+require checkpoints
+# Static prefilter per-app rows.
+require static_prefilter
+for app in apache1 apache2 cvs squid; do
+  require "$app"
+done
+require static_hook_reduction_pct
+require exec_uninstrumented_pct
+require ns_per_instr_taint_global
+require ns_per_instr_taint_pruned
+require taint_pruned_delta_ns_per_instr
+# Table 3 stage timings.
+require table3_stage_ms
+require time_to_first_vsef
+if [ $status -eq 0 ]; then
+  echo "check-bench-keys: $file carries the expected key schema"
+fi
+exit $status

@@ -151,6 +151,7 @@ type attack_obs = {
   ao_icount : int;
   ao_fast : int;
   ao_slow : int;
+  ao_block : int;
   ao_table2 : string;
   ao_summary : string;
 }
@@ -189,6 +190,7 @@ let run_attack_case ~trace ~recorder () =
       ao_icount = cpu.Vm.Cpu.icount;
       ao_fast = cpu.Vm.Cpu.fast_retired;
       ao_slow = cpu.Vm.Cpu.slow_retired;
+      ao_block = cpu.Vm.Cpu.block_retired;
       ao_table2 = Sweeper.Report.table2_to_string proc r;
       ao_summary = Sweeper.Report.summary r;
     }
@@ -199,9 +201,9 @@ let run_attack_case ~trace ~recorder () =
 (* Enabling the tracer + metrics, or arming the flight recorder, must not
    change anything the pipeline computes: same outputs, same instruction
    counts, byte-identical Table 2. The recorder steers execution through
-   the instrumented path, so its fast/slow split differs — but the split
-   itself must be conserved: fast + slow = instructions retired either
-   way. *)
+   the instrumented path, so its tier split differs — but the split
+   itself must be conserved: block + fast + slow = instructions retired
+   either way. *)
 let test_differential () =
   let off = run_attack_case ~trace:false ~recorder:false () in
   let on = run_attack_case ~trace:true ~recorder:false () in
@@ -213,13 +215,15 @@ let test_differential () =
   check_string "table2: off = on" off.ao_table2 on.ao_table2;
   check_string "table2: off = recorder" off.ao_table2 rec_on.ao_table2;
   check_string "summary: off = on" off.ao_summary on.ao_summary;
-  (* Tracing alone must not move instructions off the fast path. *)
+  (* Tracing alone must not move instructions between tiers. *)
   check_int "fast path untouched by tracing" off.ao_fast on.ao_fast;
   check_int "slow path untouched by tracing" off.ao_slow on.ao_slow;
-  (* The recorder forces the instrumented path; retirement is conserved. *)
+  check_int "block tier untouched by tracing" off.ao_block on.ao_block;
+  (* The recorder forces the instrumented path; retirement is conserved
+     across all three tiers. *)
   check_int "retired conserved under recorder"
-    (off.ao_fast + off.ao_slow)
-    (rec_on.ao_fast + rec_on.ao_slow);
+    (off.ao_block + off.ao_fast + off.ao_slow)
+    (rec_on.ao_block + rec_on.ao_fast + rec_on.ao_slow);
   check_bool "recorder ran on the slow path" true
     (rec_on.ao_slow > off.ao_slow)
 

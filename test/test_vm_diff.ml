@@ -1,9 +1,11 @@
 (* Differential tests for the tiered interpreter: the uninstrumented fast
-   path must be observably indistinguishable from the instrumented
-   effect-record path. Each case builds two identical machines, forces one
-   onto the slow path with a no-op global pre-hook, runs both, and
-   compares every piece of architectural state — outcome, registers, pc,
-   flags, halt, icount, and memory (including page-boundary windows). *)
+   path, the instrumented effect-record path, and the compiled
+   block-superinstruction tier must be observably indistinguishable. Each
+   case builds identical machines, forces one onto the slow path with a
+   no-op global pre-hook and compiles another's basic blocks, runs all of
+   them, and compares every piece of architectural state — outcome,
+   registers, pc, flags, halt, icount, and memory (including
+   page-boundary windows). *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -74,15 +76,39 @@ let observe (cpu : Vm.Cpu.t) (l : Vm.Layout.t) outcome =
     Vm.Memory.load_bytes cpu.Vm.Cpu.mem (boundary - 32) 64,
     Vm.Memory.load_bytes cpu.Vm.Cpu.mem (l.Vm.Layout.stack_top - 64) 64 )
 
-(* Run the same program on the fast path and on the forced slow path,
-   returning both observations. *)
-let run_both ?(fuel = 300) instrs =
+(* A machine with its basic blocks compiled into superinstructions — the
+   tier-3 configuration Process.load sets up for real app images. *)
+let make_block_cpu instrs =
+  let cpu, l = make_cpu instrs in
+  Vm.Block_compile.install cpu
+    (Static_an.Cfg.block_bounds (Static_an.Cfg.build cpu.Vm.Cpu.code));
+  (cpu, l)
+
+(* The tier counters must partition the executed stream exactly; none of
+   these programs roll back, so icount is an independent total. *)
+let tiers_conserved (cpu : Vm.Cpu.t) =
+  cpu.Vm.Cpu.block_retired + cpu.Vm.Cpu.fast_retired + cpu.Vm.Cpu.slow_retired
+  = cpu.Vm.Cpu.icount
+
+(* Run the same program on all three tiers, returning the observations
+   (fast, slow, block) plus whether the block machine's tier counters
+   partitioned its executed stream. *)
+let run_three ?(fuel = 300) instrs =
   let fast, l_fast = make_cpu instrs in
   let slow, l_slow = make_cpu instrs in
+  let block, l_block = make_block_cpu instrs in
   ignore (Vm.Cpu.add_pre_hook slow (fun _ -> ()));
   let of_ = Vm.Cpu.run ~fuel fast in
   let os = Vm.Cpu.run ~fuel slow in
-  (observe fast l_fast of_, observe slow l_slow os)
+  let ob = Vm.Cpu.run ~fuel block in
+  ( observe fast l_fast of_,
+    observe slow l_slow os,
+    observe block l_block ob,
+    tiers_conserved block )
+
+let run_both ?fuel instrs =
+  let f, s, _, _ = run_three ?fuel instrs in
+  (f, s)
 
 (* ------------------------------------------------------------------ *)
 (* qcheck: random programs agree between the two paths                 *)
@@ -138,14 +164,51 @@ let gen_program : Vm.Isa.instr list QCheck.Gen.t =
       in
       build 0 [])
 
+let program_arb =
+  QCheck.make ~print:(fun p -> string_of_int (List.length p) ^ " instrs")
+    gen_program
+
 let diff_qcheck =
-  QCheck.Test.make ~name:"fast path == instrumented path (random programs)"
-    ~count:120
-    (QCheck.make ~print:(fun p -> string_of_int (List.length p) ^ " instrs")
-       gen_program)
+  QCheck.Test.make
+    ~name:"block == fast == instrumented path (random programs)" ~count:120
+    program_arb
     (fun instrs ->
-      let fast, slow = run_both instrs in
-      fast = slow)
+      let fast, slow, block, conserved = run_three instrs in
+      fast = slow && block = fast && conserved)
+
+(* Scheduler-quantum discipline on the block tier: running in fuel quanta
+   must land each stop on the exact icount — a block is entered only when
+   the remaining quantum covers its whole body, so [run ~fuel] never
+   overshoots — and the quantized run must end in the same architectural
+   state as one uninterrupted run. This is the property that keeps
+   Osim.Sched's interleaved == sequential discipline intact with
+   superinstructions installed. *)
+let quanta_qcheck =
+  QCheck.Test.make
+    ~name:"fuel quanta are exact on the block tier (random programs)"
+    ~count:60
+    (QCheck.pair program_arb (QCheck.int_range 1 13))
+    (fun (instrs, quantum) ->
+      let cpu, l = make_block_cpu instrs in
+      let exact = ref true in
+      let steps = ref 0 in
+      let rec go () =
+        let before = cpu.Vm.Cpu.icount in
+        let o = Vm.Cpu.run ~fuel:quantum cpu in
+        incr steps;
+        match o with
+        | Vm.Cpu.Out_of_fuel when !steps < 1000 ->
+          (* an exhausted quantum consumed exactly [quantum] instrs *)
+          if cpu.Vm.Cpu.icount - before <> quantum then exact := false;
+          go ()
+        | o -> o
+      in
+      let o = go () in
+      let fast, l_fast = make_cpu instrs in
+      let of_ = Vm.Cpu.run ~fuel:(quantum * !steps) fast in
+      !exact
+      && tiers_conserved cpu
+      && observe cpu l o = observe fast l_fast of_)
 
 (* ------------------------------------------------------------------ *)
 (* Directed equivalences                                               *)
@@ -301,11 +364,120 @@ let test_post_hook_masks_fast_path () =
   Vm.Cpu.remove_hook cpu h;
   check_int "footprint clear" 0 (Vm.Cpu.pc_hook_count cpu)
 
+(* ------------------------------------------------------------------ *)
+(* Mid-block events on the superinstruction tier                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Attaching a hook to a pc inside a compiled block must demote that
+   block no later than the next block entry: every subsequent pass over
+   the hooked pc fires, none is skipped by a resident superinstruction.
+   Detaching re-promotes the block. *)
+let test_block_hook_demotion () =
+  let base = 0x08048000 in
+  let cpu, _ = make_block_cpu (counting_loop ()) in
+  check_bool "blocks compiled" true (Vm.Cpu.block_count cpu > 0);
+  (* Mov + 3 iterations; the loop body [Add;Cmp;Jcc] is one block, so
+     fuel 10 stops exactly at its entry. *)
+  Alcotest.check outcome_t "warmup runs out of fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:10 cpu);
+  check_int "pc at block entry" (base + 4) cpu.Vm.Cpu.pc;
+  let retired_before = cpu.Vm.Cpu.block_retired in
+  check_bool "warmup retired in blocks" true (retired_before > 0);
+  (* Hook the middle of the loop block, mid-run. *)
+  let fired = ref 0 in
+  let h = Vm.Cpu.add_pc_hook cpu ~pc:(base + 8) (fun _ -> incr fired) in
+  Alcotest.check outcome_t "more fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:30 cpu);
+  check_int "10 iterations hit the hooked Cmp 10 times" 10 !fired;
+  check_int "demoted block retired nothing while hooked" retired_before
+    cpu.Vm.Cpu.block_retired;
+  (* Detach: the block must be promoted again and go back to retiring. *)
+  Vm.Cpu.remove_hook cpu h;
+  Alcotest.check outcome_t "more fuel" Vm.Cpu.Out_of_fuel
+    (Vm.Cpu.run ~fuel:30 cpu);
+  check_int "no stale hook fires after detach" 10 !fired;
+  check_bool "re-promoted block retires again" true
+    (cpu.Vm.Cpu.block_retired > retired_before);
+  Alcotest.check outcome_t "finishes" Vm.Cpu.Halted (Vm.Cpu.run cpu);
+  check_int "loop reached its bound" 1000 (Vm.Cpu.get_reg cpu Vm.Isa.R0);
+  check_bool "tiers conserved" true (tiers_conserved cpu);
+  (* Same icount as an uninterrupted per-instruction run. *)
+  let ref_cpu, _ = make_cpu (counting_loop ()) in
+  Alcotest.check outcome_t "reference halts" Vm.Cpu.Halted (Vm.Cpu.run ref_cpu);
+  check_int "icount matches an uninterrupted run" ref_cpu.Vm.Cpu.icount
+    cpu.Vm.Cpu.icount
+
+(* Explicit invalidation permanently demotes one block, execution stays
+   correct, and the counters account the demotion. *)
+let test_block_invalidation () =
+  let base = 0x08048000 in
+  let cpu, _ = make_block_cpu (counting_loop ()) in
+  Alcotest.check outcome_t "warmup" Vm.Cpu.Out_of_fuel (Vm.Cpu.run ~fuel:10 cpu);
+  let retired_before = cpu.Vm.Cpu.block_retired in
+  Vm.Cpu.invalidate_block cpu ~pc:(base + 8);
+  Alcotest.check outcome_t "finishes" Vm.Cpu.Halted (Vm.Cpu.run cpu);
+  (* Only the one-instruction [Halt] block retires in tier 3 after the
+     loop block is demoted — the invalidated block never runs fused
+     again. *)
+  check_int "invalidated block never retires again" (retired_before + 1)
+    cpu.Vm.Cpu.block_retired;
+  check_int "loop reached its bound" 1000 (Vm.Cpu.get_reg cpu Vm.Isa.R0);
+  check_bool "tiers conserved" true (tiers_conserved cpu)
+
+(* A program whose second block faults in its middle: Store to the
+   never-mapped low 64 KiB sits two instructions into the block, so the
+   superinstruction executes real work and then must decline with state
+   byte-identical to per-instruction execution at the faulting pc. *)
+let mid_block_fault_program () =
+  let open Vm.Isa in
+  let base = 0x08048000 in
+  [
+    Mov (R0, Imm 0);
+    Cmp (R0, Imm 0);
+    Jcc (Eq, Addr (base + 12));
+    (* block: two real instructions, then the faulting store *)
+    Bin (Add, R0, Imm 5);
+    Store (R1, 0, R0);
+    Mov (R5, Imm 0x40);
+    Store (R5, 0, R5);
+    (* unreachable *)
+    Halt;
+  ]
+
+let test_mid_block_fault_and_restore () =
+  let instrs = mid_block_fault_program () in
+  let fast, l_fast, block, l_block =
+    let f, lf = make_cpu instrs in
+    let b, lb = make_block_cpu instrs in
+    (f, lf, b, lb)
+  in
+  (* Checkpoint the block machine before running (regs + memory — the
+     same pair Osim.Checkpoint captures). *)
+  let regs_ck = Vm.Cpu.snapshot_regs block in
+  let mem_ck = Vm.Memory.snapshot block.Vm.Cpu.mem in
+  let o_fast = Vm.Cpu.run fast in
+  let o_block = Vm.Cpu.run block in
+  Alcotest.check outcome_t "same fault"
+    (Vm.Cpu.Faulted (Vm.Event.Segv_write 0x40))
+    o_block;
+  Alcotest.check outcome_t "fast faults identically" o_fast o_block;
+  check_bool "state byte-identical at the faulting pc" true
+    (observe fast l_fast o_fast = observe block l_block o_block);
+  check_bool "tiers conserved across the fault" true (tiers_conserved block);
+  (* Restore the checkpoint and re-run: the replay must reproduce the
+     fault exactly, block table still installed. *)
+  Vm.Cpu.restore_regs block regs_ck;
+  Vm.Memory.restore block.Vm.Cpu.mem mem_ck;
+  let o_replay = Vm.Cpu.run block in
+  Alcotest.check outcome_t "replay reproduces the fault" o_block o_replay;
+  check_bool "replayed state identical" true
+    (observe fast l_fast o_fast = observe block l_block o_replay)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) in
   Alcotest.run "vm-diff"
     [
-      ("differential", [ qt diff_qcheck ]);
+      ("differential", [ qt diff_qcheck; qt quanta_qcheck ]);
       ( "directed",
         [
           Alcotest.test_case "page-crossing copy" `Quick test_page_crossing_copy;
@@ -318,5 +490,14 @@ let () =
             test_attach_detach_mid_run;
           Alcotest.test_case "pc post-hook masks fast path" `Quick
             test_post_hook_masks_fast_path;
+        ] );
+      ( "block-tier",
+        [
+          Alcotest.test_case "hook demotes block by next entry" `Quick
+            test_block_hook_demotion;
+          Alcotest.test_case "explicit invalidation" `Quick
+            test_block_invalidation;
+          Alcotest.test_case "mid-block fault + checkpoint restore" `Quick
+            test_mid_block_fault_and_restore;
         ] );
     ]
