@@ -477,7 +477,213 @@ let pipeline_run ?(obs = false) ~n ~benign () =
     p_spans = spans;
   }
 
-let write_pipeline_json rows =
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded community (Osim.Cluster): single-domain scaling, the *)
+(* domain-count sweep at a fixed shard partition, one outbreak at      *)
+(* 10^5-host scale, and the differential oracle.                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sh = Sweeper.Defense.Sharded
+
+type sharded_row = {
+  d_hosts : int;
+  d_probed : int;
+  d_domains : int;
+  d_shards : int;
+  d_create_s : float;
+  d_run_s : float;
+  d_windows : int;
+  d_exchanged : int;
+  d_instructions : int;
+  d_infected : int;
+  d_first_ab : float option;  (** virtual ms *)
+}
+
+(* Attack bytes as a pure function of (seed, host, round): every domain
+   count replays the identical outbreak. *)
+let sharded_attack ~seed ~round (h : Sweeper.Defense.host) =
+  let rng =
+    Random.State.make [| seed; 0xA77AC4; h.Sweeper.Defense.h_id; round |]
+  in
+  let guess = 0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0 in
+  (Apps.Exploits.apache1_against ~system_guess:guess ~reqbuf_addr:0x08100000 ())
+    .Apps.Exploits.x_messages
+
+(* Population-scale runs live or die by the GC: with 10^2..10^5 hosts of
+   ~230 KB live state each, the default 256 KB minor heap and 120%
+   space overhead spend a large, host-count-dependent fraction of the
+   run marking — which shows up as a phantom hosts/sec regression at
+   larger populations. Tune once for the whole bench process. *)
+let tune_gc_for_population () =
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 8 * 1024 * 1024 (* words: 64 MB *);
+      space_overhead = 400;
+    }
+
+(* The worm probes every [probe_every]-th host: at community scale the
+   un-probed hosts cost nothing after boot (no mail, never scheduled).
+   [trials] reruns the (deterministic) run and keeps the fastest wall
+   time — populations this size sit at the mercy of scheduler noise. *)
+let sharded_run ?shards ?(trials = 1) ~domains ~n ~producers ~probe_every
+    ~rounds () =
+  let entry = Apps.Registry.find "apache1" in
+  let seed = bseed 4321 in
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    let c =
+      Sh.create ~domains ?shards ~app:"apache1" ~compile:entry.r_compile ~n
+        ~producers ~seed ()
+    in
+    let create_s = Unix.gettimeofday () -. t0 in
+    Gc.major ();
+    let t1 = Unix.gettimeofday () in
+    for round = 1 to rounds do
+      Sh.post_traffic c ~traffic:(fun h ->
+          if h.Sweeper.Defense.h_id mod probe_every <> 0 then []
+          else sharded_attack ~seed ~round h);
+      ignore (Sh.run_round c)
+    done;
+    let run_s = Unix.gettimeofday () -. t1 in
+    (create_s, run_s, Sh.summary c)
+  in
+  let c0, r0, s = one () in
+  let create_s = ref c0 and run_s = ref r0 in
+  for _ = 2 to trials do
+    let c1, r1, _ = one () in
+    create_s := min !create_s c1;
+    run_s := min !run_s r1
+  done;
+  let create_s = !create_s and run_s = !run_s in
+  ( {
+      d_hosts = n;
+      d_probed = (n + probe_every - 1) / probe_every;
+      d_domains = s.Sh.sm_domains;
+      d_shards = s.Sh.sm_shards;
+      d_create_s = create_s;
+      d_run_s = run_s;
+      d_windows = s.Sh.sm_windows;
+      d_exchanged = s.Sh.sm_exchanged;
+      d_instructions = s.Sh.sm_instructions;
+      d_infected = s.Sh.sm_infected_hosts;
+      d_first_ab = s.Sh.sm_first_antibody_vtime_ms;
+    },
+    s )
+
+type sharded_data = {
+  sd_cores : int;
+  sd_seed : int;
+  sd_single : sharded_row list;  (** 1 domain, scaling host count *)
+  sd_domains : sharded_row list; (** fixed shards, scaling domain count *)
+  sd_scale : sharded_row;        (** the 10^5-host outbreak *)
+  sd_oracle_hosts : int;
+  sd_oracle_domains : int list;
+  sd_oracle_ok : bool;
+}
+
+let print_sharded_row r =
+  Printf.printf
+    "%7d hosts (%5d probed) %d dom/%d shard: create %7.2f s, run %7.3f s \
+     (%8.1f hosts/s), %3d windows, %4d envelopes, antibody %s\n"
+    r.d_hosts r.d_probed r.d_domains r.d_shards r.d_create_s r.d_run_s
+    (float_of_int r.d_hosts /. r.d_run_s)
+    r.d_windows r.d_exchanged
+    (match r.d_first_ab with
+    | Some ms -> Printf.sprintf "%.1f vms" ms
+    | None -> "never")
+
+let sharded_bench () =
+  section_header
+    "Domain-sharded community: barrier windows over Osim.Cluster";
+  tune_gc_for_population ();
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "(%d core(s) available to this machine)\n" cores;
+  (* Single-domain host-count scaling: the satellite regression check --
+     hosts/sec must not fall from 100 to 1000 hosts now that turn
+     selection is O(log n). *)
+  let single =
+    List.map
+      (fun n ->
+        let r, _ =
+          sharded_run ~trials:2 ~domains:1 ~n ~producers:1 ~probe_every:1
+            ~rounds:2 ()
+        in
+        print_sharded_row r;
+        r)
+      (if !smoke then [ 8; 16 ] else [ 100; 300; 1000 ])
+  in
+  (* Domain-count sweep over a FIXED 4-shard partition: the work split is
+     identical for every row; only the executing domain count changes. *)
+  let dn = sc 600 12 in
+  let domain_rows =
+    List.map
+      (fun domains ->
+        let r, _ =
+          sharded_run ~trials:2 ~shards:4 ~domains ~n:dn ~producers:2
+            ~probe_every:1 ~rounds:2 ()
+        in
+        print_sharded_row r;
+        r)
+      [ 1; 2; 4 ]
+  in
+  (* Outbreak at scale: the worm probes 1 in 50; everyone else is quiet
+     population. Un-probed hosts cost only their boot. *)
+  let scale_n = sc 100_000 2_000 in
+  let at_scale, _ =
+    sharded_run ~shards:4 ~domains:(min 4 cores) ~n:scale_n
+      ~producers:(max 2 (scale_n / 1000))
+      ~probe_every:50 ~rounds:1 ()
+  in
+  print_sharded_row at_scale;
+  (* The differential oracle, re-checked on the bench configuration. *)
+  let oracle_hosts = sc 24 6 in
+  let oracle_domains = [ 1; 2; 4 ] in
+  let summaries =
+    List.map
+      (fun domains ->
+        snd
+          (sharded_run ~shards:4 ~domains ~n:oracle_hosts ~producers:1
+             ~probe_every:1 ~rounds:2 ()))
+      oracle_domains
+  in
+  let ok =
+    match summaries with
+    | [] -> false
+    | first :: rest ->
+      let strip s = { s with Sh.sm_domains = 0 } in
+      List.for_all (fun s -> strip s = strip first) rest
+  in
+  Printf.printf "oracle: sharded(%s domains) identical on %d hosts -> %s\n"
+    (String.concat "/" (List.map string_of_int oracle_domains))
+    oracle_hosts
+    (if ok then "MATCH" else "MISMATCH");
+  if not ok then failwith "sharded oracle mismatch in bench";
+  {
+    sd_cores = cores;
+    sd_seed = bseed 4321;
+    sd_single = single;
+    sd_domains = domain_rows;
+    sd_scale = at_scale;
+    sd_oracle_hosts = oracle_hosts;
+    sd_oracle_domains = oracle_domains;
+    sd_oracle_ok = ok;
+  }
+
+let sharded_row_json r =
+  Printf.sprintf
+    "{ \"hosts\": %d, \"probed\": %d, \"domains\": %d, \"shards\": %d, \
+     \"create_s\": %.3f, \"run_s\": %.3f, \"hosts_per_s\": %.1f, \
+     \"windows\": %d, \"exchanged\": %d, \"instructions\": %d, \
+     \"infected\": %d, \"first_antibody_vtime_ms\": %s }"
+    r.d_hosts r.d_probed r.d_domains r.d_shards r.d_create_s r.d_run_s
+    (float_of_int r.d_hosts /. r.d_run_s)
+    r.d_windows r.d_exchanged r.d_instructions r.d_infected
+    (match r.d_first_ab with
+    | Some ms -> Printf.sprintf "%.2f" ms
+    | None -> "null")
+
+let write_pipeline_json rows (sd : sharded_data) =
   let oc = open_out "BENCH_pipeline.json" in
   Printf.fprintf oc "{\n  \"quantum_instrs\": %d,\n  \"scales\": [\n"
     Osim.Sched.default_quantum;
@@ -502,13 +708,43 @@ let write_pipeline_json rows =
         (float_of_int ro.p_spans /. ro.p_run_s)
         (if i < List.length rows - 1 then "," else ""))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  let row_list rs =
+    String.concat ",\n      " (List.map sharded_row_json rs)
+  in
+  let speedup r =
+    match sd.sd_domains with
+    | base :: _ -> base.d_run_s /. r.d_run_s
+    | [] -> 1.
+  in
+  Printf.fprintf oc
+    "  \"sharded\": {\n\
+    \    \"cores\": %d,\n\
+    \    \"seed\": %d,\n\
+    \    \"single_domain\": [\n      %s\n    ],\n\
+    \    \"domain_scaling\": [\n      %s\n    ],\n\
+    \    \"speedup_vs_1_domain\": [ %s ],\n\
+    \    \"at_scale\": %s,\n\
+    \    \"oracle\": { \"hosts\": %d, \"domains_checked\": [ %s ], \
+     \"matches\": %b }\n\
+    \  }\n"
+    sd.sd_cores sd.sd_seed
+    (row_list sd.sd_single)
+    (row_list sd.sd_domains)
+    (String.concat ", "
+       (List.map (fun r -> Printf.sprintf "%.2f" (speedup r)) sd.sd_domains))
+    (sharded_row_json sd.sd_scale)
+    sd.sd_oracle_hosts
+    (String.concat ", " (List.map string_of_int sd.sd_oracle_domains))
+    sd.sd_oracle_ok;
+  Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "(wrote BENCH_pipeline.json)\n"
 
 let pipeline () =
   section_header
     "Pipeline: cooperative scheduler scaling (interleaved community serving)";
+  tune_gc_for_population ();
   let benign = sc 6 2 in
   Printf.printf "%6s %9s %10s %10s %12s %14s %12s %10s\n" "hosts" "msgs"
     "create(s)" "run(s)" "hosts/sec" "instrs/sec" "virtual(ms)" "antibody";
@@ -534,10 +770,11 @@ let pipeline () =
         (r, ro))
       pipeline_scales
   in
-  if !json_output then write_pipeline_json rows;
   Printf.printf
     "(one producer per community; the attack stream is spliced mid-stream \
-     into host 0's inbox and analyzed while the other hosts keep serving)\n"
+     into host 0's inbox and analyzed while the other hosts keep serving)\n";
+  let sd = sharded_bench () in
+  if !json_output then write_pipeline_json rows sd
 
 (* ------------------------------------------------------------------ *)
 (* Section 4.2: sampling                                               *)
@@ -1304,6 +1541,7 @@ let all_sections =
     ("hitlist", hitlist_response);
     ("community", community);
     ("pipeline", pipeline);
+    ("sharded", fun () -> ignore (sharded_bench () : sharded_data));
     ("sampling", sampling);
     ("ablations", ablations);
     ("static", fun () -> ignore (micro_static () : static_row list));

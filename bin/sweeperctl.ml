@@ -412,72 +412,119 @@ let outbreak_cmd =
       value & opt int 2
       & info [ "producers" ] ~docv:"K" ~doc:"Hosts running full Sweeper.")
   in
-  let run n_hosts n_producers seed metrics =
-    let app = Apps.Registry.find "apache1" in
-    let compiled = app.r_compile () in
-    let rng = Random.State.make [| seed |] in
-    let shared = ref None in
-    let infected = ref 0 and blocked = ref 0 and crashes = ref 0 in
-    let hosts =
-      List.init n_hosts (fun id ->
-          let proc = Osim.Process.load ~aslr:true ~seed:(seed + id) compiled in
-          let server =
-            Osim.Server.create
-              ?metrics:(if metrics then Some obs_registry else None)
-              proc
-          in
-          ignore (Osim.Server.run server);
-          (id, id < n_producers, proc, server, ref false, ref false))
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "OCaml domains to run the community on. Results are identical \
+             for every value -- that is the sharding oracle.")
+  in
+  let shards =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Shard count (defaults to $(b,--domains)).")
+  in
+  let topology =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "topology" ] ~docv:"T"
+          ~doc:
+            "Host-to-shard placement: $(b,uniform), $(b,subnet:K) (whole \
+             /K subnets per shard), or $(b,overlay:D) (degree-D P2P \
+             overlay, scattered).")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.5
+      & info [ "window-ms" ] ~docv:"MS"
+          ~doc:"Barrier window length in simulated milliseconds.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Worm rounds.")
+  in
+  let parse_topology s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "uniform" ] -> Osim.Cluster.Uniform
+    | [ "subnet"; k ] -> Osim.Cluster.Subnet (int_of_string k)
+    | [ "overlay"; d ] -> Osim.Cluster.Overlay (int_of_string d)
+    | _ ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown topology %S (uniform | subnet:K | overlay:D)" s))
+  in
+  let print_sample (s : Obs.Metrics.sample) =
+    let labels =
+      match s.Obs.Metrics.s_labels with
+      | [] -> ""
+      | l ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+        ^ "}"
     in
-    for _round = 1 to 3 do
-      List.iter
-        (fun (id, producer, proc, server, infected_flag, has_ab) ->
-          if not !infected_flag then begin
-            (match (!shared, !has_ab) with
-            | Some ab, false ->
-              ignore (Sweeper.Antibody.deploy proc ab);
-              has_ab := true
-            | _ -> ());
-            let guess =
-              0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0
-            in
-            let exploit =
-              Apps.Exploits.apache1_against ~system_guess:guess
-                ~reqbuf_addr:0x08100000 ()
-            in
-            List.iter
-              (fun m ->
-                match
-                  Sweeper.Orchestrator.protected_handle ~app:"apache1" server m
-                with
-                | `Compromised ->
-                  infected_flag := true;
-                  incr infected;
-                  Printf.printf "host %d infected\n" id
-                | `Attack r ->
-                  incr crashes;
-                  if producer && !shared = None then begin
-                    shared := Some r.Sweeper.Orchestrator.a_antibody;
-                    Printf.printf
-                      "host %d (producer) generated the antibody in %.1f ms\n"
-                      id r.Sweeper.Orchestrator.a_total_ms
-                  end
-                | `Filtered _ | `Blocked_by_vsef _ -> incr blocked
-                | `Served _ | `Stopped -> ()
-                | exception Sweeper.Detection.Detected _ -> incr blocked)
-              exploit.Apps.Exploits.x_messages
-          end)
-        hosts
+    match s.Obs.Metrics.s_value with
+    | Obs.Metrics.Sample_counter n ->
+      Printf.printf "%s%s %d\n" s.Obs.Metrics.s_name labels n
+    | Obs.Metrics.Sample_gauge v ->
+      Printf.printf "%s%s %g\n" s.Obs.Metrics.s_name labels v
+    | Obs.Metrics.Sample_histogram (_, sum, count) ->
+      Printf.printf "%s%s count=%d sum=%g\n" s.Obs.Metrics.s_name labels count
+        sum
+  in
+  let run n_hosts n_producers seed metrics domains shards topology window_ms
+      rounds =
+    let app = Apps.Registry.find "apache1" in
+    let topology = parse_topology topology in
+    let module Sh = Sweeper.Defense.Sharded in
+    let c =
+      Sh.create ~domains ?shards ~window_ms ~topology ~app:"apache1"
+        ~compile:app.r_compile ~n:n_hosts ~producers:n_producers ~seed ()
+    in
+    (* Attack bytes are a pure function of (seed, host, round), so the
+       outbreak replays identically for any --domains. *)
+    let attack_for round (h : Sweeper.Defense.host) =
+      if h.Sweeper.Defense.h_infected then []
+      else
+        let rng =
+          Random.State.make [| seed; 0xA77AC4; h.Sweeper.Defense.h_id; round |]
+        in
+        let guess = 0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0 in
+        (Apps.Exploits.apache1_against ~system_guess:guess
+           ~reqbuf_addr:0x08100000 ())
+          .Apps.Exploits.x_messages
+    in
+    for round = 1 to rounds do
+      Sh.post_traffic c ~traffic:(attack_for round);
+      ignore (Sh.run_round c)
     done;
+    let s = Sh.summary c in
     Printf.printf
-      "outbreak over: %d/%d infected, %d crashes absorbed, %d attempts \
-       blocked by antibodies\n"
-      !infected n_hosts !crashes !blocked;
-    maybe_print_metrics metrics
+      "outbreak over (%d hosts, %d shard(s) on %d domain(s), %s placement): \
+       %d/%d infected\n"
+      s.Sh.sm_hosts s.Sh.sm_shards s.Sh.sm_domains s.Sh.sm_topology
+      s.Sh.sm_infected_hosts s.Sh.sm_hosts;
+    Printf.printf
+      "  %d attempts, %d crashes absorbed, %d blocked by antibodies, %d \
+       producer analyses\n"
+      s.Sh.sm_attempts s.Sh.sm_crashes s.Sh.sm_blocked s.Sh.sm_analyses;
+    Printf.printf "  first antibody at %s (virtual)\n"
+      (match s.Sh.sm_first_antibody_vtime_ms with
+      | Some ms -> Printf.sprintf "%.2f ms" ms
+      | None -> "never");
+    Printf.printf
+      "  %d barrier windows, %d cross-shard envelopes (%d deferred by \
+       mailbox bounds), %d instructions\n"
+      s.Sh.sm_windows s.Sh.sm_exchanged s.Sh.sm_deferred s.Sh.sm_instructions;
+    if metrics then List.iter print_sample (Sh.merged_metrics c)
   in
   Cmd.v
-    (Cmd.info "outbreak" ~doc:"Mechanical worm outbreak across real hosts")
-    Term.(const run $ hosts $ producers $ seed_arg $ metrics_arg)
+    (Cmd.info "outbreak"
+       ~doc:"Mechanical worm outbreak across real hosts, domain-sharded")
+    Term.(
+      const run $ hosts $ producers $ seed_arg $ metrics_arg $ domains $ shards
+      $ topology $ window $ rounds)
 
 let main =
   Cmd.group

@@ -52,40 +52,61 @@ type t = {
           Polygraph-style token signature *)
   verify_before_deploy : bool;
   stats : stats;
+  metrics : Obs.Metrics.t;
+      (** where community counters register; the sharded community gives
+          every shard its own registry so no instrument crosses domains *)
 }
+
+(* Stamp out the community's hosts from a pool of templates: the full
+   MiniC load pipeline runs once per distinct layout seed, every other
+   host is a copy-on-write instantiation. A pool of [template_pool]
+   distinct ASLR draws preserves the population diversity that the
+   paper's ρ analysis needs; for n <= pool the per-host layouts are
+   exactly the legacy per-host loads (template k carries seed + k). *)
+let make_hosts ~template_pool ~n ~producers ~seed compiled =
+  let pool = max 1 (min n template_pool) in
+  let templates =
+    Array.init pool (fun k ->
+        Osim.Process.template ~aslr:true ~seed:(seed + k) compiled)
+  in
+  List.init n (fun id ->
+      let proc = Osim.Process.instantiate templates.(id mod pool) in
+      let server = Osim.Server.create proc in
+      ignore (Osim.Server.run server);
+      {
+        h_id = id;
+        h_role = (if id < producers then Producer else Consumer);
+        h_proc = proc;
+        h_server = server;
+        h_infected = false;
+        h_deployed = 0;
+        h_installed = [];
+      })
+
+let fresh_stats () =
+  { s_attempts = 0; s_infections = 0; s_crashes = 0; s_blocked = 0;
+    s_analyses = 0; s_first_antibody_ms = None }
 
 (** Build a community of [n] hosts running the application compiled by
     [compile]; the first [producers] of them run the full Sweeper stack.
-    Every host gets an independent randomized layout derived from [seed]. *)
-let create ?(verify_before_deploy = false) ~app ~(compile : unit -> Minic.Codegen.compiled)
+    Hosts share [template_pool] (default 64) randomized layouts derived
+    from [seed] — one template per distinct seed, instantiated by COW
+    copy, which is what keeps community creation O(n) page-table copies
+    instead of O(n) compiler runs. *)
+let create ?(verify_before_deploy = false) ?(metrics = Obs.Metrics.default)
+    ?(template_pool = 64) ~app ~(compile : unit -> Minic.Codegen.compiled)
     ~n ~producers ~seed () =
   let compiled = compile () in
-  let hosts =
-    List.init n (fun id ->
-        let proc = Osim.Process.load ~aslr:true ~seed:(seed + id) compiled in
-        let server = Osim.Server.create proc in
-        ignore (Osim.Server.run server);
-        {
-          h_id = id;
-          h_role = (if id < producers then Producer else Consumer);
-          h_proc = proc;
-          h_server = server;
-          h_infected = false;
-          h_deployed = 0;
-          h_installed = [];
-        })
-  in
   {
     app;
     compile;
-    hosts;
+    hosts = make_hosts ~template_pool ~n ~producers ~seed compiled;
     antibody = None;
     generation = 0;
     corpus = [];
     verify_before_deploy;
-    stats =
-      { s_attempts = 0; s_infections = 0; s_crashes = 0; s_blocked = 0;
-        s_analyses = 0; s_first_antibody_ms = None };
+    stats = fresh_stats ();
+    metrics;
   }
 
 (** Publish an antibody to the community. Consumers that distrust the
@@ -99,7 +120,8 @@ let publish t antibody =
     t.generation <- t.generation + 1;
     t.antibody <- Some (t.generation, antibody);
     Obs.Metrics.inc
-      (Obs.Metrics.counter ~help:"antibody generations published"
+      (Obs.Metrics.counter ~registry:t.metrics
+         ~help:"antibody generations published"
          "sweeper_antibodies_published_total");
     Obs.Trace.instant ~cat:"community"
       ~args:[ ("generation", string_of_int t.generation) ]
@@ -123,14 +145,23 @@ let sync_antibody t host =
     VSEF-blocked variant). With two or more distinct samples the signature
     is refined from exact-match to a token signature that covers the whole
     family, and the antibody is republished. *)
+(* Token refinement converges after a handful of diverse variants: only
+   bytes invariant across ALL samples survive, and each extra sample can
+   only shrink the token set it has already stabilized. Refining (and
+   republishing, which redeploys VSEFs community-wide) on every one of
+   thousands of distinct worm variants would be O(n^2); saturate instead. *)
+let refine_corpus_cap = 8
+
 let record_exploit_sample t payload =
-  if not (List.mem payload t.corpus) then begin
+  if
+    List.compare_length_with t.corpus refine_corpus_cap < 0
+    && not (List.mem payload t.corpus)
+  then begin
     t.corpus <- payload :: t.corpus;
     match (t.antibody, t.corpus) with
     | Some (_, ab), (_ :: _ :: _ as corpus) ->
       let refined = Signature.tokens_of_variants (List.rev corpus) in
-      ignore
-        (publish t { ab with Antibody.ab_signature = Some refined })
+      ignore (publish t { ab with Antibody.ab_signature = Some refined })
     | _ -> ()
   end
 
@@ -300,3 +331,345 @@ let all_alive t =
       | `Served _ | `Stopped -> true
       | `Filtered _ | `Crashed _ | `Infected _ -> false)
     t.hosts
+
+(** The domain-sharded community: hosts partitioned across shards, each
+    shard running its own single-threaded scheduler, PRNG stream, and
+    metrics registry on its own OCaml domain ({!Osim.Cluster}), with
+    antibody knowledge crossing shards only as envelope values at
+    virtual-clock barriers.
+
+    The broadcast protocol avoids rebroadcast loops by construction:
+    a shard broadcasts (a) the first antibody it {e produces} by local
+    analysis and (b) every exploit sample it confirms locally. A shard
+    {e adopting} a broadcast antibody, or refining its signature from
+    received samples, never re-emits — refinement is a pure function of
+    the shard's own deterministic corpus order, so every shard converges
+    to an equivalent token signature on its own.
+
+    Determinism: within a window shards share no mutable state; the
+    barrier merge key (vtime, source shard, sequence) is a pure function
+    of shard-local computation; so `domains = N` and `domains = 1` run
+    the identical barrier schedule — the differential oracle enforced by
+    test_sched. All oracle-visible times are virtual; wall-clock only
+    appears in diagnostic fields. Tracing must stay disabled during
+    multi-domain runs ({!Obs.Trace} keeps global state). *)
+module Sharded = struct
+  (** Cross-shard mail. *)
+  type msg =
+    | Antibody_pub of Antibody.t
+        (** a producer's locally-analyzed antibody, broadcast once *)
+    | Sample of string  (** a locally-confirmed exploit payload *)
+
+  type shard = {
+    sh_id : int;
+    sh_dfn : t;  (** per-shard defense state over this shard's hosts *)
+    sh_sched : Osim.Sched.t;
+    sh_outbox : Osim.Sched.outbox;
+    sh_task_host : (int, host) Hashtbl.t;  (** task id -> host *)
+    sh_task_of : (int, Osim.Sched.task) Hashtbl.t;  (** global host id -> task *)
+    sh_metrics : Obs.Metrics.t;
+    sh_rng : Random.State.t;
+        (** the shard's private stream, seeded from (seed, shard id) *)
+    sh_shards : int;
+    mutable sh_out_rev : msg Osim.Cluster.envelope list;
+    mutable sh_events_rev : (float * int * string) list;
+        (** (vtime, global host id, kind) — the oracle's event log *)
+    mutable sh_first_pub : float option;
+        (** vtime of this shard's first locally-analyzed publication *)
+  }
+
+  type community = {
+    c_shards : shard array;
+    c_config : Osim.Cluster.config;
+    c_topology : Osim.Cluster.topology;
+    c_n : int;
+    c_seed : int;
+    mutable c_windows : int;
+    mutable c_exchanged : int;
+    mutable c_deferred : int;
+    mutable c_rounds : int;
+    mutable c_merged : Obs.Metrics.sample list;
+        (** community-level metrics, merged at the last barrier *)
+  }
+
+  (** Everything the differential oracle compares, plus run statistics.
+      All times are virtual (simulated ms). *)
+  type summary = {
+    sm_hosts : int;
+    sm_domains : int;
+    sm_shards : int;
+    sm_topology : string;
+    sm_windows : int;
+    sm_exchanged : int;
+    sm_deferred : int;
+    sm_backpressures : int;
+    sm_instructions : int;
+    sm_attempts : int;
+    sm_infections : int;
+    sm_crashes : int;
+    sm_blocked : int;
+    sm_analyses : int;
+    sm_infected_hosts : int;
+    sm_first_antibody_vtime_ms : float option;
+    sm_events : (float * int * string) list;
+        (** (vtime, global host id, kind), sorted *)
+    sm_icounts : (int * int) list;  (** (global host id, icount), sorted *)
+    sm_outputs : (int * (int * string) list) list;
+        (** per-host committed outputs, by global host id *)
+  }
+
+  let record_event sh vt host_id kind =
+    sh.sh_events_rev <- (vt, host_id, kind) :: sh.sh_events_rev
+
+  let broadcast sh vt m =
+    for dst = 0 to sh.sh_shards - 1 do
+      if dst <> sh.sh_id then
+        sh.sh_out_rev <-
+          { Osim.Cluster.env_vtime = vt; env_src = sh.sh_id; env_seq = 0;
+            env_dst = dst; env_msg = m }
+          :: sh.sh_out_rev
+    done
+
+  (* Apply one inbound envelope at window start. Neither branch ever
+     re-emits — see the module doc's loop-freedom argument. *)
+  let apply_envelope sh (e : msg Osim.Cluster.envelope) =
+    match e.Osim.Cluster.env_msg with
+    | Antibody_pub ab ->
+      if sh.sh_dfn.antibody = None then begin
+        ignore (publish sh.sh_dfn ab);
+        record_event sh e.Osim.Cluster.env_vtime (-1) "antibody-adopted"
+      end
+    | Sample s -> record_exploit_sample sh.sh_dfn s
+
+  (* The shard-local reaction to one reified scheduler effect: the same
+     [react] logic as the single-scheduler driver, plus delta detection
+     for what must cross the barrier. *)
+  let react_effect sh (fx : Osim.Sched.effect_) =
+    let d = sh.sh_dfn in
+    let host = Hashtbl.find sh.sh_task_host fx.Osim.Sched.fx_task.Osim.Sched.sk_id in
+    let vt = fx.Osim.Sched.fx_vtime in
+    let had_ab = d.antibody <> None in
+    let corpus0 = List.length d.corpus in
+    (match fx.Osim.Sched.fx_event with
+    | Osim.Sched.Served _ | Osim.Sched.Stopped -> ()
+    | Osim.Sched.Filtered (name, _) ->
+      record_event sh vt host.h_id ("filtered:" ^ name);
+      ignore (react d host (`Filtered name))
+    | Osim.Sched.Infected cmd ->
+      record_event sh vt host.h_id "infected";
+      ignore (react d host (`Infected cmd))
+    | Osim.Sched.Crashed fault ->
+      record_event sh vt host.h_id "crashed";
+      ignore (react d host (`Crashed fault));
+      Osim.Sched.unpark sh.sh_sched fx.Osim.Sched.fx_task
+    | Osim.Sched.Raised (Detection.Detected _) ->
+      record_event sh vt host.h_id "vetoed";
+      ignore (react d host `Vetoed);
+      Osim.Sched.unpark sh.sh_sched fx.Osim.Sched.fx_task
+    | Osim.Sched.Raised e -> raise e);
+    if (not had_ab) && d.antibody <> None then begin
+      if sh.sh_first_pub = None then sh.sh_first_pub <- Some vt;
+      record_event sh vt host.h_id "antibody-published";
+      broadcast sh vt (Antibody_pub (snd (Option.get d.antibody)))
+    end;
+    let corpus1 = List.length d.corpus in
+    (* Broadcast only samples that can still refine a signature somewhere:
+       past the saturation cap they are dead weight on every shard. *)
+    if corpus1 > corpus0 && corpus0 < refine_corpus_cap then begin
+      (* The corpus grows by prepending; the delta is its prefix. *)
+      let fresh = List.filteri (fun i _ -> i < corpus1 - corpus0) d.corpus in
+      List.iter (fun s -> broadcast sh vt (Sample s)) (List.rev fresh)
+    end
+
+  (* One shard's window: apply inbound mail, then alternate the pure
+     scheduler core with effect processing until the barrier holds. *)
+  let window_fn sh ~inbox ~until =
+    List.iter (apply_envelope sh) inbox;
+    let rec drive () =
+      let stop = Osim.Sched.step_until ~outbox:sh.sh_outbox sh.sh_sched ~until in
+      List.iter (react_effect sh) (Osim.Sched.outbox_drain sh.sh_outbox);
+      match stop with
+      | Osim.Sched.Backpressure -> drive ()
+      | Osim.Sched.Barrier | Osim.Sched.Quiescent ->
+        (* Reactions may have unparked tasks still behind the barrier. *)
+        if Osim.Sched.has_runnable_before sh.sh_sched ~until then drive ()
+    in
+    drive ();
+    let out = List.rev sh.sh_out_rev in
+    sh.sh_out_rev <- [];
+    { Osim.Cluster.wr_out = out;
+      wr_done = Osim.Sched.quiescent sh.sh_sched }
+
+  (** Build a sharded community: hosts are created on the calling domain
+      (template-pool instantiation), placed by [topology], and handed to
+      per-shard defense states. [domains] only selects how many OCaml
+      domains execute the fixed [shards] partition — it must never change
+      results, which is exactly what the differential oracle checks. *)
+  let create ?(verify_before_deploy = false) ?quantum ?(domains = 1)
+      ?shards ?(window_ms = 0.5) ?(mailbox_limit = 4096)
+      ?(outbox_limit = 256) ?(template_pool = 64)
+      ?(topology = Osim.Cluster.Uniform) ~app
+      ~(compile : unit -> Minic.Codegen.compiled) ~n ~producers ~seed () =
+    let shards = match shards with Some s -> max 1 s | None -> max 1 domains in
+    let compiled = compile () in
+    let all_hosts = make_hosts ~template_pool ~n ~producers ~seed compiled in
+    let shard_hosts = Array.make shards [] in
+    List.iter
+      (fun h ->
+        let s = Osim.Cluster.place topology ~shards ~host:h.h_id in
+        shard_hosts.(s) <- h :: shard_hosts.(s))
+      all_hosts;
+    let mk_shard sh_id =
+      let hosts = List.rev shard_hosts.(sh_id) in
+      let metrics = Obs.Metrics.create () in
+      let dfn =
+        {
+          app;
+          compile;
+          hosts;
+          antibody = None;
+          generation = 0;
+          corpus = [];
+          verify_before_deploy;
+          stats = fresh_stats ();
+          metrics;
+        }
+      in
+      let sched = Osim.Sched.create ?quantum () in
+      Osim.Sched.register_metrics sched metrics;
+      register_metrics dfn metrics;
+      let sh =
+        {
+          sh_id;
+          sh_dfn = dfn;
+          sh_sched = sched;
+          sh_outbox = Osim.Sched.make_outbox ~limit:outbox_limit ();
+          sh_task_host = Hashtbl.create 64;
+          sh_task_of = Hashtbl.create 64;
+          sh_metrics = metrics;
+          sh_rng = Random.State.make [| seed; 0x5A4D; sh_id |];
+          sh_shards = shards;
+          sh_out_rev = [];
+          sh_events_rev = [];
+          sh_first_pub = None;
+        }
+      in
+      List.iter
+        (fun host ->
+          let task =
+            Osim.Sched.add sched host.h_server
+              ~on_deliver:(fun _payload ->
+                dfn.stats.s_attempts <- dfn.stats.s_attempts + 1;
+                sync_antibody dfn host)
+          in
+          Hashtbl.replace sh.sh_task_host task.Osim.Sched.sk_id host;
+          Hashtbl.replace sh.sh_task_of host.h_id task)
+        hosts;
+      sh
+    in
+    {
+      c_shards = Array.init shards mk_shard;
+      c_config =
+        { Osim.Cluster.domains = max 1 domains; shards;
+          window_ms = (if window_ms <= 0. then 0.5 else window_ms);
+          mailbox_limit = max 1 mailbox_limit;
+          max_windows = Osim.Cluster.default_config.Osim.Cluster.max_windows };
+      c_topology = topology;
+      c_n = n;
+      c_seed = seed;
+      c_windows = 0;
+      c_exchanged = 0;
+      c_deferred = 0;
+      c_rounds = 0;
+      c_merged = [];
+    }
+
+  let hosts c =
+    Array.to_list c.c_shards
+    |> List.concat_map (fun sh -> sh.sh_dfn.hosts)
+    |> List.sort (fun a b -> compare a.h_id b.h_id)
+
+  let infected_count c =
+    Array.fold_left
+      (fun acc sh -> acc + infected_count sh.sh_dfn)
+      0 c.c_shards
+
+  (** Queue one round of traffic ([traffic host], oldest first) on every
+      uninfected host's inbox. Runs on the calling domain, between
+      cluster rounds. *)
+  let post_traffic c ~(traffic : host -> string list) =
+    Array.iter
+      (fun sh ->
+        List.iter
+          (fun host ->
+            if not host.h_infected then
+              let task = Hashtbl.find sh.sh_task_of host.h_id in
+              List.iter (Osim.Sched.post sh.sh_sched task) (traffic host))
+          sh.sh_dfn.hosts)
+      c.c_shards
+
+  (* Merge every shard's registry into the community-level sample list —
+     runs on the calling domain while the workers are parked at the
+     barrier, so reading gauge closures is race-free. *)
+  let merge_metrics c =
+    c.c_merged <-
+      Obs.Metrics.merge_samples
+        (Array.to_list
+           (Array.map (fun sh -> Obs.Metrics.snapshot sh.sh_metrics) c.c_shards))
+
+  (** Run the cluster until every shard is quiescent and no mail is in
+      flight: one worm round, typically preceded by {!post_traffic}. *)
+  let run_round c =
+    let stats =
+      Osim.Cluster.run c.c_config c.c_shards
+        ~window:(fun _i sh ~inbox ~until -> window_fn sh ~inbox ~until)
+        ~at_barrier:(fun ~window:_ -> merge_metrics c)
+    in
+    c.c_windows <- c.c_windows + stats.Osim.Cluster.st_windows;
+    c.c_exchanged <- c.c_exchanged + stats.Osim.Cluster.st_exchanged;
+    c.c_deferred <- c.c_deferred + stats.Osim.Cluster.st_deferred;
+    c.c_rounds <- c.c_rounds + 1;
+    stats
+
+  let merged_metrics c = c.c_merged
+
+  let summary c =
+    let shs = Array.to_list c.c_shards in
+    let sum f = List.fold_left (fun acc sh -> acc + f sh) 0 shs in
+    let events =
+      List.concat_map (fun sh -> List.rev sh.sh_events_rev) shs
+      |> List.sort compare
+    in
+    let per_host f =
+      hosts c |> List.map (fun h -> (h.h_id, f h))
+    in
+    {
+      sm_hosts = c.c_n;
+      sm_domains = c.c_config.Osim.Cluster.domains;
+      sm_shards = c.c_config.Osim.Cluster.shards;
+      sm_topology = Osim.Cluster.topology_name c.c_topology;
+      sm_windows = c.c_windows;
+      sm_exchanged = c.c_exchanged;
+      sm_deferred = c.c_deferred;
+      sm_backpressures = sum (fun sh -> Osim.Sched.backpressures sh.sh_sched);
+      sm_instructions = sum (fun sh -> Osim.Sched.instructions sh.sh_sched);
+      sm_attempts = sum (fun sh -> sh.sh_dfn.stats.s_attempts);
+      sm_infections = sum (fun sh -> sh.sh_dfn.stats.s_infections);
+      sm_crashes = sum (fun sh -> sh.sh_dfn.stats.s_crashes);
+      sm_blocked = sum (fun sh -> sh.sh_dfn.stats.s_blocked);
+      sm_analyses = sum (fun sh -> sh.sh_dfn.stats.s_analyses);
+      sm_infected_hosts = infected_count c;
+      sm_first_antibody_vtime_ms =
+        List.filter_map (fun sh -> sh.sh_first_pub) shs
+        |> List.fold_left
+             (fun acc vt ->
+               match acc with
+               | None -> Some vt
+               | Some best -> Some (min best vt))
+             None;
+      sm_events = events;
+      sm_icounts =
+        per_host (fun h -> h.h_proc.Osim.Process.cpu.Vm.Cpu.icount);
+      sm_outputs = per_host (fun h -> Osim.Process.committed_outputs h.h_proc);
+    }
+end

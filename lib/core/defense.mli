@@ -45,10 +45,14 @@ type t = {
       (** confirmed exploit payloads observed community-wide *)
   verify_before_deploy : bool;
   stats : stats;
+  metrics : Obs.Metrics.t;
+      (** the registry counters publish into — per-shard in sharded runs *)
 }
 
 val create :
   ?verify_before_deploy:bool ->
+  ?metrics:Obs.Metrics.t ->
+  ?template_pool:int ->
   app:string ->
   compile:(unit -> Minic.Codegen.compiled) ->
   n:int ->
@@ -57,7 +61,11 @@ val create :
   unit ->
   t
 (** A community of [n] hosts; the first [producers] run the full stack.
-    Every host gets an independent randomized layout derived from [seed]. *)
+    Every host gets an independent randomized layout derived from [seed].
+    Hosts are instantiated from a pool of [template_pool] pre-loaded
+    {!Osim.Process.template}s (one full load pipeline per distinct layout
+    seed, then copy-on-write clones), which keeps per-host creation cost
+    flat at large [n] while matching the per-seed load exactly. *)
 
 val publish : t -> Antibody.t -> bool
 (** Publish an antibody; with [verify_before_deploy] it is sandbox-verified
@@ -67,7 +75,10 @@ val record_exploit_sample : t -> string -> unit
 (** Record a confirmed exploit payload (the original crash input or a
     VSEF-blocked variant). With two or more distinct samples the signature
     is refined from exact-match to a token signature covering the family,
-    and the antibody is republished. *)
+    and the antibody is republished. Refinement saturates after a small
+    corpus cap — token signatures converge within a handful of diverse
+    variants, and refining on every variant of a large outbreak would
+    redeploy VSEFs community-wide O(n^2) times. *)
 
 type delivery =
   | Served
@@ -105,3 +116,88 @@ val infection_ratio : t -> float
 
 val all_alive : t -> bool
 (** Every uninfected host still answers a trivial request. *)
+
+(** The domain-sharded community: hosts partitioned across shards, each
+    shard a single-threaded {!Osim.Sched} with its own PRNG stream and
+    {!Obs.Metrics} registry, executed in lockstep windows by
+    {!Osim.Cluster}. Antibody knowledge crosses shards only as envelope
+    values at virtual-clock barriers, so [domains = N] and [domains = 1]
+    are bit-identical on everything in {!Sharded.summary} — the
+    differential oracle asserted by the scheduler test suite. *)
+module Sharded : sig
+  (** Cross-shard mail: first local antibody publications and confirmed
+      exploit samples. Adoption and refinement never re-broadcast, so the
+      protocol is loop-free by construction. *)
+  type msg =
+    | Antibody_pub of Antibody.t
+    | Sample of string
+
+  type community
+
+  val create :
+    ?verify_before_deploy:bool ->
+    ?quantum:int ->
+    ?domains:int ->
+    ?shards:int ->
+    ?window_ms:float ->
+    ?mailbox_limit:int ->
+    ?outbox_limit:int ->
+    ?template_pool:int ->
+    ?topology:Osim.Cluster.topology ->
+    app:string ->
+    compile:(unit -> Minic.Codegen.compiled) ->
+    n:int ->
+    producers:int ->
+    seed:int ->
+    unit ->
+    community
+  (** Build [n] hosts on the calling domain (the first [producers] by
+      global id run the full stack), place them by [topology], and wire
+      per-shard schedulers. [shards] defaults to [domains]; fixing
+      [shards] while varying [domains] must not change any result. *)
+
+  val hosts : community -> host list
+  (** All hosts, sorted by global id. *)
+
+  val infected_count : community -> int
+
+  val post_traffic : community -> traffic:(host -> string list) -> unit
+  (** Queue one round of traffic on every uninfected host's inbox.
+      Call between rounds, on the calling domain. *)
+
+  val run_round : community -> Osim.Cluster.stats
+  (** Run the cluster barrier loop until every shard is quiescent and no
+      mail is in flight. *)
+
+  val merged_metrics : community -> Obs.Metrics.sample list
+  (** The community-level metric samples merged from every shard's
+      registry at the most recent barrier. *)
+
+  (** Everything the differential oracle compares, plus run statistics.
+      All times are virtual (simulated ms); wall-clock never appears. *)
+  type summary = {
+    sm_hosts : int;
+    sm_domains : int;
+    sm_shards : int;
+    sm_topology : string;
+    sm_windows : int;
+    sm_exchanged : int;
+    sm_deferred : int;
+    sm_backpressures : int;
+    sm_instructions : int;
+    sm_attempts : int;
+    sm_infections : int;
+    sm_crashes : int;
+    sm_blocked : int;
+    sm_analyses : int;
+    sm_infected_hosts : int;
+    sm_first_antibody_vtime_ms : float option;
+    sm_events : (float * int * string) list;
+        (** (vtime, global host id, kind), sorted *)
+    sm_icounts : (int * int) list;  (** (global host id, icount), sorted *)
+    sm_outputs : (int * (int * string) list) list;
+        (** per-host committed outputs, by global host id *)
+  }
+
+  val summary : community -> summary
+end

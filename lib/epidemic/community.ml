@@ -78,3 +78,46 @@ let cross_validate ?(seed = 11) ?(beta = 1000.) ?(rho = Si.rho_aslr) () =
       in
       (alpha, gamma, ode, sim))
     [ (0.01, 5.); (0.001, 10.); (0.0001, 100.) ]
+
+(** {1 Contact graphs}
+
+    Pure structural helpers for the topology-aware host-to-shard placement
+    of the mechanical community ({!Sweeper.Defense.Sharded}): which hosts a
+    given host talks to under each spread model. Kept dependency-free so
+    the epidemic layer stays a pure model. *)
+
+(** [subnet_of ~subnet_size host] — the subnet index a host belongs to
+    under the /k-style partition used by [Osim.Cluster.Subnet]. *)
+let subnet_of ~subnet_size host =
+  if subnet_size <= 0 then invalid_arg "Community.subnet_of: subnet_size";
+  host / subnet_size
+
+(** [subnet_members ~n ~subnet_size s] — the hosts of subnet [s] among
+    [n] hosts, ascending. A subnet-preferential worm scans these first. *)
+let subnet_members ~n ~subnet_size s =
+  if subnet_size <= 0 then invalid_arg "Community.subnet_members: subnet_size";
+  let lo = s * subnet_size in
+  let hi = min n (lo + subnet_size) in
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  if hi <= lo then [] else go (hi - 1) []
+
+(** [overlay_neighbors ~n ~degree host] — the peer-to-peer overlay used by
+    [Osim.Cluster.Overlay]: a ring (successor) plus multiplicative-stride
+    chords, deduplicated and sorted. Deterministic, degree ≈ [degree],
+    connected for any [n >= 2] via the ring edge. *)
+let overlay_neighbors ~n ~degree host =
+  if n <= 1 then []
+  else begin
+    let degree = max 1 degree in
+    let tbl = Hashtbl.create (degree * 2) in
+    let add p = if p <> host then Hashtbl.replace tbl p () in
+    add ((host + 1) mod n);
+    let stride = ref 1 in
+    for k = 1 to degree - 1 do
+      (* doubling strides give log-diameter chords, Chord-style *)
+      stride := !stride * 2;
+      add ((host + !stride + (k * 7)) mod n)
+    done;
+    Hashtbl.fold (fun p () acc -> p :: acc) tbl []
+    |> List.sort compare
+  end

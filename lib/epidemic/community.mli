@@ -44,3 +44,15 @@ val cross_validate :
   (float * float * float * float) list
 (** ODE vs the stochastic simulator at sample points: (α, γ, ODE ratio,
     simulated ratio). *)
+
+(** {1 Contact graphs} *)
+
+val subnet_of : subnet_size:int -> int -> int
+(** The subnet index of a host under a fixed-size subnet partition. *)
+
+val subnet_members : n:int -> subnet_size:int -> int -> int list
+(** Hosts of one subnet among [n], ascending; empty past the last. *)
+
+val overlay_neighbors : n:int -> degree:int -> int -> int list
+(** Deterministic degree-[degree] P2P overlay (ring + doubling chords),
+    the contact graph behind [Osim.Cluster.Overlay]; sorted, no self. *)

@@ -34,16 +34,23 @@ let compile ~name ?(extern = []) ?(werror = false) src : Codegen.compiled =
       Codegen.gen ~name (Sema.check ~extern_funcs:extern ast))
 
 let libc_cache : Codegen.compiled option ref = ref None
+let libc_lock = Mutex.create ()
 
 (** The compiled C library (memoized — it is the same for every process;
-    randomization happens at load time, not compile time). *)
+    randomization happens at load time, not compile time). Mutex-guarded:
+    consumer-side antibody verification loads processes from shard
+    domains, so first use may race. *)
 let libc () =
-  match !libc_cache with
-  | Some c -> c
-  | None ->
-    let c = compile ~name:"libc" Libc.source in
-    libc_cache := Some c;
-    c
+  Mutex.lock libc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock libc_lock)
+    (fun () ->
+      match !libc_cache with
+      | Some c -> c
+      | None ->
+        let c = compile ~name:"libc" Libc.source in
+        libc_cache := Some c;
+        c)
 
 (** Compile an application against the libc interface. *)
 let compile_app ~name src = compile ~name ~extern:Libc.signatures src

@@ -11,6 +11,14 @@
     per-process gauges should go in a per-run registry (see
     [Osim.Server.create ?metrics]) rather than {!default}. *)
 
+(** Registry structure (the hashtable of registered metrics) is guarded by
+    a per-registry mutex, so get-or-create registration is safe from any
+    domain — shard workers running on their own OCaml 5 domains hit
+    {!default} through shared cold paths (pipeline stages, recoveries).
+    Instrument {e updates} stay lock-free single stores: each shard owns
+    its instruments, and cross-shard aggregation goes through
+    {!merge_samples} on immutable snapshots at cluster barriers. *)
+
 type counter = { mutable c_n : int }
 type gauge = { mutable g_v : float }
 
@@ -34,11 +42,25 @@ type metric = {
   m_value : value;
 }
 
-type t = { tbl : (string * (string * string) list, metric) Hashtbl.t }
+type t = {
+  tbl : (string * (string * string) list, metric) Hashtbl.t;
+  lock : Mutex.t;
+}
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 let default = create ()
-let clear r = Hashtbl.reset r.tbl
+
+let locked r f =
+  Mutex.lock r.lock;
+  match f () with
+  | v ->
+    Mutex.unlock r.lock;
+    v
+  | exception e ->
+    Mutex.unlock r.lock;
+    raise e
+
+let clear r = locked r (fun () -> Hashtbl.reset r.tbl)
 
 (* ------------------------------------------------------------------ *)
 (* Instrument primitives                                               *)
@@ -78,17 +100,21 @@ let norm_labels labels =
 
 let register r ?(help = "") ?(labels = []) name value =
   let labels = norm_labels labels in
-  Hashtbl.replace r.tbl (name, labels)
-    { m_name = name; m_labels = labels; m_help = help; m_value = value }
+  locked r (fun () ->
+      Hashtbl.replace r.tbl (name, labels)
+        { m_name = name; m_labels = labels; m_help = help; m_value = value })
 
-let find_or r ?help ?(labels = []) name make =
-  let key = (name, norm_labels labels) in
-  match Hashtbl.find_opt r.tbl key with
-  | Some m -> m.m_value
-  | None ->
-    let v = make () in
-    register r ?help ~labels name v;
-    v
+let find_or r ?(help = "") ?(labels = []) name make =
+  let labels = norm_labels labels in
+  let key = (name, labels) in
+  locked r (fun () ->
+      match Hashtbl.find_opt r.tbl key with
+      | Some m -> m.m_value
+      | None ->
+        let v = make () in
+        Hashtbl.replace r.tbl key
+          { m_name = name; m_labels = labels; m_help = help; m_value = v };
+        v)
 
 let counter ?(registry = default) ?help ?labels name =
   match
@@ -152,12 +178,57 @@ let sample_of m =
   in
   { s_name = m.m_name; s_labels = m.m_labels; s_help = m.m_help; s_value = v }
 
+let sample_order a b =
+  match compare a.s_name b.s_name with
+  | 0 -> compare a.s_labels b.s_labels
+  | c -> c
+
 let snapshot r =
-  Hashtbl.fold (fun _ m acc -> sample_of m :: acc) r.tbl []
-  |> List.sort (fun a b ->
-         match compare a.s_name b.s_name with
-         | 0 -> compare a.s_labels b.s_labels
-         | c -> c)
+  locked r (fun () -> Hashtbl.fold (fun _ m acc -> sample_of m :: acc) r.tbl [])
+  |> List.sort sample_order
+
+(* ------------------------------------------------------------------ *)
+(* Cross-registry merging                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pointwise merge of two sample values of the same (name, labels):
+   counters and gauges add (the per-shard registries carry population
+   totals, so sums are the community-level reading), histograms add
+   bucket-by-bucket when their bounds agree and otherwise keep the first
+   operand (per-shard registries are built from the same schema, so
+   mismatched bounds only arise from caller error). *)
+let merge_values a b =
+  match (a, b) with
+  | Sample_counter x, Sample_counter y -> Sample_counter (x + y)
+  | Sample_gauge x, Sample_gauge y -> Sample_gauge (x +. y)
+  | Sample_histogram (ba, sa, ca), Sample_histogram (bb, sb, cb)
+    when List.map fst ba = List.map fst bb ->
+    Sample_histogram
+      ( List.map2 (fun (le, x) (_, y) -> (le, x + y)) ba bb,
+        sa +. sb,
+        ca + cb )
+  | _ -> a
+
+(** Merge per-shard snapshots into one community-level sample list:
+    samples sharing (name, labels) are combined with counters/gauges
+    summed and histograms added bucket-wise. Pure — safe to call from the
+    coordinating domain on snapshots taken at a cluster barrier. *)
+let merge_samples snapshots =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun s ->
+         let key = (s.s_name, s.s_labels) in
+         match Hashtbl.find_opt tbl key with
+         | None ->
+           Hashtbl.replace tbl key s;
+           order := key :: !order
+         | Some prev ->
+           Hashtbl.replace tbl key
+             { prev with s_value = merge_values prev.s_value s.s_value }))
+    snapshots;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
+  |> List.sort sample_order
 
 let to_json r =
   let metric_json s =

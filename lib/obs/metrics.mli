@@ -7,7 +7,13 @@
 
     Closures registered via [gauge_fn] keep whatever they capture alive for
     the registry's lifetime; per-process gauges belong in a per-run
-    [create ()] registry, not in {!default}. *)
+    [create ()] registry, not in {!default}.
+
+    Registration and snapshotting are guarded by a per-registry mutex, so
+    a registry may be shared across OCaml 5 domains. Instrument updates
+    are deliberately unlocked single stores: in the sharded community each
+    shard owns a private registry, and cross-shard aggregation uses
+    {!merge_samples} on immutable snapshots taken at cluster barriers. *)
 
 type counter
 type gauge
@@ -74,6 +80,12 @@ type sample = {
 
 val snapshot : t -> sample list
 (** Deterministic order: sorted by name, then labels. *)
+
+val merge_samples : sample list list -> sample list
+(** Merge per-shard snapshots into one community-level sample list:
+    samples sharing (name, labels) are combined — counters and gauges
+    sum, histograms add bucket-wise when their bounds agree (first
+    operand wins otherwise). Pure; result is in {!snapshot} order. *)
 
 val to_json : t -> Json.t
 val to_prometheus : t -> string

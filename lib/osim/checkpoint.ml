@@ -20,13 +20,15 @@ type t = {
   ck_wall : float;   (** wall-clock capture time *)
 }
 
-let next_id = ref 0
+(* Atomic: checkpoints are taken concurrently by shard domains. The id is
+   diagnostic only (never compared across hosts), so a global sequence is
+   fine — it just must not be a plain ref racing across domains. *)
+let next_id = Atomic.make 0
 
 (** Capture the current process state. O(mapped pages). *)
 let take (p : Process.t) =
-  incr next_id;
   {
-    ck_id = !next_id;
+    ck_id = 1 + Atomic.fetch_and_add next_id 1;
     ck_regs = Vm.Cpu.snapshot_regs p.cpu;
     ck_mem = Vm.Memory.snapshot p.mem;
     ck_heap_brk = p.layout.Vm.Layout.heap_brk;

@@ -1,0 +1,194 @@
+(** Domain-sharded execution: partition hosts across OCaml 5 domains and
+    exchange cross-shard messages at virtual-clock barriers.
+
+    The execution model is deterministic lockstep: virtual time is cut
+    into windows of [window_ms]; within a window every shard runs its own
+    single-threaded scheduler ({!Sched.step_until}) completely
+    independently — no shared mutable state, its own [Random.State], its
+    own {!Obs.Metrics} registry — and emits cross-shard messages as
+    {!envelope} values. At the barrier the coordinator collects every
+    shard's outgoing mail, stamps per-source sequence numbers, sorts the
+    batch by (virtual time, source shard, sequence), and delivers it to
+    the destination shards' inbound mailboxes for the next window.
+    Because the merge order is a pure function of values the shards
+    computed deterministically, running the same barrier schedule on one
+    domain or on N produces identical results — the differential oracle
+    the sharded community is tested against.
+
+    Inbound mailboxes are bounded: a shard receives at most
+    [mailbox_limit] envelopes per window; the excess stays queued (in
+    order) and is delivered at later barriers. Backpressure therefore
+    delays mail deterministically instead of dropping it.
+
+    Domains are spawned per window ([domains - 1] workers plus the
+    calling domain; shard [i] runs on domain [i mod domains]). Windows
+    are few and long relative to spawn cost, and per-window spawning
+    keeps the no-shared-state argument trivial. *)
+
+(** How hosts map onto shards. *)
+type topology =
+  | Uniform  (** round-robin: host [h] on shard [h mod shards] *)
+  | Subnet of int
+      (** [Subnet k]: hosts come in subnets of [k]; a whole subnet lands
+          on one shard, so subnet-local traffic never crosses a barrier *)
+  | Overlay of int
+      (** [Overlay d]: peer-to-peer overlay of degree [d] (see
+          {!Epidemic.Community}); placement scatters overlay
+          neighbourhoods by a multiplicative hash so antibody gossip
+          exercises the cross-shard path *)
+
+let place topology ~shards ~host =
+  if shards <= 0 then invalid_arg "Cluster.place: shards must be positive";
+  match topology with
+  | Uniform -> host mod shards
+  | Subnet k ->
+    let k = max 1 k in
+    host / k mod shards
+  | Overlay _ -> (host * 2654435761) lsr 16 mod shards
+
+let topology_name = function
+  | Uniform -> "uniform"
+  | Subnet k -> Printf.sprintf "subnet-%d" k
+  | Overlay d -> Printf.sprintf "overlay-%d" d
+
+(** A cross-shard message, reified. The (vtime, src, seq) triple is the
+    deterministic merge key at barriers. *)
+type 'm envelope = {
+  env_vtime : float;  (** sender-side virtual time of emission *)
+  env_src : int;      (** source shard *)
+  env_seq : int;      (** per-source emission order within the window *)
+  env_dst : int;      (** destination shard *)
+  env_msg : 'm;
+}
+
+type config = {
+  domains : int;        (** OCaml domains to run shards on (>= 1) *)
+  shards : int;         (** shard count (>= domains, usually = domains) *)
+  window_ms : float;    (** barrier window length in simulated ms *)
+  mailbox_limit : int;  (** max inbound envelopes per shard per window *)
+  max_windows : int;    (** hard stop against non-quiescing drivers *)
+}
+
+let default_config =
+  { domains = 1; shards = 1; window_ms = 0.5; mailbox_limit = 4096;
+    max_windows = 100_000 }
+
+(** What one shard reports at a barrier. [wr_out] is its outgoing mail in
+    emission order ([env_seq] may be 0; the coordinator restamps);
+    [wr_done] means the shard is quiescent — the run ends when every
+    shard is done and no mail is in flight. *)
+type 'm window_result = { wr_out : 'm envelope list; wr_done : bool }
+
+type stats = {
+  st_windows : int;     (** barriers executed *)
+  st_exchanged : int;   (** envelopes delivered across shards *)
+  st_deferred : int;    (** envelope deliveries delayed by mailbox bounds *)
+}
+
+(* Split [q] at [n]: delivered batch (in order) and the remainder. *)
+let take_n n q =
+  let rec go n acc rest =
+    match rest with
+    | [] -> (List.rev acc, [])
+    | x :: tl -> if n <= 0 then (List.rev acc, rest) else go (n - 1) (x :: acc) tl
+  in
+  go n [] q
+
+(* Run [f i] for every shard index, fanning the indices out over
+   [domains] domains (shard i on domain i mod domains, domain 0 being the
+   caller). Results come back indexed, so the merge order never depends
+   on domain timing. *)
+let map_shards ~domains ~shards f =
+  let results = Array.make shards None in
+  if domains <= 1 then
+    for i = 0 to shards - 1 do
+      results.(i) <- Some (f i)
+    done
+  else begin
+    let worker w () =
+      let rec go i acc = if i >= shards then acc else go (i + domains) ((i, f i) :: acc) in
+      go w []
+    in
+    let spawned =
+      Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    (* The calling domain takes its own share while the workers run. *)
+    List.iter (fun (i, r) -> results.(i) <- Some r) (worker 0 ());
+    Array.iter
+      (fun d -> List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join d))
+      spawned
+  end;
+  Array.map
+    (function Some r -> r | None -> failwith "Cluster: shard not executed")
+    results
+
+(** Drive the barrier loop to completion. [window shard state ~inbox
+    ~until] runs shard [shard] up to virtual time [until] with the
+    window's inbound envelopes (already merge-sorted) and returns its
+    outgoing mail; it executes on a worker domain and must touch only
+    [state] and immutable data. [at_barrier] runs on the calling domain
+    after each exchange (metrics merging, progress). *)
+let run ?(at_barrier = fun ~window:_ -> ())
+    (config : config)
+    (states : 's array)
+    ~(window : int -> 's -> inbox:'m envelope list -> until:float -> 'm window_result) =
+  let shards = Array.length states in
+  if shards = 0 then invalid_arg "Cluster.run: no shards";
+  if config.domains < 1 then invalid_arg "Cluster.run: domains < 1";
+  let domains = min config.domains shards in
+  (* Per-shard inbound queues (oldest first) carried across windows. *)
+  let inboxes = Array.make shards [] in
+  let exchanged = ref 0 and deferred = ref 0 in
+  let rec go k =
+    if k >= config.max_windows then
+      failwith
+        (Printf.sprintf "Cluster.run: no quiescence after %d windows" k);
+    let until = float_of_int (k + 1) *. config.window_ms in
+    (* Deliver up to the mailbox bound; the rest waits, in order. *)
+    let batches =
+      Array.mapi
+        (fun i q ->
+          let batch, rest = take_n config.mailbox_limit q in
+          inboxes.(i) <- rest;
+          deferred := !deferred + List.length rest;
+          batch)
+        inboxes
+    in
+    let results =
+      map_shards ~domains ~shards (fun i ->
+          window i states.(i) ~inbox:batches.(i) ~until)
+    in
+    (* Deterministic merge: restamp per-source emission order, then sort
+       the whole batch by (vtime, src, seq) — a pure function of shard
+       outputs, independent of domain scheduling. *)
+    let outgoing =
+      Array.to_list results
+      |> List.concat_map (fun r ->
+             List.mapi (fun seq e -> { e with env_seq = seq }) r.wr_out)
+      |> List.sort (fun a b ->
+             match compare a.env_vtime b.env_vtime with
+             | 0 -> (
+               match compare a.env_src b.env_src with
+               | 0 -> compare a.env_seq b.env_seq
+               | c -> c)
+             | c -> c)
+    in
+    let per_dst = Array.make shards [] in
+    List.iter
+      (fun e ->
+        if e.env_dst < 0 || e.env_dst >= shards then
+          invalid_arg "Cluster.run: envelope to unknown shard";
+        exchanged := !exchanged + 1;
+        per_dst.(e.env_dst) <- e :: per_dst.(e.env_dst))
+      outgoing;
+    Array.iteri
+      (fun i q -> if q <> [] then inboxes.(i) <- inboxes.(i) @ List.rev q)
+      per_dst;
+    at_barrier ~window:k;
+    let mail_in_flight = Array.exists (fun q -> q <> []) inboxes in
+    let all_done = Array.for_all (fun r -> r.wr_done) results in
+    if all_done && not mail_in_flight then
+      { st_windows = k + 1; st_exchanged = !exchanged; st_deferred = !deferred }
+    else go (k + 1)
+  in
+  go 0

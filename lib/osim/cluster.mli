@@ -1,0 +1,71 @@
+(** Domain-sharded execution: partition hosts across OCaml 5 domains and
+    exchange cross-shard messages at virtual-clock barriers.
+
+    Deterministic lockstep: virtual time is cut into windows; within a
+    window every shard runs independently (own scheduler, own
+    [Random.State], own metrics registry — no shared mutable state) and
+    emits cross-shard messages as {!envelope} values. At each barrier the
+    coordinator merges all outgoing mail in (virtual time, source shard,
+    sequence) order and queues it on the destinations' bounded inbound
+    mailboxes for the next window. The merge key is a pure function of
+    deterministically-computed shard output, so N domains and 1 domain
+    produce identical runs — the differential oracle the sharded
+    community is tested against ({!Sweeper.Defense.Sharded}). *)
+
+type topology =
+  | Uniform  (** round-robin: host [h] on shard [h mod shards] *)
+  | Subnet of int
+      (** [Subnet k]: whole subnets of [k] hosts land on one shard *)
+  | Overlay of int
+      (** [Overlay d]: degree-[d] P2P overlay; placement scatters
+          neighbourhoods so gossip exercises the cross-shard path *)
+
+val place : topology -> shards:int -> host:int -> int
+(** Deterministic host-to-shard placement. *)
+
+val topology_name : topology -> string
+
+type 'm envelope = {
+  env_vtime : float;  (** sender-side virtual time of emission *)
+  env_src : int;      (** source shard *)
+  env_seq : int;      (** per-source emission order (restamped at merge) *)
+  env_dst : int;      (** destination shard *)
+  env_msg : 'm;
+}
+
+type config = {
+  domains : int;        (** OCaml domains to run shards on (>= 1) *)
+  shards : int;         (** shard count (>= domains, usually = domains) *)
+  window_ms : float;    (** barrier window length in simulated ms *)
+  mailbox_limit : int;  (** max inbound envelopes per shard per window;
+                            excess is delayed to later windows, in order,
+                            never dropped *)
+  max_windows : int;    (** hard stop against non-quiescing drivers *)
+}
+
+val default_config : config
+
+type 'm window_result = {
+  wr_out : 'm envelope list;  (** outgoing mail, in emission order *)
+  wr_done : bool;             (** shard is quiescent *)
+}
+
+type stats = {
+  st_windows : int;     (** barriers executed *)
+  st_exchanged : int;   (** envelopes delivered across shards *)
+  st_deferred : int;    (** envelope deliveries delayed by mailbox bounds *)
+}
+
+val run :
+  ?at_barrier:(window:int -> unit) ->
+  config ->
+  's array ->
+  window:(int -> 's -> inbox:'m envelope list -> until:float -> 'm window_result) ->
+  stats
+(** Drive the barrier loop until every shard reports done and no mail is
+    in flight. [window shard state ~inbox ~until] runs one shard's
+    window on a worker domain (shard [i] on domain [i mod domains]) and
+    must touch only [state] and immutable data; [inbox] arrives already
+    merge-sorted. [at_barrier] runs on the calling domain after each
+    exchange — the hook for metrics merging.
+    @raise Failure after [max_windows] windows without quiescence. *)

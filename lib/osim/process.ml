@@ -250,6 +250,78 @@ let load ?(aslr = true) ?(seed = 0) (app : Minic.Codegen.compiled) =
   cpu.Vm.Cpu.sys_handler <- (fun cpu eff n -> handle_syscall p cpu eff n);
   p
 
+(** A loaded-but-never-run master copy of a process, for stamping out
+    identical hosts without re-linking. {!load} is dominated by placement,
+    assembly/linking of both images, CFG recovery, and basic-block
+    compilation — all of it identical for every host sharing a layout
+    seed. A template runs that pipeline once; {!instantiate} then clones
+    the address space copy-on-write and rebinds a fresh CPU, so per-host
+    cost drops to O(mapped pages) pointer copies plus block re-install.
+
+    The template's own process must never execute (its memory is the
+    shared baseline every clone COWs against), which is why the type is
+    abstract. *)
+type template = {
+  tpl_proc : t;
+  tpl_regs : Vm.Cpu.reg_snapshot;
+  tpl_bounds : (int * int) array;  (** CFG block bounds, computed once *)
+}
+
+(** Build a template: one full {!load} plus one CFG recovery. *)
+let template ?(aslr = true) ?(seed = 0) compiled =
+  let p = load ~aslr ~seed compiled in
+  {
+    tpl_proc = p;
+    tpl_regs = Vm.Cpu.snapshot_regs p.cpu;
+    tpl_bounds =
+      Static_an.Cfg.block_bounds (Static_an.Cfg.build p.cpu.Vm.Cpu.code);
+  }
+
+(** Instantiate a fresh process from a template. Behaviourally identical
+    to [load ~aslr ~seed compiled] with the template's parameters: the
+    address space is a COW clone, the register file (including [icount])
+    is restored from the post-load snapshot, the PRNG state is a copy of
+    the post-load state (layout draws already consumed), and the basic
+    blocks are recompiled from the cached bounds against the new CPU.
+    Clones share the template's layout (one ASLR draw per template — use a
+    pool of templates over distinct seeds to keep population diversity)
+    and share its images, code, and symbol tables read-only. *)
+let instantiate tpl =
+  let src = tpl.tpl_proc in
+  let mem = Vm.Memory.clone src.mem in
+  let layout = Vm.Layout.copy src.layout in
+  let cpu = Vm.Cpu.create ~mem ~layout ~code:src.cpu.Vm.Cpu.code in
+  Vm.Cpu.restore_regs cpu tpl.tpl_regs;
+  Vm.Block_compile.install cpu tpl.tpl_bounds;
+  let p =
+    {
+      cpu;
+      mem;
+      layout;
+      app_image = src.app_image;
+      lib_image = src.lib_image;
+      net = Netlog.create ();
+      data_symbols = src.data_symbols;
+      compromised = None;
+      exit_code = None;
+      outputs = [];
+      responded = Netlog.Int_set.empty;
+      sandbox = false;
+      cur_msg = -1;
+      console = [];
+      sysres = Array.make 64 0;
+      sysres_len = 0;
+      sysres_pos = 0;
+      clock = 0;
+      rng = Random.State.copy src.rng;
+      rollback_hooks = [];
+      next_rollback_hook = 0;
+      flight = None;
+    }
+  in
+  cpu.Vm.Cpu.sys_handler <- (fun cpu eff n -> handle_syscall p cpu eff n);
+  p
+
 (** Run the process until it halts, blocks on input, faults, or exhausts
     [fuel] instructions. *)
 let run ?fuel p = Vm.Cpu.run ?fuel p.cpu

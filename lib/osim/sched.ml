@@ -11,9 +11,20 @@
     sequentially — which is what makes community-scale runs trustworthy as
     stand-ins for the serial experiments.
 
+    Scheduling is O(log n) per turn: runnable tasks live in a binary
+    min-heap keyed on (virtual time, task id) with lazy invalidation (a
+    per-task generation counter stales old entries), and waiting tasks
+    with undelivered mail sit on an explicit pending-delivery queue — no
+    per-turn scan of the whole task list.
+
     The scheduler itself is policy-free: crashes, infections, and vetoes
     raised by monitoring hooks are surfaced as events to a driver callback
-    (see {!Sweeper.Defense}), which may repair the host and {!unpark} it. *)
+    (see {!Sweeper.Defense}), which may repair the host and {!unpark} it.
+    For the domain-sharded community the same events can instead be
+    {e reified}: {!step_until} runs the core loop up to a virtual-time
+    barrier and appends every event to a bounded {!outbox}, so a cluster
+    driver applies cross-host effects between windows rather than inline
+    (see {!Cluster}). *)
 
 type event =
   | Filtered of string * string
@@ -44,7 +55,47 @@ type task = {
       (** the open per-message serve span (delivery to Served/park) *)
   sk_on_deliver : (string -> unit) option;
       (** runs just before a message enters the host's network log *)
+  mutable sk_hseq : int;
+      (** ready-heap generation: entries carrying an older value are
+          stale and skipped on pop *)
+  mutable sk_queued : bool;  (** sitting on the pending-delivery queue *)
 }
+
+(* A ready-heap entry. At most one entry per task is valid at any moment:
+   every push bumps the task's generation first, staling all earlier
+   entries, so lazy deletion never double-runs a task. *)
+type entry = { e_vt : float; e_id : int; e_seq : int; e_task : task }
+
+type effect_ = {
+  fx_vtime : float;  (** the task's virtual time when the event fired *)
+  fx_task : task;
+  fx_event : event;
+}
+
+(** A bounded buffer of reified scheduler events. The bound is a
+    low-water mark checked between turns: a single turn may append the
+    handful of events it produces past the limit, but nothing is ever
+    dropped — {!step_until} returns [Backpressure] and the driver drains
+    before resuming. *)
+type outbox = {
+  ob_limit : int;
+  mutable ob_rev : effect_ list;
+  mutable ob_len : int;
+}
+
+let make_outbox ~limit () = { ob_limit = max 1 limit; ob_rev = []; ob_len = 0 }
+let outbox_length ob = ob.ob_len
+
+let outbox_drain ob =
+  let items = List.rev ob.ob_rev in
+  ob.ob_rev <- [];
+  ob.ob_len <- 0;
+  items
+
+type stop =
+  | Barrier       (** every runnable task has reached the barrier time *)
+  | Quiescent     (** nothing runnable, no waiting task has mail *)
+  | Backpressure  (** the outbox hit its bound; drain it and resume *)
 
 type t = {
   quantum : int;  (** instructions per scheduling turn *)
@@ -55,7 +106,11 @@ type t = {
   mutable instructions : int;
   mutable parks : int;
   mutable unparks : int;
-  mutable dirty : bool;  (** a post/unpark may have made a task deliverable *)
+  mutable backpressures : int;  (** [step_until] stops due to a full outbox *)
+  mutable heap : entry array;   (** binary min-heap on (vtime, id) *)
+  mutable heap_len : int;
+  pending : task Queue.t;
+      (** waiting tasks with undelivered mail, in posting order *)
 }
 
 let default_quantum = 2_000
@@ -70,8 +125,89 @@ let create ?(quantum = default_quantum) () =
     instructions = 0;
     parks = 0;
     unparks = 0;
-    dirty = false;
+    backpressures = 0;
+    heap = [||];
+    heap_len = 0;
+    pending = Queue.create ();
   }
+
+(* ------------------------------------------------------------------ *)
+(* Ready heap                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let entry_less a b = a.e_vt < b.e_vt || (a.e_vt = b.e_vt && a.e_id < b.e_id)
+
+let heap_push t e =
+  if t.heap_len = Array.length t.heap then begin
+    let cap = max 64 (2 * t.heap_len) in
+    let bigger = Array.make cap e in
+    Array.blit t.heap 0 bigger 0 t.heap_len;
+    t.heap <- bigger
+  end;
+  let i = ref t.heap_len in
+  t.heap_len <- t.heap_len + 1;
+  t.heap.(!i) <- e;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_less t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let heap_remove_root t =
+  t.heap_len <- t.heap_len - 1;
+  if t.heap_len > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_len);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.heap_len && entry_less t.heap.(l) t.heap.(!smallest) then
+        smallest := l;
+      if r < t.heap_len && entry_less t.heap.(r) t.heap.(!smallest) then
+        smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue_ := false
+    done
+  end
+
+let entry_valid e = e.e_seq = e.e_task.sk_hseq && e.e_task.sk_state = Runnable
+
+(* The valid minimum entry, pruning stale roots; leaves it in the heap. *)
+let rec peek_runnable t =
+  if t.heap_len = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    if entry_valid e then Some e.e_task
+    else begin
+      heap_remove_root t;
+      peek_runnable t
+    end
+  end
+
+(* Mark [task] runnable-ready at its current virtual time. Bumping the
+   generation first invalidates any earlier entry, preserving the
+   one-valid-entry invariant. *)
+let ready t task =
+  task.sk_hseq <- task.sk_hseq + 1;
+  heap_push t
+    { e_vt = task.sk_vtime_ms; e_id = task.sk_id; e_seq = task.sk_hseq;
+      e_task = task }
+
+(* ------------------------------------------------------------------ *)
+(* Tasks, inboxes, pending deliveries                                  *)
+(* ------------------------------------------------------------------ *)
 
 let add ?on_deliver t server =
   let task =
@@ -90,10 +226,13 @@ let add ?on_deliver t server =
       sk_served = 0;
       sk_span = None;
       sk_on_deliver = on_deliver;
+      sk_hseq = 0;
+      sk_queued = false;
     }
   in
   t.tasks <- task :: t.tasks;
   t.n_tasks <- t.n_tasks + 1;
+  ready t task;
   task
 
 let inbox_empty task = task.sk_front = [] && task.sk_back = []
@@ -111,17 +250,26 @@ let pop_inbox task =
       Some msg
     | [] -> None)
 
+let enqueue_delivery t task =
+  if
+    (not task.sk_queued) && task.sk_state = Waiting
+    && not (inbox_empty task)
+  then begin
+    task.sk_queued <- true;
+    Queue.push task t.pending
+  end
+
 let post t task payload =
   task.sk_back <- payload :: task.sk_back;
-  t.dirty <- true
+  enqueue_delivery t task
 
 let unpark t task =
-  (match task.sk_state with
+  match task.sk_state with
   | Parked _ ->
     task.sk_state <- Waiting;
-    t.unparks <- t.unparks + 1
-  | _ -> ());
-  t.dirty <- true
+    t.unparks <- t.unparks + 1;
+    enqueue_delivery t task
+  | _ -> ()
 
 let vtime_ms task = task.sk_vtime_ms
 let vclock_ms t = t.vclock_ms
@@ -129,6 +277,7 @@ let instructions t = t.instructions
 let steps t = t.steps
 let parks t = t.parks
 let unparks t = t.unparks
+let backpressures t = t.backpressures
 let tasks t = List.rev t.tasks
 
 (** Register scheduler-wide gauges (turns, instructions, parks/unparks,
@@ -143,6 +292,8 @@ let register_metrics t registry =
   gauge "sweeper_sched_parks" "tasks parked on events" (fun () -> t.parks);
   gauge "sweeper_sched_unparks" "parked tasks returned to service" (fun () ->
       t.unparks);
+  gauge "sweeper_sched_backpressures" "step_until stops on a full outbox"
+    (fun () -> t.backpressures);
   Obs.Metrics.gauge_fn ~registry ~help:"scheduler virtual clock (simulated ms)"
     "sweeper_sched_vclock_ms" (fun () -> t.vclock_ms)
 
@@ -186,7 +337,16 @@ let rec deliver t handler task =
                ~tid:task.sk_id ~vts_ms:task.sk_vtime_ms
                ~args:[ ("msg", string_of_int id) ]
                "serve");
-      task.sk_state <- Runnable)
+      task.sk_state <- Runnable;
+      ready t task)
+
+let drain_pending t handler =
+  while not (Queue.is_empty t.pending) do
+    let task = Queue.pop t.pending in
+    task.sk_queued <- false;
+    if task.sk_state = Waiting && not (inbox_empty task) then
+      deliver t handler task
+  done
 
 let account t task before =
   let cpu = task.sk_server.Server.proc.Process.cpu in
@@ -213,7 +373,7 @@ let step_task t handler task =
     account t task before;
     t.steps <- t.steps + 1;
     (match outcome with
-    | Server.Yielded -> ()
+    | Server.Yielded -> ready t task
     | Server.Ended Server.Idle ->
       (match task.sk_pending with
       | Some id ->
@@ -232,41 +392,57 @@ let step_task t handler task =
     | Server.Ended (Server.Crashed f) -> park (Crashed f)
     | Server.Ended (Server.Infected cmd) -> park (Infected cmd)))
 
-(* The runnable task furthest behind in virtual time; ties go to the
-   lowest id, so scheduling is deterministic. *)
-let select t =
-  List.fold_left
-    (fun best task ->
-      match (task.sk_state, best) with
-      | Runnable, None -> Some task
-      | Runnable, Some b ->
-        if
-          task.sk_vtime_ms < b.sk_vtime_ms
-          || (task.sk_vtime_ms = b.sk_vtime_ms && task.sk_id < b.sk_id)
-        then Some task
-        else Some b
-      | _ -> best)
-    None t.tasks
+let has_runnable_before t ~until =
+  (not (Queue.is_empty t.pending))
+  ||
+  match peek_runnable t with
+  | Some task -> task.sk_vtime_ms < until
+  | None -> false
 
-let flush_deliveries t handler =
-  t.dirty <- false;
-  List.iter
-    (fun task ->
-      if task.sk_state = Waiting && not (inbox_empty task) then
-        deliver t handler task)
-    t.tasks
+let quiescent t = Queue.is_empty t.pending && peek_runnable t = None
+
+(** The pure driver core: run turns while some runnable task is behind the
+    virtual-time barrier [until], reifying every event into [outbox] (when
+    given) as well as passing it to [handler]. Stops at the first of: all
+    runnable tasks at/past the barrier ([Barrier]), nothing left to do
+    ([Quiescent]), or the outbox reaching its bound ([Backpressure] — no
+    event is ever dropped; drain and call again). With
+    [until = infinity] and no outbox this is exactly {!run}. *)
+let step_until ?(handler = fun _ _ -> ()) ?outbox t ~until =
+  let emit task ev =
+    (match outbox with
+    | Some ob ->
+      ob.ob_rev <-
+        { fx_vtime = task.sk_vtime_ms; fx_task = task; fx_event = ev }
+        :: ob.ob_rev;
+      ob.ob_len <- ob.ob_len + 1
+    | None -> ());
+    handler task ev
+  in
+  let full () =
+    match outbox with Some ob -> ob.ob_len >= ob.ob_limit | None -> false
+  in
+  let rec loop () =
+    drain_pending t emit;
+    if full () then begin
+      t.backpressures <- t.backpressures + 1;
+      Backpressure
+    end
+    else
+      match peek_runnable t with
+      | Some task when task.sk_vtime_ms < until ->
+        heap_remove_root t;
+        step_task t emit task;
+        loop ()
+      | Some _ -> Barrier
+      | None -> if Queue.is_empty t.pending then Quiescent else loop ()
+  in
+  loop ()
 
 (** Run until quiescent: no task is runnable and no waiting task has mail.
     Parked tasks stay parked unless the [handler] repairs and unparks
     them; their remaining inbox is simply never delivered. *)
 let run ?(handler = fun _ _ -> ()) t =
-  flush_deliveries t handler;
-  let rec loop () =
-    if t.dirty then flush_deliveries t handler;
-    match select t with
-    | Some task ->
-      step_task t handler task;
-      loop ()
-    | None -> if t.dirty then loop () else ()
-  in
-  loop ()
+  match step_until ~handler t ~until:infinity with
+  | Quiescent -> ()
+  | Barrier | Backpressure -> assert false (* no barrier, no outbox *)

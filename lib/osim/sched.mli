@@ -9,10 +9,17 @@
     host consumes only its own inbox in order), which the scheduler test
     suite asserts.
 
+    Turn selection is O(log n): runnable tasks live in a binary min-heap
+    keyed on (virtual time, id) with lazy invalidation, and tasks with
+    undelivered mail sit on an explicit pending-delivery queue instead of
+    being found by scanning.
+
     The scheduler is policy-free: crashes, infections, and exceptions
     raised by monitoring hooks (VSEF vetoes) park the task and surface as
     events to the driver's handler, which may repair the host and
-    {!unpark} it. *)
+    {!unpark} it. {!step_until} additionally reifies the event stream into
+    a bounded {!outbox} and stops at a virtual-time barrier — the building
+    block the domain-sharded community ({!Cluster}) drives windows with. *)
 
 type event =
   | Filtered of string * string
@@ -42,6 +49,8 @@ type task = {
   mutable sk_span : Obs.Trace.span option;
       (** the open per-message serve span (delivery to Served/park) *)
   sk_on_deliver : (string -> unit) option;
+  mutable sk_hseq : int;    (** ready-heap entry generation (internal) *)
+  mutable sk_queued : bool; (** on the pending-delivery queue (internal) *)
 }
 
 type t
@@ -68,6 +77,46 @@ val run : ?handler:(task -> event -> unit) -> t -> unit
 (** Run until quiescent: no task runnable, no waiting task with mail.
     [handler] observes every event and may call {!post} and {!unpark}. *)
 
+(** {1 Reified driving — the sharded-community core} *)
+
+type effect_ = {
+  fx_vtime : float;  (** the task's virtual time when the event fired *)
+  fx_task : task;
+  fx_event : event;
+}
+
+type outbox
+(** A bounded buffer of reified scheduler events. The bound is a
+    low-water mark checked between turns — a turn may append its handful
+    of events past the limit, but nothing is ever dropped; {!step_until}
+    reports [Backpressure] and the driver drains before resuming. *)
+
+val make_outbox : limit:int -> unit -> outbox
+val outbox_length : outbox -> int
+
+val outbox_drain : outbox -> effect_ list
+(** Take the buffered effects, oldest first, leaving the outbox empty. *)
+
+type stop =
+  | Barrier       (** every runnable task has reached the barrier time *)
+  | Quiescent     (** nothing runnable, no waiting task has mail *)
+  | Backpressure  (** the outbox hit its bound; drain it and resume *)
+
+val step_until :
+  ?handler:(task -> event -> unit) -> ?outbox:outbox -> t -> until:float ->
+  stop
+(** The pure driver core: run turns while some runnable task is behind
+    the virtual-time barrier [until] (simulated ms), appending every
+    event to [outbox] (when given) as well as invoking [handler].
+    [run] is [step_until ~until:infinity] without an outbox. *)
+
+val has_runnable_before : t -> until:float -> bool
+(** Would {!step_until} with this barrier make progress right now? (True
+    when a runnable task sits behind [until]; pending deliveries count
+    via the task they would wake.) *)
+
+val quiescent : t -> bool
+
 val vtime_ms : task -> float
 val vclock_ms : t -> float
 
@@ -82,6 +131,9 @@ val parks : t -> int
 
 val unparks : t -> int
 (** Parked tasks returned to service by the driver. *)
+
+val backpressures : t -> int
+(** Times {!step_until} stopped on a full outbox. *)
 
 val register_metrics : t -> Obs.Metrics.t -> unit
 (** Register scheduler-wide gauges (turns, instructions, parks/unparks,

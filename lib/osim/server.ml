@@ -37,7 +37,10 @@ type t = {
           metrics registry when the caller provides one *)
 }
 
-let next_id = ref 0
+(* Atomic so server creation is safe from any domain (sharded runs create
+   hosts on the coordinating domain today, but nothing should depend on
+   that). Ids remain globally unique, not per-shard dense. *)
+let next_id = Atomic.make 0
 let interval_instrs config = config.checkpoint_interval_ms * instrs_per_ms
 
 (** The server's virtual clock: simulated milliseconds of progress. *)
@@ -106,12 +109,12 @@ let create ?(config = default_config) ?metrics proc =
   (* An initial checkpoint so there is always a rollback point. *)
   let origin = Checkpoint.take proc in
   Checkpoint.add ring origin;
-  incr next_id;
+  let id = 1 + Atomic.fetch_and_add next_id 1 in
   let ck_counter = Obs.Metrics.make_counter () in
   Obs.Metrics.inc ck_counter;
   let t =
     {
-      id = !next_id;
+      id;
       proc;
       ring;
       origin;

@@ -39,12 +39,21 @@ let guess_probability = 1.0 /. float_of_int (1 lsl entropy_bits_default)
 let default_stack_size = 64 * 1024
 let default_heap_max = 1024 * 1024
 
+(* Default entropy source when the caller supplies no [rand]: a private
+   seeded stream, NOT the ambient [Random] state. Every defense/epidemic
+   path threads an explicit per-host [Random.State] already; this default
+   only covers ad-hoc callers, and making it self-seeded keeps even those
+   reproducible across runs and independent of domain-local generators. *)
+let default_rand =
+  let st = Random.State.make [| 0x1a40; 0x511EE9 |] in
+  fun bits -> Random.State.int st (1 lsl bits)
+
 (** Create a layout. [rand] supplies the randomized page offsets (pass a
     seeded PRNG draw for reproducible experiments); with [aslr:false] all
     bases sit at their canonical positions, modelling a legacy host. The
     code limits are placeholders until {!set_code_limits} is called by the
     loader. *)
-let create ?(aslr = true) ?(rand = fun bits -> Random.int (1 lsl bits))
+let create ?(aslr = true) ?(rand = default_rand)
     ?(stack_size = default_stack_size) ?(heap_max = default_heap_max) () =
   let bits = entropy_bits_default in
   let page = Memory.page_size in
@@ -67,6 +76,10 @@ let create ?(aslr = true) ?(rand = fun bits -> Random.int (1 lsl bits))
     aslr;
     entropy_bits = bits;
   }
+
+(** Independent copy (the only mutable field is [heap_brk]); template
+    instantiation gives each cloned host its own break pointer. *)
+let copy t = { t with heap_brk = t.heap_brk }
 
 (** Record the end of loaded code segments (called by the loader). *)
 let set_code_limits t ~app_limit ~lib_limit =

@@ -50,6 +50,10 @@ val create :
     seeded PRNG draw for reproducible experiments); with [aslr:false] all
     bases sit at their canonical positions, modelling a legacy host. *)
 
+val copy : t -> t
+(** Independent copy — the clone's mutable [heap_brk] no longer aliases
+    the original's. Used by templated host instantiation. *)
+
 val set_code_limits : t -> app_limit:int -> lib_limit:int -> t
 (** Record the end of the loaded code segments (called by the loader). *)
 

@@ -260,5 +260,28 @@ let restore mem snap =
   mem.cur_epoch <- mem.cur_epoch + 1;
   mem.pages <- Hashtbl.copy snap.snap_pages
 
+(** Clone a whole address space copy-on-write: the clone starts with the
+    same page table, and both sides pay one page copy on their first write
+    to any shared page (the source's epoch is bumped so its own writes
+    also un-share). Templated host creation clones one booted image per
+    app instead of re-loading MiniC per host. The clone is independent —
+    snapshots taken on either side never alias the other's pages. *)
+let clone mem =
+  invalidate_tlbs mem;
+  mem.cur_epoch <- mem.cur_epoch + 1;
+  {
+    pages = Hashtbl.copy mem.pages;
+    cur_epoch = mem.cur_epoch;
+    cow_copies = 0;
+    pages_mapped = 0;
+    r_tlb_idx = -1;
+    r_tlb = no_page;
+    w_tlb_idx = -1;
+    w_tlb = no_page;
+    r_tlb_misses = 0;
+    w_tlb_misses = 0;
+    tlb_invalidations = 0;
+  }
+
 (** Number of pages currently mapped. *)
 let mapped_pages mem = Hashtbl.length mem.pages

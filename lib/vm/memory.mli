@@ -62,5 +62,12 @@ val restore : t -> snapshot -> unit
     can be restored again (analysis re-executes from the same checkpoint
     repeatedly). *)
 
+val clone : t -> t
+(** Copy-on-write clone of the whole address space: O(mapped pages)
+    pointer copies now, one page copy per page either side subsequently
+    dirties. The clone is fully independent of the source — writes and
+    snapshots on one never affect the other. This is how templated host
+    creation stamps out hosts from one booted image per app. *)
+
 val mapped_pages : t -> int
 (** Number of pages currently materialized. *)

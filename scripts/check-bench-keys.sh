@@ -1,18 +1,20 @@
 #!/bin/sh
-# BENCH_vm.json schema check: the committed benchmark record must carry
+# Committed benchmark record schema checks: BENCH_vm.json must carry
 # every key the docs and the roadmap quote, including the tier-3 keys
 # (ns_per_instr_block_compiled and the tier_counters audit objects whose
-# block/fast/slow counts must sum to executed). Catches a bench writer
-# that silently drops a key (the merge-don't-clobber writer makes that
-# easy to miss) and a hand-edited file that loses a section. Run from
-# the repository root (or a sandbox copy of it).
+# block/fast/slow counts must sum to executed), and BENCH_pipeline.json
+# must carry the scheduler-scaling rows plus the domain-sharded section.
+# Catches a bench writer that silently drops a key (the
+# merge-don't-clobber writer makes that easy to miss) and a hand-edited
+# file that loses a section. Run from the repository root (or a sandbox
+# copy of it).
 set -e
+status=0
 file=BENCH_vm.json
 if [ ! -f "$file" ]; then
   echo "check-bench-keys: $file missing (run: dune exec bench/main.exe -- micro --json)"
   exit 1
 fi
-status=0
 require() {
   if ! grep -q "\"$1\"" "$file"; then
     echo "check-bench-keys: $file lacks key \"$1\""
@@ -64,7 +66,56 @@ require taint_pruned_delta_ns_per_instr
 # Table 3 stage timings.
 require table3_stage_ms
 require time_to_first_vsef
+
+# ------------------------------------------------------------------
+# BENCH_pipeline.json: scheduler scaling + the domain-sharded section.
+# ------------------------------------------------------------------
+file=BENCH_pipeline.json
+if [ ! -f "$file" ]; then
+  echo "check-bench-keys: $file missing (run: dune exec bench/main.exe -- pipeline --json)"
+  exit 1
+fi
+# Scheduler-scaling rows.
+require quantum_instrs
+require scales
+require hosts
+require messages
+require create_s
+require run_s
+require virtual_ms
+require hosts_per_s
+require instrs_per_s
+require first_antibody_ms
+require spans_per_s
+# The domain-sharded community section.
+require sharded
+require cores
+require seed
+require single_domain
+require domain_scaling
+require speedup_vs_1_domain
+require at_scale
+require oracle
+require probed
+require domains
+require shards
+require windows
+require exchanged
+require first_antibody_vtime_ms
+require domains_checked
+require matches
+# The oracle must have held when the record was written, and the
+# at-scale row must really be at scale.
+if ! grep -q '"matches": true' "$file"; then
+  echo "check-bench-keys: $file sharded oracle did not hold (\"matches\": true absent)"
+  status=1
+fi
+if ! grep -A2 '"at_scale"' "$file" | grep -qE '"hosts": [0-9]{6,}'; then
+  echo "check-bench-keys: $file at_scale row is below 10^5 hosts"
+  status=1
+fi
+
 if [ $status -eq 0 ]; then
-  echo "check-bench-keys: $file carries the expected key schema"
+  echo "check-bench-keys: BENCH_vm.json and BENCH_pipeline.json carry the expected key schemas"
 fi
 exit $status

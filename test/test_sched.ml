@@ -186,6 +186,91 @@ let prop_interleaving_is_invisible =
       let streams = [ workload n1; workload n2 ] in
       run_interleaved ~quantum streams = run_sequential streams)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded community: running the same shard partition on N     *)
+(* domains must be bit-identical to running it on one — outputs,       *)
+(* icounts, the infection/crash event log, and the first-antibody      *)
+(* virtual time. This is the differential oracle for Osim.Cluster.     *)
+(* ------------------------------------------------------------------ *)
+
+module Sh = Sweeper.Defense.Sharded
+
+(* Attack bytes as a pure function of (seed, host, round): both runs of
+   an oracle pair see byte-identical traffic regardless of sharding. *)
+let attack_for ~seed ~round (h : Sweeper.Defense.host) =
+  let rng =
+    Random.State.make [| seed; 0xA77AC4; h.Sweeper.Defense.h_id; round |]
+  in
+  let guess = 0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0 in
+  (Apps.Exploits.apache1_against ~system_guess:guess ~reqbuf_addr:0x08100000 ())
+    .Apps.Exploits.x_messages
+
+let run_sharded ?outbox_limit ?mailbox_limit ~domains ~shards ~topology ~n
+    ~producers ~seed ~rounds () =
+  let entry = Apps.Registry.find "apache1" in
+  let c =
+    Sh.create ?outbox_limit ?mailbox_limit ~domains ~shards ~topology
+      ~app:"apache1" ~compile:entry.r_compile ~n ~producers ~seed ()
+  in
+  for round = 1 to rounds do
+    (* Round 1 is a mid-stream attack: benign, exploit, benign. *)
+    Sh.post_traffic c ~traffic:(fun h ->
+        if round = 1 then workload 2 @ attack_for ~seed ~round h @ workload 1
+        else attack_for ~seed ~round h);
+    ignore (Sh.run_round c)
+  done;
+  Sh.summary c
+
+(* Everything except the domain count itself must agree. *)
+let oracle_agrees a b = { a with Sh.sm_domains = 0 } = { b with Sh.sm_domains = 0 }
+
+let test_sharded_matches_single_domain () =
+  let go domains =
+    run_sharded ~domains ~shards:2 ~topology:Osim.Cluster.Uniform ~n:6
+      ~producers:1 ~seed:4242 ~rounds:2 ()
+  in
+  let one = go 1 and two = go 2 in
+  check_int "same windows" one.Sh.sm_windows two.Sh.sm_windows;
+  check_int "same attempts" one.Sh.sm_attempts two.Sh.sm_attempts;
+  check_bool "attack did something" true
+    (one.Sh.sm_crashes + one.Sh.sm_blocked + one.Sh.sm_infections > 0);
+  check_bool "antibody published" true
+    (one.Sh.sm_first_antibody_vtime_ms <> None);
+  check_bool "cross-shard mail flowed" true (one.Sh.sm_exchanged > 0);
+  check_bool "sharded(2) = sharded(1)" true (oracle_agrees one two)
+
+let prop_sharded_oracle =
+  QCheck.Test.make ~count:4
+    ~name:"sharded(N domains) = single domain over random topologies"
+    QCheck.(triple (int_range 4 7) (int_range 0 2) (int_range 0 1_000_000))
+    (fun (n, topo_idx, seed) ->
+      let topology =
+        match topo_idx with
+        | 0 -> Osim.Cluster.Uniform
+        | 1 -> Osim.Cluster.Subnet 2
+        | _ -> Osim.Cluster.Overlay 3
+      in
+      let go domains =
+        run_sharded ~domains ~shards:2 ~topology ~n ~producers:1 ~seed
+          ~rounds:2 ()
+      in
+      oracle_agrees (go 1) (go 2))
+
+(* Mailbox overflow and outbox backpressure: with the tightest possible
+   bounds the run still completes, nothing is dropped (every posted
+   message is eventually attempted), and the oracle still holds — bounds
+   only reshape scheduling pauses, never results. *)
+let test_backpressure_and_mailbox_bounds () =
+  let go domains =
+    run_sharded ~outbox_limit:1 ~mailbox_limit:1 ~domains ~shards:2
+      ~topology:Osim.Cluster.Uniform ~n:6 ~producers:1 ~seed:9001 ~rounds:2 ()
+  in
+  let tight = go 1 in
+  check_bool "outbox bound hit" true (tight.Sh.sm_backpressures > 0);
+  check_bool "every message attempted" true (tight.Sh.sm_attempts > 0);
+  check_bool "run reached quiescence with bounds" true (tight.Sh.sm_windows > 0);
+  check_bool "oracle holds under tight bounds" true (oracle_agrees tight (go 2))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "sched"
@@ -202,5 +287,13 @@ let () =
         [
           Alcotest.test_case "mid-stream attack matches sequential" `Quick
             test_mid_stream_attack_matches_sequential;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "sharded(2 domains) = single domain" `Quick
+            test_sharded_matches_single_domain;
+          Alcotest.test_case "bounded mailboxes and outbox backpressure" `Quick
+            test_backpressure_and_mailbox_bounds;
+          qt prop_sharded_oracle;
         ] );
     ]
