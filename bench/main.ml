@@ -683,7 +683,191 @@ let sharded_row_json r =
     | Some ms -> Printf.sprintf "%.2f" ms
     | None -> "null")
 
-let write_pipeline_json rows (sd : sharded_data) =
+(* ------------------------------------------------------------------ *)
+(* Forensics: infection-tree reconstruction throughput.                *)
+(* ------------------------------------------------------------------ *)
+
+type forensics_row = {
+  f_hosts : int;
+  f_edges : int;
+  f_blocked : int;
+  f_reconstruct_s : float;
+  f_max_depth : int;
+}
+
+type forensics_data = {
+  fx_rows : forensics_row list;
+  fx_oracle_hosts : int;
+  fx_oracle_edges : int;
+  fx_oracle_ok : bool;
+}
+
+(* Synthetic evidence: one random infection wave over [n] hosts (every
+   host compromised by a random earlier victim, plus ~10% quarantined
+   probes that never landed). Exercises reconstruct()'s sort, parent
+   resolution, and depth walk at population sizes the simulator cannot
+   reach in bench time. *)
+let synthetic_evidence ~seed n =
+  let rng = Random.State.make [| seed; 0xF04E5; n |] in
+  let seqs = Hashtbl.create 256 in
+  let next_seq src =
+    let r =
+      match Hashtbl.find_opt seqs src with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add seqs src r;
+        r
+    in
+    let v = !r in
+    incr r;
+    v
+  in
+  let suspects = ref [] in
+  for i = 0 to n - 1 do
+    let src = if i = 0 then -1 else Random.State.int rng i in
+    let seq = if src < 0 then 0 else next_seq src in
+    suspects :=
+      {
+        Forensics.su_host = i;
+        su_msg = 0;
+        su_src = src;
+        su_seq = seq;
+        su_vtime = float_of_int i *. 0.05;
+        su_infected = true;
+      }
+      :: !suspects;
+    if i > 0 && Random.State.int rng 10 = 0 then begin
+      let bsrc = Random.State.int rng i in
+      suspects :=
+        {
+          Forensics.su_host = i;
+          su_msg = 1;
+          su_src = bsrc;
+          su_seq = next_seq bsrc;
+          su_vtime = (float_of_int i *. 0.05) +. 0.01;
+          su_infected = false;
+        }
+        :: !suspects
+    end
+  done;
+  { Forensics.ev_hosts = n; ev_suspects = !suspects }
+
+(* A worm spread with real infections: round 1 seeds one aimed probe on
+   a consumer; afterwards every infected host probes two targets per
+   round, aimed with probability 0.7 (the rest crash their victim and
+   feed the producers). Mirrors `sweeperctl forensics`; pure in
+   (seed, host, round) so every domain count replays it identically. *)
+let forensics_spread c ~seed ~rounds =
+  let host_arr = Array.of_list (Sh.hosts c) in
+  let n = Array.length host_arr in
+  let aimed (dst : Sweeper.Defense.host) =
+    let proc = dst.Sweeper.Defense.h_proc in
+    (Apps.Exploits.apache1_against
+       ~system_guess:(Osim.Process.system_addr proc)
+       ~reqbuf_addr:(Hashtbl.find proc.Osim.Process.data_symbols "reqbuf")
+       ())
+      .Apps.Exploits.x_messages
+  in
+  for round = 1 to rounds do
+    let attempts = Hashtbl.create 64 in
+    let add dst pair =
+      Hashtbl.replace attempts dst
+        (pair :: Option.value ~default:[] (Hashtbl.find_opt attempts dst))
+    in
+    if round = 1 then begin
+      let rng = Random.State.make [| seed; 0x5EED |] in
+      let dst = host_arr.(1 + Random.State.int rng (n - 1)) in
+      List.iter
+        (fun m -> add dst.Sweeper.Defense.h_id (-1, m))
+        (aimed dst)
+    end
+    else
+      Array.iter
+        (fun (src : Sweeper.Defense.host) ->
+          if src.Sweeper.Defense.h_infected then begin
+            let rng =
+              Random.State.make
+                [| seed; 0x3072; src.Sweeper.Defense.h_id; round |]
+            in
+            for _k = 1 to 2 do
+              let dst = host_arr.(Random.State.int rng n) in
+              let accurate = Random.State.float rng 1.0 < 0.7 in
+              if dst.Sweeper.Defense.h_id <> src.Sweeper.Defense.h_id then
+                let msgs =
+                  if accurate then aimed dst
+                  else sharded_attack ~seed ~round dst
+                in
+                List.iter
+                  (fun m ->
+                    add dst.Sweeper.Defense.h_id
+                      (src.Sweeper.Defense.h_id, m))
+                  msgs
+            done
+          end)
+        host_arr;
+    Sh.post_traffic_from c ~traffic:(fun h ->
+        List.rev
+          (Option.value ~default:[]
+             (Hashtbl.find_opt attempts h.Sweeper.Defense.h_id)));
+    ignore (Sh.run_round c)
+  done
+
+let forensics_bench () =
+  section_header "Forensics: infection-tree reconstruction from netlogs";
+  tune_gc_for_population ();
+  let sizes = if !smoke then [ 500 ] else [ 1_000; 10_000; 100_000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let ev = synthetic_evidence ~seed:(bseed 77) n in
+        Gc.major ();
+        let t0 = Unix.gettimeofday () in
+        let tree = Forensics.reconstruct ev in
+        let dt = Unix.gettimeofday () -. t0 in
+        let edges = List.length tree.Forensics.t_edges in
+        Printf.printf
+          "%7d hosts: %7d edge(s) reconstructed in %8.4f s (%10.0f \
+           edges/s), depth %d\n"
+          n edges dt
+          (float_of_int edges /. dt)
+          tree.Forensics.t_max_depth;
+        {
+          f_hosts = n;
+          f_edges = edges;
+          f_blocked = tree.Forensics.t_blocked;
+          f_reconstruct_s = dt;
+          f_max_depth = tree.Forensics.t_max_depth;
+        })
+      sizes
+  in
+  (* A real (small) 2-domain spread: the netlog reconstruction must
+     equal the simulator's ground-truth infection log — the oracle the
+     test suite qchecks over random topologies. *)
+  let entry = Apps.Registry.find "apache1" in
+  let oracle_hosts = sc 16 8 in
+  let c =
+    Sh.create ~domains:2 ~app:"apache1" ~compile:entry.r_compile
+      ~n:oracle_hosts ~producers:1 ~seed:(bseed 4321) ()
+  in
+  forensics_spread c ~seed:(bseed 4321) ~rounds:(sc 3 2);
+  let tree = Forensics.reconstruct (Forensics.of_sharded c) in
+  let edges = List.length tree.Forensics.t_edges in
+  let ok = Result.is_ok (Forensics.check tree (Forensics.ground_truth c)) in
+  Printf.printf
+    "oracle: netlog reconstruction vs ground truth on %d hosts (%d \
+     edge(s)) -> %s\n"
+    oracle_hosts edges
+    (if ok then "MATCH" else "MISMATCH");
+  if not ok then failwith "forensic reconstruction diverged from ground truth";
+  {
+    fx_rows = rows;
+    fx_oracle_hosts = oracle_hosts;
+    fx_oracle_edges = edges;
+    fx_oracle_ok = ok;
+  }
+
+let write_pipeline_json rows (sd : sharded_data) (fd : forensics_data) =
   let oc = open_out "BENCH_pipeline.json" in
   Printf.fprintf oc "{\n  \"quantum_instrs\": %d,\n  \"scales\": [\n"
     Osim.Sched.default_quantum;
@@ -727,7 +911,7 @@ let write_pipeline_json rows (sd : sharded_data) =
     \    \"at_scale\": %s,\n\
     \    \"oracle\": { \"hosts\": %d, \"domains_checked\": [ %s ], \
      \"matches\": %b }\n\
-    \  }\n"
+    \  },\n"
     sd.sd_cores sd.sd_seed
     (row_list sd.sd_single)
     (row_list sd.sd_domains)
@@ -737,6 +921,21 @@ let write_pipeline_json rows (sd : sharded_data) =
     sd.sd_oracle_hosts
     (String.concat ", " (List.map string_of_int sd.sd_oracle_domains))
     sd.sd_oracle_ok;
+  let forensics_row_json r =
+    Printf.sprintf
+      "{ \"hosts\": %d, \"edges\": %d, \"blocked\": %d, \"reconstruct_s\": \
+       %.6f, \"edges_per_s\": %.1f, \"max_depth\": %d }"
+      r.f_hosts r.f_edges r.f_blocked r.f_reconstruct_s
+      (float_of_int r.f_edges /. r.f_reconstruct_s)
+      r.f_max_depth
+  in
+  Printf.fprintf oc
+    "  \"forensics\": {\n\
+    \    \"synthetic\": [\n      %s\n    ],\n\
+    \    \"oracle\": { \"hosts\": %d, \"edges\": %d, \"matches\": %b }\n\
+    \  }\n"
+    (String.concat ",\n      " (List.map forensics_row_json fd.fx_rows))
+    fd.fx_oracle_hosts fd.fx_oracle_edges fd.fx_oracle_ok;
   Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "(wrote BENCH_pipeline.json)\n"
@@ -774,7 +973,8 @@ let pipeline () =
     "(one producer per community; the attack stream is spliced mid-stream \
      into host 0's inbox and analyzed while the other hosts keep serving)\n";
   let sd = sharded_bench () in
-  if !json_output then write_pipeline_json rows sd
+  let fd = forensics_bench () in
+  if !json_output then write_pipeline_json rows sd fd
 
 (* ------------------------------------------------------------------ *)
 (* Section 4.2: sampling                                               *)
@@ -1542,6 +1742,7 @@ let all_sections =
     ("community", community);
     ("pipeline", pipeline);
     ("sharded", fun () -> ignore (sharded_bench () : sharded_data));
+    ("forensics", fun () -> ignore (forensics_bench () : forensics_data));
     ("sampling", sampling);
     ("ablations", ablations);
     ("static", fun () -> ignore (micro_static () : static_row list));

@@ -7,7 +7,8 @@
      trace     - run an attack with tracing on; write Chrome trace JSON
      analyze   - static CFG + taint reachability over an app's loaded code
      epidemic  - query the community-defense model
-     outbreak  - mechanical multi-host worm outbreak with antibody sharing *)
+     outbreak  - mechanical multi-host worm outbreak with antibody sharing
+     forensics - reconstruct the infection tree from provenance netlogs *)
 
 open Cmdliner
 
@@ -403,57 +404,87 @@ let epidemic_cmd =
     (Cmd.info "epidemic" ~doc:"Query the Section 6 community-defense model")
     Term.(const run $ beta $ rho $ alpha $ gamma)
 
+(* ------------------------------------------------------------------ *)
+(* Community runs: outbreak (population dynamics) and forensics
+   (post-mortem infection-tree reconstruction). They share the sharded
+   community setup flags. *)
+
+let hosts_arg =
+  Arg.(value & opt int 16 & info [ "hosts" ] ~docv:"N" ~doc:"Community size.")
+
+let producers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "producers" ] ~docv:"K" ~doc:"Hosts running full Sweeper.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "OCaml domains to run the community on. Results are identical \
+           for every value -- that is the sharding oracle.")
+
+let shards_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:"Shard count (defaults to $(b,--domains)).")
+
+let topology_arg =
+  Arg.(
+    value & opt string "uniform"
+    & info [ "topology" ] ~docv:"T"
+        ~doc:
+          "Host-to-shard placement: $(b,uniform), $(b,subnet:K) (whole \
+           /K subnets per shard), or $(b,overlay:D) (degree-D P2P \
+           overlay, scattered).")
+
+let window_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "window-ms" ] ~docv:"MS"
+        ~doc:"Barrier window length in simulated milliseconds.")
+
+let rounds_arg =
+  Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Worm rounds.")
+
+let parse_topology s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "uniform" ] -> Osim.Cluster.Uniform
+  | [ "subnet"; k ] -> Osim.Cluster.Subnet (int_of_string k)
+  | [ "overlay"; d ] -> Osim.Cluster.Overlay (int_of_string d)
+  | _ ->
+    raise
+      (Invalid_argument
+         (Printf.sprintf "unknown topology %S (uniform | subnet:K | overlay:D)"
+            s))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
 let outbreak_cmd =
-  let hosts =
-    Arg.(value & opt int 16 & info [ "hosts" ] ~docv:"N" ~doc:"Community size.")
-  in
-  let producers =
+  let forensics_out =
     Arg.(
-      value & opt int 2
-      & info [ "producers" ] ~docv:"K" ~doc:"Hosts running full Sweeper.")
-  in
-  let domains =
-    Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"D"
+      value
+      & opt (some string) None
+      & info [ "forensics-out" ] ~docv:"PATH"
           ~doc:
-            "OCaml domains to run the community on. Results are identical \
-             for every value -- that is the sharding oracle.")
+            "After the outbreak, reconstruct the infection tree from the \
+             hosts' netlogs and write the JSON forensic report here.")
   in
-  let shards =
+  let trace_out =
     Arg.(
-      value & opt (some int) None
-      & info [ "shards" ] ~docv:"S"
-          ~doc:"Shard count (defaults to $(b,--domains)).")
-  in
-  let topology =
-    Arg.(
-      value & opt string "uniform"
-      & info [ "topology" ] ~docv:"T"
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
           ~doc:
-            "Host-to-shard placement: $(b,uniform), $(b,subnet:K) (whole \
-             /K subnets per shard), or $(b,overlay:D) (degree-D P2P \
-             overlay, scattered).")
-  in
-  let window =
-    Arg.(
-      value & opt float 0.5
-      & info [ "window-ms" ] ~docv:"MS"
-          ~doc:"Barrier window length in simulated milliseconds.")
-  in
-  let rounds =
-    Arg.(
-      value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Worm rounds.")
-  in
-  let parse_topology s =
-    match String.split_on_char ':' (String.lowercase_ascii s) with
-    | [ "uniform" ] -> Osim.Cluster.Uniform
-    | [ "subnet"; k ] -> Osim.Cluster.Subnet (int_of_string k)
-    | [ "overlay"; d ] -> Osim.Cluster.Overlay (int_of_string d)
-    | _ ->
-      raise
-        (Invalid_argument
-           (Printf.sprintf "unknown topology %S (uniform | subnet:K | overlay:D)" s))
+            "Record Chrome trace events (lockstep windows, barriers, \
+             message flows) across all domains and write the merged trace \
+             here.")
   in
   let print_sample (s : Obs.Metrics.sample) =
     let labels =
@@ -474,7 +505,12 @@ let outbreak_cmd =
         sum
   in
   let run n_hosts n_producers seed metrics domains shards topology window_ms
-      rounds =
+      rounds forensics_out trace_out =
+    (match trace_out with
+    | Some _ ->
+      Obs.Trace.enable ();
+      Obs.Trace.clear ()
+    | None -> ());
     let app = Apps.Registry.find "apache1" in
     let topology = parse_topology topology in
     let module Sh = Sweeper.Defense.Sharded in
@@ -517,20 +553,214 @@ let outbreak_cmd =
       "  %d barrier windows, %d cross-shard envelopes (%d deferred by \
        mailbox bounds), %d instructions\n"
       s.Sh.sm_windows s.Sh.sm_exchanged s.Sh.sm_deferred s.Sh.sm_instructions;
+    (match forensics_out with
+    | Some path ->
+      let tree = Forensics.reconstruct (Forensics.of_sharded c) in
+      write_file path
+        (Obs.Json.to_string (Forensics.to_json ~app:"apache1" tree) ^ "\n");
+      Printf.printf "  forensics: %d edge(s), patient zero %s; wrote %s\n"
+        (List.length tree.Forensics.t_edges)
+        (match tree.Forensics.t_patient_zero with
+        | Some h -> Printf.sprintf "host %d" h
+        | None -> "unknown")
+        path
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+      Obs.Trace.write path;
+      Printf.printf "  trace: wrote %s (%d events)\n" path
+        (Obs.Trace.event_count ())
+    | None -> ());
     if metrics then List.iter print_sample (Sh.merged_metrics c)
   in
   Cmd.v
     (Cmd.info "outbreak"
        ~doc:"Mechanical worm outbreak across real hosts, domain-sharded")
     Term.(
-      const run $ hosts $ producers $ seed_arg $ metrics_arg $ domains $ shards
-      $ topology $ window $ rounds)
+      const run $ hosts_arg $ producers_arg $ seed_arg $ metrics_arg
+      $ domains_arg $ shards_arg $ topology_arg $ window_arg $ rounds_arg
+      $ forensics_out $ trace_out)
+
+(* ------------------------------------------------------------------ *)
+(* forensics: run a worm spread with full provenance, then reconstruct
+   the infection tree from the netlogs alone and (optionally) assert it
+   against the simulator's ground truth. *)
+
+let forensics_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"External probes injected in round 1 (patient-zero seeding).")
+  in
+  let fanout =
+    Arg.(
+      value & opt int 2
+      & info [ "fanout" ] ~docv:"F"
+          ~doc:"Probes each infected host fires per round.")
+  in
+  let rho =
+    Arg.(
+      value & opt float 0.7
+      & info [ "rho" ] ~docv:"R"
+          ~doc:
+            "Probe accuracy: fraction of probes carrying the victim's true \
+             layout (the rest crash and feed the producers).")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot-out" ] ~docv:"PATH"
+          ~doc:"Write the reconstructed infection tree as Graphviz DOT.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:"Write the machine-readable forensic report as JSON.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Assert the netlog reconstruction against the simulator's \
+             ground-truth infection log; exit nonzero on any divergence.")
+  in
+  let run n_hosts n_producers seed metrics domains shards topology window_ms
+      rounds seeds fanout rho dot_out json_out check =
+    let app = Apps.Registry.find "apache1" in
+    let topology = parse_topology topology in
+    let module Sh = Sweeper.Defense.Sharded in
+    let module D = Sweeper.Defense in
+    let c =
+      Sh.create ~domains ?shards ~window_ms ~topology ~app:"apache1"
+        ~compile:app.r_compile ~n:n_hosts ~producers:n_producers ~seed ()
+    in
+    let host_arr = Array.of_list (Sh.hosts c) in
+    let n = Array.length host_arr in
+    (* A probe aimed with the victim's true layout: lands unless an
+       antibody blocks it. This is how the spread model realizes rho
+       mechanically -- the worm either knows the victim's addresses or
+       crashes it. *)
+    let aimed (dst : D.host) =
+      let proc = dst.D.h_proc in
+      (Apps.Exploits.apache1_against
+         ~system_guess:(Osim.Process.system_addr proc)
+         ~reqbuf_addr:(Hashtbl.find proc.Osim.Process.data_symbols "reqbuf")
+         ())
+        .Apps.Exploits.x_messages
+    in
+    let wild rng =
+      let guess = 0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0 in
+      (Apps.Exploits.apache1_against ~system_guess:guess
+         ~reqbuf_addr:0x08100000 ())
+        .Apps.Exploits.x_messages
+    in
+    (* Probes for one round, keyed by victim. Built before the round runs
+       (so the infected set is the previous round's), purely from
+       (seed, host, round) -- identical for every --domains. *)
+    let round_attempts round =
+      let attempts = Hashtbl.create 64 in
+      let add dst pair =
+        let prev = Option.value ~default:[] (Hashtbl.find_opt attempts dst) in
+        Hashtbl.replace attempts dst (pair :: prev)
+      in
+      if round = 1 then
+        for k = 0 to seeds - 1 do
+          let rng = Random.State.make [| seed; 0x5EED; k |] in
+          (* The first external probe is always aimed at a consumer (a
+             producer would detect even an accurate hijack), so every run
+             has a patient zero to trace back to. *)
+          let dst =
+            if k = 0 && n > n_producers then
+              host_arr.(n_producers
+                        + Random.State.int rng (n - n_producers))
+            else host_arr.(Random.State.int rng n)
+          in
+          let accurate = k = 0 || Random.State.float rng 1.0 < rho in
+          let msgs = if accurate then aimed dst else wild rng in
+          List.iter (fun m -> add dst.D.h_id (-1, m)) msgs
+        done
+      else
+        Array.iter
+          (fun (src : D.host) ->
+            if src.D.h_infected then begin
+              let rng =
+                Random.State.make [| seed; 0x3072; src.D.h_id; round |]
+              in
+              for _k = 1 to fanout do
+                let dst = host_arr.(Random.State.int rng n) in
+                let accurate = Random.State.float rng 1.0 < rho in
+                if dst.D.h_id <> src.D.h_id then
+                  let msgs = if accurate then aimed dst else wild rng in
+                  List.iter (fun m -> add dst.D.h_id (src.D.h_id, m)) msgs
+              done
+            end)
+          host_arr;
+      attempts
+    in
+    for round = 1 to rounds do
+      let attempts = round_attempts round in
+      Sh.post_traffic_from c ~traffic:(fun h ->
+          List.rev
+            (Option.value ~default:[] (Hashtbl.find_opt attempts h.D.h_id)));
+      ignore (Sh.run_round c)
+    done;
+    let tree = Forensics.reconstruct (Forensics.of_sharded c) in
+    print_string (Forensics.report tree);
+    (match Sh.antibody_origin c with
+    | Some o ->
+      Printf.printf
+        "antibody minted on host %d at %.2f ms (attack msg %d from %s)\n"
+        o.D.ao_host o.D.ao_vtime o.D.ao_msg
+        (if o.D.ao_src < 0 then "outside"
+         else Printf.sprintf "host %d" o.D.ao_src)
+    | None -> print_endline "no antibody was minted");
+    (match dot_out with
+    | Some path ->
+      write_file path (Forensics.to_dot tree);
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    (match json_out with
+    | Some path ->
+      write_file path
+        (Obs.Json.to_string (Forensics.to_json ~app:"apache1" tree) ^ "\n");
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if metrics then begin
+      Forensics.register_metrics tree obs_registry;
+      print_string (Obs.Metrics.to_prometheus obs_registry)
+    end;
+    if check then
+      match Forensics.check tree (Forensics.ground_truth c) with
+      | Ok () ->
+        Printf.printf
+          "forensics check OK: %d edge(s) match the ground-truth \
+           infection log\n"
+          (List.length tree.Forensics.t_edges)
+      | Error msg ->
+        Printf.eprintf "forensics check FAILED: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:
+         "Run a provenance-tracked worm spread, reconstruct the infection \
+          tree from the hosts' network logs, and report patient zero, \
+          depth, and per-edge time-to-infection")
+    Term.(
+      const run $ hosts_arg $ producers_arg $ seed_arg $ metrics_arg
+      $ domains_arg $ shards_arg $ topology_arg $ window_arg $ rounds_arg
+      $ seeds $ fanout $ rho $ dot_out $ json_out $ check)
 
 let main =
   Cmd.group
     (Cmd.info "sweeperctl" ~version:"1.0.0"
        ~doc:"Sweeper: lightweight end-to-end defense against fast worms")
     [ list_cmd; attack_cmd; serve_cmd; trace_cmd; analyze_cmd; epidemic_cmd;
-      outbreak_cmd ]
+      outbreak_cmd; forensics_cmd ]
 
 let () = exit (Cmd.eval main)

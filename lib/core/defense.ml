@@ -39,6 +39,31 @@ type stats = {
   mutable s_first_antibody_ms : float option;
 }
 
+(** One confirmed infection — the simulator's ground truth that forensic
+    trace-back ({!Forensics}) is validated against. Everything here is
+    read off the victim's state at the moment the compromise surfaced;
+    the reconstruction must recover the same tuple from netlogs alone. *)
+type infection = {
+  inf_victim : int;    (** infected host (global id) *)
+  inf_src : int;       (** sending host, from the message's provenance *)
+  inf_seq : int;       (** sender-side sequence number *)
+  inf_msg : int;       (** netlog message id on the victim *)
+  inf_arrival : float; (** victim-side arrival vtime of the message *)
+  inf_vtime : float;   (** vtime the compromise surfaced *)
+}
+
+(** Where the community's antibody came from: the producer whose crash
+    triggered the analysis, and the provenance of the attack message it
+    analyzed — the forensic anchor "this antibody was minted against the
+    message [ao_src] sent". *)
+type ab_origin = {
+  ao_host : int;    (** the producer that ran the analysis *)
+  ao_vtime : float; (** vtime of the detection *)
+  ao_msg : int;     (** netlog id of the attack message on that host *)
+  ao_src : int;     (** provenance source of that message *)
+  ao_seq : int;     (** its sender-side sequence number *)
+}
+
 type t = {
   app : string;
   compile : unit -> Minic.Codegen.compiled;
@@ -55,6 +80,10 @@ type t = {
   metrics : Obs.Metrics.t;
       (** where community counters register; the sharded community gives
           every shard its own registry so no instrument crosses domains *)
+  mutable infections : infection list;
+      (** ground-truth infection log, newest first *)
+  mutable ab_origin : ab_origin option;
+      (** provenance of the first antibody (local analysis or adopted) *)
 }
 
 (* Stamp out the community's hosts from a pool of templates: the full
@@ -107,6 +136,8 @@ let create ?(verify_before_deploy = false) ?(metrics = Obs.Metrics.default)
     verify_before_deploy;
     stats = fresh_stats ();
     metrics;
+    infections = [];
+    ab_origin = None;
   }
 
 (** Publish an antibody to the community. Consumers that distrust the
@@ -177,10 +208,25 @@ type delivery =
   | Crashed_consumer        (** consumer detected the attack but can only recover *)
   | Infected of string
 
+(* The provenance of the message a host is currently servicing. *)
+let cur_prov host =
+  let cur = host.h_proc.Osim.Process.cur_msg in
+  if cur < 0 then None
+  else
+    Some
+      (cur, (Osim.Netlog.message host.h_proc.Osim.Process.net cur).Osim.Netlog.m_prov)
+
 (* The community's reaction to one delivery outcome — shared between the
    direct [deliver] path and the scheduler's event handler, so serial and
-   interleaved runs behave identically per host. *)
-let react t host outcome : delivery =
+   interleaved runs behave identically per host. [vtime] is the event's
+   virtual timestamp for the ground-truth logs (defaults to the host's
+   own clock; the sharded driver passes its oracle timeline instead). *)
+let react ?vtime t host outcome : delivery =
+  let vtime =
+    match vtime with
+    | Some v -> v
+    | None -> Osim.Server.vtime_ms host.h_server
+  in
   match outcome with
   | `Served -> Served
   | `Filtered name ->
@@ -189,17 +235,36 @@ let react t host outcome : delivery =
   | `Infected cmd ->
     host.h_infected <- true;
     t.stats.s_infections <- t.stats.s_infections + 1;
+    (match cur_prov host with
+    | Some (cur, p) ->
+      t.infections <-
+        { inf_victim = host.h_id; inf_src = p.Osim.Netlog.p_src;
+          inf_seq = p.Osim.Netlog.p_seq; inf_msg = cur;
+          inf_arrival = p.Osim.Netlog.p_vtime; inf_vtime = vtime }
+        :: t.infections
+    | None -> ());
     Infected cmd
   | `Crashed fault ->
     t.stats.s_crashes <- t.stats.s_crashes + 1;
     (match host.h_role with
     | Producer ->
       t.stats.s_analyses <- t.stats.s_analyses + 1;
+      (* Capture the attack message's provenance before analysis: the
+         recovery inside [handle_attack] rolls [cur_msg] back. *)
+      let origin =
+        match cur_prov host with
+        | Some (cur, p) ->
+          Some
+            { ao_host = host.h_id; ao_vtime = vtime; ao_msg = cur;
+              ao_src = p.Osim.Netlog.p_src; ao_seq = p.Osim.Netlog.p_seq }
+        | None -> None
+      in
       let report = Orchestrator.handle_attack ~app:t.app host.h_server fault in
       if t.stats.s_first_antibody_ms = None then
         t.stats.s_first_antibody_ms <-
           Some report.Orchestrator.a_total_ms;
-      ignore (publish t report.Orchestrator.a_antibody);
+      let accepted = publish t report.Orchestrator.a_antibody in
+      if accepted && t.ab_origin = None then t.ab_origin <- origin;
       host.h_deployed <- t.generation;
       (match report.Orchestrator.a_antibody.Antibody.ab_exploit_input with
       | Some inputs -> List.iter (record_exploit_sample t) inputs
@@ -351,13 +416,15 @@ let all_alive t =
     of shard-local computation; so `domains = N` and `domains = 1` run
     the identical barrier schedule — the differential oracle enforced by
     test_sched. All oracle-visible times are virtual; wall-clock only
-    appears in diagnostic fields. Tracing must stay disabled during
-    multi-domain runs ({!Obs.Trace} keeps global state). *)
+    appears in diagnostic fields. {!Obs.Trace} is mutex-guarded, so
+    tracing may stay enabled during multi-domain runs; wall-clock
+    timestamps in the trace are diagnostic only. *)
 module Sharded = struct
   (** Cross-shard mail. *)
   type msg =
-    | Antibody_pub of Antibody.t
-        (** a producer's locally-analyzed antibody, broadcast once *)
+    | Antibody_pub of Antibody.t * ab_origin option
+        (** a producer's locally-analyzed antibody, broadcast once, with
+            the provenance of the attack message it was minted against *)
     | Sample of string  (** a locally-confirmed exploit payload *)
 
   type shard = {
@@ -376,6 +443,9 @@ module Sharded = struct
         (** (vtime, global host id, kind) — the oracle's event log *)
     mutable sh_first_pub : float option;
         (** vtime of this shard's first locally-analyzed publication *)
+    mutable sh_ab_prov : (float * int * int) option;
+        (** envelope provenance (vtime, src shard, seq) of the antibody
+            this shard adopted at a barrier — surfaced, not dropped *)
   }
 
   type community = {
@@ -390,6 +460,9 @@ module Sharded = struct
     mutable c_rounds : int;
     mutable c_merged : Obs.Metrics.sample list;
         (** community-level metrics, merged at the last barrier *)
+    c_seqs : (int, int ref) Hashtbl.t;
+        (** per-source sequence counters for provenance stamping;
+            advanced on the calling domain in deterministic host order *)
   }
 
   (** Everything the differential oracle compares, plus run statistics.
@@ -416,6 +489,13 @@ module Sharded = struct
     sm_icounts : (int * int) list;  (** (global host id, icount), sorted *)
     sm_outputs : (int * (int * string) list) list;
         (** per-host committed outputs, by global host id *)
+    sm_infection_log : infection list;
+        (** ground-truth infections, sorted by (arrival, victim) *)
+    sm_adoptions : (int * (float * int * int)) list;
+        (** shards that adopted a broadcast antibody, with the envelope
+            provenance (vtime, src shard, seq) it arrived under; sorted *)
+    sm_ab_origin : ab_origin option;
+        (** provenance of the community's first antibody *)
   }
 
   let record_event sh vt host_id kind =
@@ -434,9 +514,14 @@ module Sharded = struct
      re-emits — see the module doc's loop-freedom argument. *)
   let apply_envelope sh (e : msg Osim.Cluster.envelope) =
     match e.Osim.Cluster.env_msg with
-    | Antibody_pub ab ->
+    | Antibody_pub (ab, origin) ->
       if sh.sh_dfn.antibody = None then begin
         ignore (publish sh.sh_dfn ab);
+        if sh.sh_dfn.ab_origin = None then sh.sh_dfn.ab_origin <- origin;
+        sh.sh_ab_prov <-
+          Some
+            ( e.Osim.Cluster.env_vtime, e.Osim.Cluster.env_src,
+              e.Osim.Cluster.env_seq );
         record_event sh e.Osim.Cluster.env_vtime (-1) "antibody-adopted"
       end
     | Sample s -> record_exploit_sample sh.sh_dfn s
@@ -454,23 +539,23 @@ module Sharded = struct
     | Osim.Sched.Served _ | Osim.Sched.Stopped -> ()
     | Osim.Sched.Filtered (name, _) ->
       record_event sh vt host.h_id ("filtered:" ^ name);
-      ignore (react d host (`Filtered name))
+      ignore (react ~vtime:vt d host (`Filtered name))
     | Osim.Sched.Infected cmd ->
       record_event sh vt host.h_id "infected";
-      ignore (react d host (`Infected cmd))
+      ignore (react ~vtime:vt d host (`Infected cmd))
     | Osim.Sched.Crashed fault ->
       record_event sh vt host.h_id "crashed";
-      ignore (react d host (`Crashed fault));
+      ignore (react ~vtime:vt d host (`Crashed fault));
       Osim.Sched.unpark sh.sh_sched fx.Osim.Sched.fx_task
     | Osim.Sched.Raised (Detection.Detected _) ->
       record_event sh vt host.h_id "vetoed";
-      ignore (react d host `Vetoed);
+      ignore (react ~vtime:vt d host `Vetoed);
       Osim.Sched.unpark sh.sh_sched fx.Osim.Sched.fx_task
     | Osim.Sched.Raised e -> raise e);
     if (not had_ab) && d.antibody <> None then begin
       if sh.sh_first_pub = None then sh.sh_first_pub <- Some vt;
       record_event sh vt host.h_id "antibody-published";
-      broadcast sh vt (Antibody_pub (snd (Option.get d.antibody)))
+      broadcast sh vt (Antibody_pub (snd (Option.get d.antibody), d.ab_origin))
     end;
     let corpus1 = List.length d.corpus in
     (* Broadcast only samples that can still refine a signature somewhere:
@@ -533,6 +618,8 @@ module Sharded = struct
           verify_before_deploy;
           stats = fresh_stats ();
           metrics;
+          infections = [];
+          ab_origin = None;
         }
       in
       let sched = Osim.Sched.create ?quantum () in
@@ -552,6 +639,7 @@ module Sharded = struct
           sh_out_rev = [];
           sh_events_rev = [];
           sh_first_pub = None;
+          sh_ab_prov = None;
         }
       in
       List.iter
@@ -582,6 +670,7 @@ module Sharded = struct
       c_deferred = 0;
       c_rounds = 0;
       c_merged = [];
+      c_seqs = Hashtbl.create 64;
     }
 
   let hosts c =
@@ -594,19 +683,44 @@ module Sharded = struct
       (fun acc sh -> acc + infected_count sh.sh_dfn)
       0 c.c_shards
 
-  (** Queue one round of traffic ([traffic host], oldest first) on every
-      uninfected host's inbox. Runs on the calling domain, between
-      cluster rounds. *)
-  let post_traffic c ~(traffic : host -> string list) =
+  (* The next per-source sequence number. Counters advance on the
+     calling domain in deterministic host order, so stamps are identical
+     across domain counts — and across rounds, monotone per source. *)
+  let next_seq c src =
+    match Hashtbl.find_opt c.c_seqs src with
+    | Some r ->
+      let v = !r in
+      incr r;
+      v
+    | None ->
+      Hashtbl.add c.c_seqs src (ref 1);
+      0
+
+  (** Queue one round of traffic on every uninfected host's inbox, with
+      sender provenance: [traffic host] lists [(src, payload)] pairs
+      ([src = -1] for external traffic). Per-source sequence numbers are
+      stamped here. Runs on the calling domain, between cluster rounds. *)
+  let post_traffic_from c ~(traffic : host -> (int * string) list) =
     Array.iter
       (fun sh ->
         List.iter
           (fun host ->
             if not host.h_infected then
               let task = Hashtbl.find sh.sh_task_of host.h_id in
-              List.iter (Osim.Sched.post sh.sh_sched task) (traffic host))
+              List.iter
+                (fun (src, payload) ->
+                  let seq = if src < 0 then 0 else next_seq c src in
+                  Osim.Sched.post ~src ~seq sh.sh_sched task payload)
+                (traffic host))
           sh.sh_dfn.hosts)
       c.c_shards
+
+  (** Queue one round of externally-injected traffic ([traffic host],
+      oldest first) on every uninfected host's inbox. Runs on the
+      calling domain, between cluster rounds. *)
+  let post_traffic c ~(traffic : host -> string list) =
+    post_traffic_from c ~traffic:(fun host ->
+        List.map (fun payload -> (-1, payload)) (traffic host))
 
   (* Merge every shard's registry into the community-level sample list —
      runs on the calling domain while the workers are parked at the
@@ -632,6 +746,32 @@ module Sharded = struct
     stats
 
   let merged_metrics c = c.c_merged
+
+  (** The ground-truth infection log across all shards, sorted by
+      (arrival vtime, victim) — what forensic reconstruction from the
+      netlogs must reproduce exactly. *)
+  let infection_log c =
+    Array.to_list c.c_shards
+    |> List.concat_map (fun sh -> List.rev sh.sh_dfn.infections)
+    |> List.sort (fun a b ->
+           match compare a.inf_arrival b.inf_arrival with
+           | 0 -> compare a.inf_victim b.inf_victim
+           | n -> n)
+
+  (** Provenance of the community's first antibody: the earliest origin
+      any shard recorded (local analysis or adopted broadcast). *)
+  let antibody_origin c =
+    Array.to_list c.c_shards
+    |> List.filter_map (fun sh -> sh.sh_dfn.ab_origin)
+    |> List.fold_left
+         (fun acc o ->
+           match acc with
+           | None -> Some o
+           | Some best ->
+             if (o.ao_vtime, o.ao_host) < (best.ao_vtime, best.ao_host) then
+               Some o
+             else acc)
+         None
 
   let summary c =
     let shs = Array.to_list c.c_shards in
@@ -671,5 +811,13 @@ module Sharded = struct
       sm_icounts =
         per_host (fun h -> h.h_proc.Osim.Process.cpu.Vm.Cpu.icount);
       sm_outputs = per_host (fun h -> Osim.Process.committed_outputs h.h_proc);
+      sm_infection_log = infection_log c;
+      sm_adoptions =
+        List.filter_map
+          (fun sh ->
+            Option.map (fun prov -> (sh.sh_id, prov)) sh.sh_ab_prov)
+          shs
+        |> List.sort compare;
+      sm_ab_origin = antibody_origin c;
     }
 end

@@ -35,6 +35,30 @@ type stats = {
   mutable s_first_antibody_ms : float option;
 }
 
+(** One confirmed infection — the simulator's ground truth that forensic
+    trace-back is validated against. Read off the victim's state at the
+    moment the compromise surfaced; reconstruction must recover the same
+    tuple from netlogs alone. *)
+type infection = {
+  inf_victim : int;    (** infected host (global id) *)
+  inf_src : int;       (** sending host, from the message's provenance *)
+  inf_seq : int;       (** sender-side sequence number *)
+  inf_msg : int;       (** netlog message id on the victim *)
+  inf_arrival : float; (** victim-side arrival vtime of the message *)
+  inf_vtime : float;   (** vtime the compromise surfaced *)
+}
+
+(** Where the community's antibody came from: the producer whose crash
+    triggered the analysis, and the provenance of the attack message it
+    analyzed. *)
+type ab_origin = {
+  ao_host : int;    (** the producer that ran the analysis *)
+  ao_vtime : float; (** vtime of the detection *)
+  ao_msg : int;     (** netlog id of the attack message on that host *)
+  ao_src : int;     (** provenance source of that message *)
+  ao_seq : int;     (** its sender-side sequence number *)
+}
+
 type t = {
   app : string;
   compile : unit -> Minic.Codegen.compiled;
@@ -47,6 +71,10 @@ type t = {
   stats : stats;
   metrics : Obs.Metrics.t;
       (** the registry counters publish into — per-shard in sharded runs *)
+  mutable infections : infection list;
+      (** ground-truth infection log, newest first *)
+  mutable ab_origin : ab_origin option;
+      (** provenance of the first antibody (local analysis or adopted) *)
 }
 
 val create :
@@ -129,7 +157,9 @@ module Sharded : sig
       exploit samples. Adoption and refinement never re-broadcast, so the
       protocol is loop-free by construction. *)
   type msg =
-    | Antibody_pub of Antibody.t
+    | Antibody_pub of Antibody.t * ab_origin option
+        (** broadcast with the provenance of the attack message the
+            antibody was minted against *)
     | Sample of string
 
   type community
@@ -162,8 +192,15 @@ module Sharded : sig
   val infected_count : community -> int
 
   val post_traffic : community -> traffic:(host -> string list) -> unit
-  (** Queue one round of traffic on every uninfected host's inbox.
-      Call between rounds, on the calling domain. *)
+  (** Queue one round of externally-injected traffic on every uninfected
+      host's inbox. Call between rounds, on the calling domain. *)
+
+  val post_traffic_from :
+    community -> traffic:(host -> (int * string) list) -> unit
+  (** Like {!post_traffic}, but each payload carries its sending host id
+      ([-1] for external traffic). Per-source sequence numbers are
+      stamped deterministically on the calling domain, so provenance is
+      identical across domain counts. *)
 
   val run_round : community -> Osim.Cluster.stats
   (** Run the cluster barrier loop until every shard is quiescent and no
@@ -197,7 +234,23 @@ module Sharded : sig
     sm_icounts : (int * int) list;  (** (global host id, icount), sorted *)
     sm_outputs : (int * (int * string) list) list;
         (** per-host committed outputs, by global host id *)
+    sm_infection_log : infection list;
+        (** ground-truth infections, sorted by (arrival, victim) *)
+    sm_adoptions : (int * (float * int * int)) list;
+        (** shards that adopted a broadcast antibody, with the envelope
+            provenance (vtime, src shard, seq) it arrived under; sorted *)
+    sm_ab_origin : ab_origin option;
+        (** provenance of the community's first antibody *)
   }
 
   val summary : community -> summary
+
+  val infection_log : community -> infection list
+  (** The ground-truth infection log across all shards, sorted by
+      (arrival vtime, victim) — what forensic reconstruction from the
+      netlogs must reproduce exactly. *)
+
+  val antibody_origin : community -> ab_origin option
+  (** Provenance of the community's first antibody: the earliest origin
+      any shard recorded (local analysis or adopted broadcast). *)
 end

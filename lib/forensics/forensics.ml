@@ -1,0 +1,384 @@
+(** Post-outbreak forensics: reconstruct the infection tree from the
+    provenance-carrying network logs ({!Osim.Netlog.provenance}).
+
+    The reconstruction uses nothing the defense would not have after an
+    outbreak: each host's netlog (with per-message source, sequence, and
+    arrival-vtime stamps), the quarantine sets recovery left behind
+    (crash/VSEF-confirmed malicious messages), and the in-flight message
+    of each host that ended up compromised. Walking those suspects
+    backward through their provenance yields the infection tree — who
+    infected whom, when in virtual time — plus patient zero, per-edge
+    time-to-infection, and depth/fan-out distributions.
+
+    Validation: the simulator also records ground-truth infection events
+    at compromise time ({!Sweeper.Defense.infection}); {!check} asserts
+    the reconstruction matches them exactly. On deterministic runs the
+    two are byte-identical; the qcheck suite extends this over random
+    topologies and shard counts. *)
+
+(** One suspect message recovered from a netlog: a quarantined
+    (crash/VSEF-confirmed) attack, or the in-flight message of a host
+    that ended up compromised. *)
+type suspect = {
+  su_host : int;       (** the host the message arrived at *)
+  su_msg : int;        (** netlog message id on that host *)
+  su_src : int;        (** provenance: sending host, [-1] = external *)
+  su_seq : int;        (** provenance: sender-side sequence number *)
+  su_vtime : float;    (** provenance: arrival vtime (simulated ms) *)
+  su_infected : bool;  (** servicing this message compromised the host *)
+}
+
+(** Everything trace-back reads: the population size and the per-host
+    suspect sets mined from the netlogs. *)
+type evidence = {
+  ev_hosts : int;
+  ev_suspects : suspect list;
+}
+
+(** One reconstructed infection edge: [e_src] infected [e_dst] with the
+    message logged as [e_msg] on the victim, arriving at [e_vtime]. *)
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_msg : int;
+  e_seq : int;
+  e_vtime : float;
+}
+
+type tree = {
+  t_edges : edge list;  (** sorted by (arrival vtime, victim) *)
+  t_roots : int list;   (** externally-infected hosts, ascending *)
+  t_patient_zero : int option;
+      (** the earliest externally-infected host *)
+  t_depths : (int * int) list;
+      (** (host, infection depth); roots are at depth 0; sorted *)
+  t_max_depth : int;
+  t_fanout : (int * int) list;
+      (** (host, number of hosts it infected), sorted; infectors only *)
+  t_attempts : int;  (** suspect messages examined *)
+  t_blocked : int;   (** suspects that did not infect (crash/VSEF hits) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Evidence extraction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let suspect_of_msg ~host ~infected (m : Osim.Netlog.msg) =
+  let p = m.Osim.Netlog.m_prov in
+  {
+    su_host = host;
+    su_msg = m.Osim.Netlog.m_id;
+    su_src = p.Osim.Netlog.p_src;
+    su_seq = p.Osim.Netlog.p_seq;
+    su_vtime = p.Osim.Netlog.p_vtime;
+    su_infected = infected;
+  }
+
+(** Mine the per-host netlogs of a community for suspects: every
+    quarantined message (recovery confirmed it malicious) and, on each
+    compromised host, the message being serviced when the compromise
+    surfaced. This is a pure post-mortem read — no simulator ground
+    truth is consulted. *)
+let of_hosts (hosts : Sweeper.Defense.host list) =
+  let suspects =
+    List.concat_map
+      (fun (h : Sweeper.Defense.host) ->
+        let net = h.Sweeper.Defense.h_proc.Osim.Process.net in
+        let quarantined =
+          List.map
+            (fun id ->
+              suspect_of_msg ~host:h.Sweeper.Defense.h_id ~infected:false
+                (Osim.Netlog.message net id))
+            (Osim.Netlog.quarantined_ids net)
+        in
+        let cur = h.Sweeper.Defense.h_proc.Osim.Process.cur_msg in
+        if h.Sweeper.Defense.h_infected && cur >= 0 then
+          suspect_of_msg ~host:h.Sweeper.Defense.h_id ~infected:true
+            (Osim.Netlog.message net cur)
+          :: quarantined
+        else quarantined)
+      hosts
+  in
+  { ev_hosts = List.length hosts; ev_suspects = suspects }
+
+let of_sharded c = of_hosts (Sweeper.Defense.Sharded.hosts c)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-back                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let edge_compare a b =
+  match compare a.e_vtime b.e_vtime with
+  | 0 -> compare a.e_dst b.e_dst
+  | n -> n
+
+(** Reconstruct the infection tree from evidence. Infection edges come
+    from the infected suspects (one per victim — a host is compromised
+    by exactly one message); depths walk each victim's provenance chain
+    back to an external source, with a visited guard so inconsistent
+    evidence (a provenance cycle) terminates at depth 0 instead of
+    looping. *)
+let reconstruct ev =
+  let edges =
+    List.filter_map
+      (fun s ->
+        if s.su_infected then
+          Some
+            { e_src = s.su_src; e_dst = s.su_host; e_msg = s.su_msg;
+              e_seq = s.su_seq; e_vtime = s.su_vtime }
+        else None)
+      ev.ev_suspects
+    |> List.sort edge_compare
+  in
+  let parent = Hashtbl.create (List.length edges) in
+  List.iter (fun e -> Hashtbl.replace parent e.e_dst e) edges;
+  let depths = Hashtbl.create (List.length edges) in
+  let rec depth visiting h =
+    match Hashtbl.find_opt depths h with
+    | Some d -> d
+    | None ->
+      let d =
+        if List.mem h visiting then 0
+        else
+          match Hashtbl.find_opt parent h with
+          | None -> 0 (* not infected via a logged message: a base case *)
+          | Some e ->
+            if e.e_src < 0 then 0 else 1 + depth (h :: visiting) e.e_src
+      in
+      Hashtbl.replace depths h d;
+      d
+  in
+  List.iter (fun e -> ignore (depth [] e.e_dst)) edges;
+  let t_depths =
+    List.map (fun e -> (e.e_dst, depth [] e.e_dst)) edges
+    |> List.sort compare
+  in
+  let t_max_depth = List.fold_left (fun m (_, d) -> max m d) 0 t_depths in
+  let roots =
+    List.filter_map (fun e -> if e.e_src < 0 then Some e.e_dst else None) edges
+    |> List.sort_uniq compare
+  in
+  let patient_zero =
+    (* [edges] is sorted by (vtime, dst): the first external edge is the
+       earliest arrival that led to a compromise. *)
+    List.find_opt (fun e -> e.e_src < 0) edges |> Option.map (fun e -> e.e_dst)
+  in
+  let fanout_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.e_src >= 0 then
+        Hashtbl.replace fanout_tbl e.e_src
+          (1 + Option.value ~default:0 (Hashtbl.find_opt fanout_tbl e.e_src)))
+    edges;
+  let t_fanout =
+    Hashtbl.fold (fun h n acc -> (h, n) :: acc) fanout_tbl []
+    |> List.sort compare
+  in
+  let attempts = List.length ev.ev_suspects in
+  {
+    t_edges = edges;
+    t_roots = roots;
+    t_patient_zero = patient_zero;
+    t_depths;
+    t_max_depth;
+    t_fanout;
+    t_attempts = attempts;
+    t_blocked = attempts - List.length edges;
+  }
+
+(* Victim -> its own infection arrival time, for O(1) parent lookups. *)
+let arrival_map tree =
+  let m = Hashtbl.create (1 + List.length tree.t_edges) in
+  List.iter (fun e -> Hashtbl.replace m e.e_dst e.e_vtime) tree.t_edges;
+  m
+
+let tti_of arrivals e =
+  let parent_vt =
+    if e.e_src < 0 then 0.
+    else Option.value ~default:0. (Hashtbl.find_opt arrivals e.e_src)
+  in
+  e.e_vtime -. parent_vt
+
+(** Per-edge time-to-infection: virtual time between the parent's own
+    infection (arrival of the message that compromised it; 0 for
+    external sources) and this edge's arrival at the victim. *)
+let time_to_infection tree e = tti_of (arrival_map tree) e
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let edge_of_infection (i : Sweeper.Defense.infection) =
+  {
+    e_src = i.Sweeper.Defense.inf_src;
+    e_dst = i.Sweeper.Defense.inf_victim;
+    e_msg = i.Sweeper.Defense.inf_msg;
+    e_seq = i.Sweeper.Defense.inf_seq;
+    e_vtime = i.Sweeper.Defense.inf_arrival;
+  }
+
+(** The simulator's ground-truth infection edges, in the same order the
+    reconstruction sorts its own ((arrival vtime, victim)). *)
+let ground_truth c =
+  List.map edge_of_infection (Sweeper.Defense.Sharded.infection_log c)
+  |> List.sort edge_compare
+
+let edge_to_string e =
+  Printf.sprintf "%d -> %d (msg %d, seq %d, t=%.4fms)" e.e_src e.e_dst e.e_msg
+    e.e_seq e.e_vtime
+
+(** Assert the reconstructed tree matches the ground-truth edge list
+    exactly; [Error] names the first divergence. *)
+let check tree truth =
+  let rec go i got want =
+    match (got, want) with
+    | [], [] -> Ok ()
+    | g :: got, w :: want ->
+      if g = w then go (i + 1) got want
+      else
+        Error
+          (Printf.sprintf "edge %d: reconstructed %s, ground truth %s" i
+             (edge_to_string g) (edge_to_string w))
+    | g :: _, [] ->
+      Error
+        (Printf.sprintf "edge %d: reconstructed %s beyond ground truth" i
+           (edge_to_string g))
+    | [], w :: _ ->
+      Error
+        (Printf.sprintf "edge %d: ground truth %s not reconstructed" i
+           (edge_to_string w))
+  in
+  go 0 tree.t_edges truth
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Graphviz rendering: victims as boxes (patient zero double-bordered),
+    external sources as a dashed ellipse, one edge per infection labelled
+    with its arrival vtime. Deterministic output for golden tests. *)
+let to_dot ?(name = "infection") tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n";
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  if tree.t_roots <> [] then
+    Buffer.add_string buf
+      "  ext [label=\"external\", shape=ellipse, style=dashed];\n";
+  List.iter
+    (fun e ->
+      let peripheries =
+        if tree.t_patient_zero = Some e.e_dst then ", peripheries=2" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  h%d [label=\"host %d\"%s];\n" e.e_dst e.e_dst
+           peripheries))
+    tree.t_edges;
+  List.iter
+    (fun e ->
+      let src = if e.e_src < 0 then "ext" else Printf.sprintf "h%d" e.e_src in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> h%d [label=\"%.3fms\"];\n" src e.e_dst
+           e.e_vtime))
+    tree.t_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let edge_json arrivals e =
+  Obs.Json.Obj
+    [ ("src", Obs.Json.Int e.e_src);
+      ("dst", Obs.Json.Int e.e_dst);
+      ("msg", Obs.Json.Int e.e_msg);
+      ("seq", Obs.Json.Int e.e_seq);
+      ("vtime_ms", Obs.Json.Float e.e_vtime);
+      ("tti_ms", Obs.Json.Float (tti_of arrivals e));
+    ]
+
+let to_json ?(app = "") tree =
+  let arrivals = arrival_map tree in
+  Obs.Json.Obj
+    ([ ("app", Obs.Json.Str app) ]
+    @ [ ("patient_zero",
+         match tree.t_patient_zero with
+         | Some h -> Obs.Json.Int h
+         | None -> Obs.Json.Null);
+        ("roots", Obs.Json.List (List.map (fun h -> Obs.Json.Int h) tree.t_roots));
+        ("max_depth", Obs.Json.Int tree.t_max_depth);
+        ("attempts", Obs.Json.Int tree.t_attempts);
+        ("blocked", Obs.Json.Int tree.t_blocked);
+        ("infected", Obs.Json.Int (List.length tree.t_edges));
+        ("edges", Obs.Json.List (List.map (edge_json arrivals) tree.t_edges));
+        ("fanout",
+         Obs.Json.List
+           (List.map
+              (fun (h, n) ->
+                Obs.Json.Obj
+                  [ ("host", Obs.Json.Int h); ("infected", Obs.Json.Int n) ])
+              tree.t_fanout));
+      ])
+
+(** Human-readable outbreak post-mortem. *)
+let report tree =
+  let arrivals = arrival_map tree in
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "infection tree: %d edge(s), %d root(s), max depth %d"
+    (List.length tree.t_edges)
+    (List.length tree.t_roots)
+    tree.t_max_depth;
+  (match tree.t_patient_zero with
+  | Some h -> line "patient zero: host %d" h
+  | None -> line "patient zero: none (no successful infection)");
+  line "attack attempts in evidence: %d (%d blocked before compromise)"
+    tree.t_attempts tree.t_blocked;
+  List.iter
+    (fun e ->
+      line "  %s  (+%.3fms after parent)" (edge_to_string e)
+        (tti_of arrivals e))
+    tree.t_edges;
+  (match tree.t_fanout with
+  | [] -> ()
+  | fanout ->
+    line "fan-out:";
+    List.iter (fun (h, n) -> line "  host %d infected %d host(s)" h n) fanout);
+  Buffer.contents buf
+
+(** Publish the tree's shape into a metrics registry: depth and fan-out
+    histograms, per-edge time-to-infection, and headline gauges. *)
+let register_metrics tree registry =
+  let arrivals = arrival_map tree in
+  let depth_h =
+    Obs.Metrics.histogram ~registry
+      ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32. |]
+      ~help:"infection depth per victim" "sweeper_forensics_depth"
+  in
+  List.iter (fun (_, d) -> Obs.Metrics.observe depth_h (float_of_int d))
+    tree.t_depths;
+  let fanout_h =
+    Obs.Metrics.histogram ~registry
+      ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+      ~help:"successful infections per infector" "sweeper_forensics_fanout"
+  in
+  List.iter (fun (_, n) -> Obs.Metrics.observe fanout_h (float_of_int n))
+    tree.t_fanout;
+  let tti_h =
+    Obs.Metrics.histogram ~registry
+      ~buckets:[| 0.5; 1.; 2.; 5.; 10.; 50.; 100.; 1000. |]
+      ~help:"per-edge time-to-infection (virtual ms)"
+      "sweeper_forensics_tti_ms"
+  in
+  List.iter (fun e -> Obs.Metrics.observe tti_h (tti_of arrivals e))
+    tree.t_edges;
+  let g name help v =
+    Obs.Metrics.set (Obs.Metrics.gauge ~registry ~help name) v
+  in
+  g "sweeper_forensics_edges" "reconstructed infection edges"
+    (float_of_int (List.length tree.t_edges));
+  g "sweeper_forensics_roots" "externally-infected hosts"
+    (float_of_int (List.length tree.t_roots));
+  g "sweeper_forensics_max_depth" "deepest infection chain"
+    (float_of_int tree.t_max_depth);
+  g "sweeper_forensics_patient_zero" "patient zero host id (-1 if none)"
+    (match tree.t_patient_zero with
+    | Some h -> float_of_int h
+    | None -> -1.)

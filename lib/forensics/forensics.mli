@@ -1,0 +1,104 @@
+(** Post-outbreak forensics: reconstruct the infection tree from the
+    provenance-carrying network logs ({!Osim.Netlog.provenance}).
+
+    The reconstruction uses nothing the defense would not have after an
+    outbreak: each host's netlog (per-message source, sequence, and
+    arrival-vtime stamps), the quarantine sets recovery left behind
+    (crash/VSEF-confirmed malicious messages), and the in-flight message
+    of each compromised host. Walking those suspects backward through
+    their provenance yields the infection tree — who infected whom, when
+    in virtual time — plus patient zero, per-edge time-to-infection, and
+    depth/fan-out distributions ({!register_metrics}).
+
+    Validation: {!check} asserts the reconstruction against the
+    simulator's ground-truth infection events
+    ({!Sweeper.Defense.infection}) — exact on deterministic runs,
+    qcheck'd over random topologies and shard counts by the test
+    suite. *)
+
+(** One suspect message recovered from a netlog: a quarantined
+    (crash/VSEF-confirmed) attack, or the in-flight message of a host
+    that ended up compromised. *)
+type suspect = {
+  su_host : int;       (** the host the message arrived at *)
+  su_msg : int;        (** netlog message id on that host *)
+  su_src : int;        (** provenance: sending host, [-1] = external *)
+  su_seq : int;        (** provenance: sender-side sequence number *)
+  su_vtime : float;    (** provenance: arrival vtime (simulated ms) *)
+  su_infected : bool;  (** servicing this message compromised the host *)
+}
+
+(** Everything trace-back reads: the population size and the per-host
+    suspect sets mined from the netlogs. *)
+type evidence = {
+  ev_hosts : int;
+  ev_suspects : suspect list;
+}
+
+(** One reconstructed infection edge: [e_src] infected [e_dst] with the
+    message logged as [e_msg] on the victim, arriving at [e_vtime]. *)
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_msg : int;
+  e_seq : int;
+  e_vtime : float;
+}
+
+type tree = {
+  t_edges : edge list;  (** sorted by (arrival vtime, victim) *)
+  t_roots : int list;   (** externally-infected hosts, ascending *)
+  t_patient_zero : int option;
+      (** the earliest externally-infected host *)
+  t_depths : (int * int) list;
+      (** (host, infection depth); roots are at depth 0; sorted *)
+  t_max_depth : int;
+  t_fanout : (int * int) list;
+      (** (host, number of hosts it infected), sorted; infectors only *)
+  t_attempts : int;  (** suspect messages examined *)
+  t_blocked : int;   (** suspects that did not infect (crash/VSEF hits) *)
+}
+
+val of_hosts : Sweeper.Defense.host list -> evidence
+(** Mine the per-host netlogs for suspects: every quarantined message
+    and, on each compromised host, the message in flight when the
+    compromise surfaced. A pure post-mortem read — no simulator ground
+    truth is consulted. *)
+
+val of_sharded : Sweeper.Defense.Sharded.community -> evidence
+
+val reconstruct : evidence -> tree
+(** Trace-back: infection edges from the infected suspects, depths by
+    walking provenance chains back to an external source (cycle-guarded
+    so inconsistent evidence terminates instead of looping). *)
+
+val time_to_infection : tree -> edge -> float
+(** Virtual time between the parent's own infection and this edge's
+    arrival at the victim (arrival time itself for external edges).
+    O(edges) per call; reports amortize the lookup internally. *)
+
+val ground_truth : Sweeper.Defense.Sharded.community -> edge list
+(** The simulator's ground-truth infection edges, sorted identically to
+    [tree.t_edges]. *)
+
+val check : tree -> edge list -> (unit, string) result
+(** Assert the reconstruction matches ground truth exactly; [Error]
+    names the first divergence. *)
+
+val edge_to_string : edge -> string
+
+val to_dot : ?name:string -> tree -> string
+(** Graphviz rendering: victims as boxes (patient zero double-bordered),
+    external sources as a dashed ellipse, edges labelled with arrival
+    vtime. Deterministic output, golden-tested. *)
+
+val to_json : ?app:string -> tree -> Obs.Json.t
+(** The full machine-readable report: patient zero, roots, depth,
+    attempt/blocked counts, and every edge with its time-to-infection. *)
+
+val report : tree -> string
+(** Human-readable outbreak post-mortem. *)
+
+val register_metrics : tree -> Obs.Metrics.t -> unit
+(** Publish the tree's shape into a metrics registry: depth, fan-out,
+    and time-to-infection histograms plus headline gauges. *)

@@ -22,6 +22,8 @@ type event = {
   ev_name : string;
   ev_cat : string;
   ev_instant : bool;
+  ev_ph : string; (* Chrome phase: "X", "i", "s" (flow start), "f" *)
+  ev_flow_id : int; (* 0 unless a flow event *)
   ev_pid : int;
   ev_tid : int;
   ev_ts_us : float; (* relative to trace start *)
@@ -38,26 +40,38 @@ let n_events = ref 0
 let enabled () = !enabled_flag
 let now_us () = Unix.gettimeofday () *. 1e6
 
+(* The recorder is shared global state; sharded runs emit spans from
+   several domains at once, so every buffer mutation (and consistent
+   read) takes this lock. The disabled path never touches it. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let clear () =
-  events_rev := [];
-  n_events := 0;
-  base_us := now_us ()
+  locked (fun () ->
+      events_rev := [];
+      n_events := 0;
+      base_us := now_us ())
 
 let enable () =
-  if not !enabled_flag then begin
-    enabled_flag := true;
-    if !base_us = 0. then base_us := now_us ()
-  end
+  locked (fun () ->
+      if not !enabled_flag then begin
+        enabled_flag := true;
+        if !base_us = 0. then base_us := now_us ()
+      end)
 
-let disable () = enabled_flag := false
+let disable () = locked (fun () -> enabled_flag := false)
 
 let dead_span =
   { sp_name = ""; sp_cat = ""; sp_pid = 0; sp_tid = 0; sp_t0_us = 0.;
     sp_vts_ms = Float.nan; sp_args = []; sp_live = false }
 
 let push ev =
-  events_rev := ev :: !events_rev;
-  incr n_events
+  locked (fun () ->
+      events_rev := ev :: !events_rev;
+      incr n_events)
 
 let begin_span ?(cat = "sweeper") ?(pid = 0) ?(tid = 0) ?vts_ms
     ?(args = []) name =
@@ -72,6 +86,7 @@ let end_span ?vts_ms ?(args = []) sp =
   if sp.sp_live && !enabled_flag then
     push
       { ev_name = sp.sp_name; ev_cat = sp.sp_cat; ev_instant = false;
+        ev_ph = "X"; ev_flow_id = 0;
         ev_pid = sp.sp_pid; ev_tid = sp.sp_tid;
         ev_ts_us = sp.sp_t0_us -. !base_us;
         ev_dur_us = Float.max 0. (now_us () -. sp.sp_t0_us);
@@ -83,10 +98,27 @@ let instant ?(cat = "sweeper") ?(pid = 0) ?(tid = 0) ?vts_ms ?(args = [])
     name =
   if !enabled_flag then
     push
-      { ev_name = name; ev_cat = cat; ev_instant = true; ev_pid = pid;
+      { ev_name = name; ev_cat = cat; ev_instant = true; ev_ph = "i";
+        ev_flow_id = 0; ev_pid = pid;
         ev_tid = tid; ev_ts_us = now_us () -. !base_us; ev_dur_us = 0.;
         ev_vts_ms = (match vts_ms with Some v -> v | None -> Float.nan);
         ev_vts_end_ms = Float.nan; ev_args = args }
+
+(* Flow events: a "s"/"f" pair sharing [id] draws an arrow between the
+   duration spans enclosing each endpoint — the sender→receiver link in
+   message-passing traces. *)
+let flow_event ph ?(cat = "flow") ?(pid = 0) ?(tid = 0) ?vts_ms ?(args = [])
+    ~id name =
+  if !enabled_flag then
+    push
+      { ev_name = name; ev_cat = cat; ev_instant = false; ev_ph = ph;
+        ev_flow_id = id; ev_pid = pid; ev_tid = tid;
+        ev_ts_us = now_us () -. !base_us; ev_dur_us = 0.;
+        ev_vts_ms = (match vts_ms with Some v -> v | None -> Float.nan);
+        ev_vts_end_ms = Float.nan; ev_args = args }
+
+let flow_start = flow_event "s"
+let flow_finish = flow_event "f"
 
 let with_span ?cat ?pid ?tid ?vts_ms ?args name f =
   let sp = begin_span ?cat ?pid ?tid ?vts_ms ?args name in
@@ -112,8 +144,8 @@ let timed ?cat ?pid ?tid ?vts_ms ?args name f =
       end_span sp;
       raise e
 
-let events () = List.rev !events_rev
-let event_count () = !n_events
+let events () = locked (fun () -> List.rev !events_rev)
+let event_count () = locked (fun () -> !n_events)
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                           *)
@@ -128,14 +160,20 @@ let event_json ev =
     if Float.is_nan ev.ev_vts_end_ms then []
     else [ ("vts_end_ms", Json.Float ev.ev_vts_end_ms) ]
   in
+  let phase_fields =
+    match ev.ev_ph with
+    | "i" -> [ ("s", Json.Str "t") ]
+    | "s" -> [ ("id", Json.Int ev.ev_flow_id) ]
+    | "f" -> [ ("id", Json.Int ev.ev_flow_id); ("bp", Json.Str "e") ]
+    | _ -> [ ("dur", Json.Float ev.ev_dur_us) ]
+  in
   Json.Obj
     ([ ("name", Json.Str ev.ev_name);
        ("cat", Json.Str ev.ev_cat);
-       ("ph", Json.Str (if ev.ev_instant then "i" else "X"));
+       ("ph", Json.Str ev.ev_ph);
        ("ts", Json.Float ev.ev_ts_us);
      ]
-    @ (if ev.ev_instant then [ ("s", Json.Str "t") ]
-       else [ ("dur", Json.Float ev.ev_dur_us) ])
+    @ phase_fields
     @ [ ("pid", Json.Int ev.ev_pid);
         ("tid", Json.Int ev.ev_tid);
         ("args", Json.Obj args);

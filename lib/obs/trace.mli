@@ -4,7 +4,11 @@
 
     Tracing is global and off by default. When disabled, [begin_span]
     returns a shared dead span and every other entry point is a single
-    branch — the VM fast path never calls into this module at all. *)
+    branch — the VM fast path never calls into this module at all.
+
+    The recorder is domain-safe: every buffer mutation takes a single
+    mutex, so sharded runs ({!Osim.Cluster}) may emit spans from many
+    domains into one merged trace. *)
 
 type span
 
@@ -12,6 +16,8 @@ type event = {
   ev_name : string;
   ev_cat : string;
   ev_instant : bool;
+  ev_ph : string;  (** Chrome phase: ["X"], ["i"], ["s"] (flow), ["f"] *)
+  ev_flow_id : int;  (** 0 unless a flow event *)
   ev_pid : int;  (** host/server id *)
   ev_tid : int;
   ev_ts_us : float;  (** wall time relative to trace start, microseconds *)
@@ -42,6 +48,18 @@ val end_span : ?vts_ms:float -> ?args:(string * string) list -> span -> unit
 val instant :
   ?cat:string -> ?pid:int -> ?tid:int -> ?vts_ms:float ->
   ?args:(string * string) list -> string -> unit
+
+val flow_start :
+  ?cat:string -> ?pid:int -> ?tid:int -> ?vts_ms:float ->
+  ?args:(string * string) list -> id:int -> string -> unit
+(** Open one end of a flow arrow (Chrome phase ["s"]). A later
+    {!flow_finish} with the same [id] (and name/cat) draws the arrow
+    between the duration spans enclosing each endpoint — the
+    sender→receiver link in message-passing traces. *)
+
+val flow_finish :
+  ?cat:string -> ?pid:int -> ?tid:int -> ?vts_ms:float ->
+  ?args:(string * string) list -> id:int -> string -> unit
 
 val with_span :
   ?cat:string -> ?pid:int -> ?tid:int -> ?vts_ms:float ->

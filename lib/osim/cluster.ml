@@ -154,9 +154,23 @@ let run ?(at_barrier = fun ~window:_ -> ())
           batch)
         inboxes
     in
+    (* Each shard's window runs under a span on its own pid lane; the
+       tracer is mutex-guarded, so worker domains may emit concurrently
+       into the one merged trace. *)
     let results =
       map_shards ~domains ~shards (fun i ->
-          window i states.(i) ~inbox:batches.(i) ~until)
+          Obs.Trace.with_span ~cat:"cluster" ~pid:i ~vts_ms:until
+            ~args:
+              [ ("window", string_of_int k);
+                ("inbox", string_of_int (List.length batches.(i)));
+              ]
+            "window"
+            (fun () -> window i states.(i) ~inbox:batches.(i) ~until))
+    in
+    let bsp =
+      Obs.Trace.begin_span ~cat:"cluster" ~pid:shards ~vts_ms:until
+        ~args:[ ("window", string_of_int k) ]
+        "barrier"
     in
     (* Deterministic merge: restamp per-source emission order, then sort
        the whole batch by (vtime, src, seq) — a pure function of shard
@@ -185,6 +199,9 @@ let run ?(at_barrier = fun ~window:_ -> ())
       (fun i q -> if q <> [] then inboxes.(i) <- inboxes.(i) @ List.rev q)
       per_dst;
     at_barrier ~window:k;
+    Obs.Trace.end_span
+      ~args:[ ("exchanged", string_of_int !exchanged) ]
+      bsp;
     let mail_in_flight = Array.exists (fun q -> q <> []) inboxes in
     let all_done = Array.for_all (fun r -> r.wr_done) results in
     if all_done && not mail_in_flight then

@@ -68,4 +68,9 @@ val run :
     must touch only [state] and immutable data; [inbox] arrives already
     merge-sorted. [at_barrier] runs on the calling domain after each
     exchange — the hook for metrics merging.
+
+    When {!Obs.Trace} is enabled, every shard window runs under a span
+    on pid lane [shard], and each exchange emits a ["barrier"] span on
+    pid lane [shards] — one merged, well-formed Chrome trace across
+    domains (the tracer is mutex-guarded).
     @raise Failure after [max_windows] windows without quiescence. *)

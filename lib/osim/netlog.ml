@@ -7,9 +7,23 @@
     same log is what rollback-and-re-execution feeds back to the process —
     with the malicious message(s) skipped during recovery. *)
 
+(** Where a message came from: the sending host's global id ([-1] for
+    traffic injected by an external driver), the per-source sequence
+    number the sender stamped, and the receiver's virtual time at
+    arrival. Forensic trace-back ({!Forensics}) reconstructs infection
+    trees from nothing but these triples. *)
+type provenance = {
+  p_src : int;     (** sending host id; [-1] = external/driver *)
+  p_seq : int;     (** per-source sequence number, stamped by the sender *)
+  p_vtime : float; (** receiver-side arrival virtual time (simulated ms) *)
+}
+
+let external_provenance = { p_src = -1; p_seq = 0; p_vtime = 0. }
+
 type msg = {
   m_id : int;
   m_payload : string;
+  m_prov : provenance;
 }
 
 module Int_set = Set.Make (Int)
@@ -39,7 +53,8 @@ type t = {
 
 let create () =
   {
-    msgs = Array.make 64 { m_id = 0; m_payload = "" };
+    msgs =
+      Array.make 64 { m_id = 0; m_payload = ""; m_prov = external_provenance };
     count = 0;
     cursor = 0;
     mode = Live;
@@ -60,8 +75,9 @@ let grow t =
   end
 
 (** Deliver a message to the proxy. Returns the assigned id, or the name of
-    the filter that dropped it. *)
-let arrive t payload =
+    the filter that dropped it. Messages a filter rejects never enter the
+    log, so they carry no provenance — they also cannot infect. *)
+let arrive ?(src = -1) ?(seq = 0) ?(vtime = 0.) t payload =
   match List.find_opt (fun f -> f.f_matches payload) t.filters with
   | Some f ->
     t.filtered <- (f.f_name, payload) :: t.filtered;
@@ -69,7 +85,9 @@ let arrive t payload =
   | None ->
     grow t;
     let id = t.count in
-    t.msgs.(id) <- { m_id = id; m_payload = payload };
+    t.msgs.(id) <-
+      { m_id = id; m_payload = payload;
+        m_prov = { p_src = src; p_seq = seq; p_vtime = vtime } };
     t.count <- t.count + 1;
     Ok id
 
@@ -83,6 +101,8 @@ let remove_filter t ~name =
 let filter_count t = List.length t.filters
 let dropped_count t = List.length t.filtered
 let quarantined_count t = Int_set.cardinal t.quarantined
+let quarantined_ids t = Int_set.elements t.quarantined
+let is_quarantined t id = Int_set.mem id t.quarantined
 
 (** The next message for [recv], honouring the current mode; [None] means
     the syscall must block. Advances the cursor. *)
@@ -117,8 +137,20 @@ let message t id =
   t.msgs.(id)
 
 (** Messages consumed at-or-after log position [pos] up to the current
-    cursor — the suspects for an attack detected now. *)
+    cursor — the suspects for an attack detected now. Quarantined
+    messages are excluded: replay skips them, so a cursor past their slot
+    does not mean they were consumed. (At first detection nothing is
+    quarantined yet, so the suspect set for the analysis pipeline is
+    unchanged; the filter only matters for post-recovery trace-back.) *)
 let consumed_since t pos =
   let stop = min t.cursor t.count in
-  let rec go acc i = if i >= stop then List.rev acc else go (t.msgs.(i) :: acc) (i + 1) in
+  let rec go acc i =
+    if i >= stop then List.rev acc
+    else
+      let acc =
+        if Int_set.mem t.msgs.(i).m_id t.quarantined then acc
+        else t.msgs.(i) :: acc
+      in
+      go acc (i + 1)
+  in
   go [] (max 0 pos)

@@ -8,9 +8,25 @@
     with malicious messages skipped during recovery and quarantined
     forever after. *)
 
+(** Where a message came from: the sending host's global id ([-1] for
+    traffic injected by an external driver), the per-source sequence
+    number the sender stamped, and the receiver's virtual time at
+    arrival. Forensic trace-back reconstructs infection trees from
+    nothing but these triples. *)
+type provenance = {
+  p_src : int;     (** sending host id; [-1] = external/driver *)
+  p_seq : int;     (** per-source sequence number, stamped by the sender *)
+  p_vtime : float; (** receiver-side arrival virtual time (simulated ms) *)
+}
+
+val external_provenance : provenance
+(** [{ p_src = -1; p_seq = 0; p_vtime = 0. }] — the default stamp for
+    driver-injected traffic. *)
+
 type msg = {
   m_id : int;
   m_payload : string;
+  m_prov : provenance;
 }
 
 module Int_set :
@@ -27,8 +43,12 @@ type t
 
 val create : unit -> t
 
-val arrive : t -> string -> (int, string) result
-(** Deliver a message: [Ok id], or [Error filter_name] if dropped. *)
+val arrive :
+  ?src:int -> ?seq:int -> ?vtime:float -> t -> string -> (int, string) result
+(** Deliver a message: [Ok id], or [Error filter_name] if dropped.
+    [src]/[seq]/[vtime] stamp the logged message's {!provenance}
+    (defaults: external). Filtered messages never enter the log and so
+    carry no provenance — they also cannot infect. *)
 
 val add_filter : t -> name:string -> (string -> bool) -> unit
 (** Install a named input filter (an antibody). *)
@@ -41,6 +61,12 @@ val dropped_count : t -> int
 
 val quarantined_count : t -> int
 (** Messages permanently excluded from replay. *)
+
+val quarantined_ids : t -> int list
+(** Ids of quarantined messages, ascending — the confirmed-malicious set
+    forensic trace-back starts from. *)
+
+val is_quarantined : t -> int -> bool
 
 val quarantine : t -> int list -> unit
 (** Permanently exclude messages from any future replay. *)
@@ -59,4 +85,6 @@ val message : t -> int -> msg
 
 val consumed_since : t -> int -> msg list
 (** Messages consumed at-or-after log position [pos] up to the cursor —
-    the suspects for an attack detected now. *)
+    the suspects for an attack detected now. Quarantined messages are
+    excluded: replay skips them, so a cursor past their slot does not
+    mean they were consumed. *)

@@ -326,8 +326,11 @@ let instantiate tpl =
     [fuel] instructions. *)
 let run ?fuel p = Vm.Cpu.run ?fuel p.cpu
 
-(** Deliver a network message (through the filters). *)
-let send_message p payload = Netlog.arrive p.net payload
+(** Deliver a network message (through the filters), stamping its
+    provenance: sending host [src], per-source sequence [seq], and the
+    receiver-side arrival virtual time [vtime]. *)
+let send_message ?src ?seq ?vtime p payload =
+  Netlog.arrive ?src ?seq ?vtime p.net payload
 
 (** Responses committed so far, oldest first. *)
 let committed_outputs p = List.rev p.outputs

@@ -67,8 +67,11 @@ val instantiate : template -> t
 val run : ?fuel:int -> t -> Vm.Cpu.outcome
 (** Run until halt, input-block, fault, or fuel exhaustion. *)
 
-val send_message : t -> string -> (int, string) result
-(** Deliver a network message (through the input filters). *)
+val send_message :
+  ?src:int -> ?seq:int -> ?vtime:float -> t -> string -> (int, string) result
+(** Deliver a network message (through the input filters), stamping its
+    {!Netlog.provenance}: sending host [src], per-source sequence [seq],
+    and receiver-side arrival virtual time [vtime] (defaults: external). *)
 
 val committed_outputs : t -> (int * string) list
 (** Responses committed so far, oldest first. *)

@@ -40,12 +40,20 @@ type event =
 
 type state = Runnable | Waiting | Parked of event
 
+(** An inbox entry: the payload plus the sender provenance stamped into
+    the host's network log at delivery ({!Netlog.provenance}). *)
+type mail = {
+  ml_src : int;  (** sending host id; [-1] = external/driver *)
+  ml_seq : int;  (** per-source sequence number *)
+  ml_payload : string;
+}
+
 type task = {
   sk_id : int;
   sk_server : Server.t;
   mutable sk_state : state;
-  mutable sk_front : string list;  (** inbox: pop end *)
-  mutable sk_back : string list;   (** inbox: push end, reversed *)
+  mutable sk_front : mail list;  (** inbox: pop end *)
+  mutable sk_back : mail list;   (** inbox: push end, reversed *)
   mutable sk_pending : int option; (** log id of the message in flight *)
   sk_base_icount : int;
   mutable sk_vtime_ms : float;     (** per-task virtual clock *)
@@ -259,8 +267,16 @@ let enqueue_delivery t task =
     Queue.push task t.pending
   end
 
-let post t task payload =
-  task.sk_back <- payload :: task.sk_back;
+(* One flow id per (source host, sequence) pair: deterministic, unique
+   while a source emits fewer than 2^20 messages, and collisions only
+   cosmetically misdraw an arrow. *)
+let flow_id ~src ~seq = (src lsl 20) lor (seq land 0xFFFFF)
+
+let post ?(src = -1) ?(seq = 0) t task payload =
+  task.sk_back <- { ml_src = src; ml_seq = seq; ml_payload = payload }
+                  :: task.sk_back;
+  if src >= 0 && Obs.Trace.enabled () then
+    Obs.Trace.flow_start ~cat:"net" ~pid:src ~id:(flow_id ~src ~seq) "msg";
   enqueue_delivery t task
 
 let unpark t task =
@@ -321,22 +337,31 @@ let close_span ~outcome task =
 let rec deliver t handler task =
   match pop_inbox task with
   | None -> ()
-  | Some payload -> (
+  | Some { ml_src = src; ml_seq = seq; ml_payload = payload } -> (
     (match task.sk_on_deliver with Some f -> f payload | None -> ());
-    match Process.send_message task.sk_server.Server.proc payload with
+    match
+      Process.send_message ~src ~seq ~vtime:task.sk_vtime_ms
+        task.sk_server.Server.proc payload
+    with
     | Error filter ->
       handler task (Filtered (filter, payload));
       deliver t handler task
     | Ok id ->
       task.sk_pending <- Some id;
       task.sk_delivered <- task.sk_delivered + 1;
-      if Obs.Trace.enabled () then
+      if Obs.Trace.enabled () then begin
         task.sk_span <-
           Some
             (Obs.Trace.begin_span ~cat:"sched" ~pid:task.sk_server.Server.id
                ~tid:task.sk_id ~vts_ms:task.sk_vtime_ms
                ~args:[ ("msg", string_of_int id) ]
                "serve");
+        (* Close the sender→receiver arrow inside the serve span. *)
+        if src >= 0 then
+          Obs.Trace.flow_finish ~cat:"net" ~pid:task.sk_server.Server.id
+            ~tid:task.sk_id ~vts_ms:task.sk_vtime_ms ~id:(flow_id ~src ~seq)
+            "msg"
+      end;
       task.sk_state <- Runnable;
       ready t task)
 

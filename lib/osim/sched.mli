@@ -35,12 +35,20 @@ type event =
 
 type state = Runnable | Waiting | Parked of event
 
+(** An inbox entry: the payload plus the sender provenance stamped into
+    the host's network log at delivery ({!Netlog.provenance}). *)
+type mail = {
+  ml_src : int;  (** sending host id; [-1] = external/driver *)
+  ml_seq : int;  (** per-source sequence number *)
+  ml_payload : string;
+}
+
 type task = {
   sk_id : int;
   sk_server : Server.t;
   mutable sk_state : state;
-  mutable sk_front : string list;
-  mutable sk_back : string list;
+  mutable sk_front : mail list;
+  mutable sk_back : mail list;
   mutable sk_pending : int option;  (** log id of the message in flight *)
   sk_base_icount : int;
   mutable sk_vtime_ms : float;      (** per-task virtual clock *)
@@ -64,9 +72,13 @@ val add : ?on_deliver:(string -> unit) -> t -> Server.t -> task
 (** Register a server. [on_deliver] runs just before each of its inbox
     messages enters the host's network log (antibody sync, accounting). *)
 
-val post : t -> task -> string -> unit
+val post : ?src:int -> ?seq:int -> t -> task -> string -> unit
 (** Queue a message on the task's inbox. Delivery happens when the host is
-    idle; input filters can still reject it then ({!event.Filtered}). *)
+    idle; input filters can still reject it then ({!event.Filtered}).
+    [src]/[seq] are the sender's provenance, stamped into the host's
+    network log at delivery together with the task's virtual arrival
+    time (defaults: external). When tracing is on and [src >= 0], a
+    Chrome flow arrow links the post to the receiver's serve span. *)
 
 val unpark : t -> task -> unit
 (** Return a parked task to service after the driver repaired its host

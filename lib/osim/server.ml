@@ -188,9 +188,10 @@ let run t =
   in
   go ()
 
-(** Deliver a message and run the server on it. *)
-let handle t payload =
-  match Process.send_message t.proc payload with
+(** Deliver a message and run the server on it. [src]/[seq] stamp the
+    sender's provenance; arrival time is the server's own virtual clock. *)
+let handle ?src ?seq t payload =
+  match Process.send_message ?src ?seq ~vtime:(vtime_ms t) t.proc payload with
   | Error filter -> `Filtered filter
   | Ok id -> (
     match run t with

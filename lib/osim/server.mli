@@ -67,6 +67,8 @@ val run : t -> status
     compromised — checkpointing on schedule as it runs. *)
 
 val handle :
+  ?src:int ->
+  ?seq:int ->
   t ->
   string ->
   [ `Served of int
@@ -74,4 +76,6 @@ val handle :
   | `Stopped
   | `Crashed of int * Vm.Event.fault
   | `Infected of int * string ]
-(** Deliver one message and run the server on it. *)
+(** Deliver one message and run the server on it. [src]/[seq] stamp the
+    sender's {!Netlog.provenance}; the arrival virtual time is the
+    server's own clock ({!vtime_ms}). *)

@@ -3,7 +3,8 @@
 # every key the docs and the roadmap quote, including the tier-3 keys
 # (ns_per_instr_block_compiled and the tier_counters audit objects whose
 # block/fast/slow counts must sum to executed), and BENCH_pipeline.json
-# must carry the scheduler-scaling rows plus the domain-sharded section.
+# must carry the scheduler-scaling rows plus the domain-sharded and
+# forensics sections.
 # Catches a bench writer that silently drops a key (the
 # merge-don't-clobber writer makes that easy to miss) and a hand-edited
 # file that loses a section. Run from the repository root (or a sandbox
@@ -104,10 +105,20 @@ require exchanged
 require first_antibody_vtime_ms
 require domains_checked
 require matches
-# The oracle must have held when the record was written, and the
-# at-scale row must really be at scale.
-if ! grep -q '"matches": true' "$file"; then
-  echo "check-bench-keys: $file sharded oracle did not hold (\"matches\": true absent)"
+# The forensics section: synthetic reconstruction-throughput rows plus
+# the netlog-vs-ground-truth oracle row.
+require forensics
+require synthetic
+require edges
+require blocked
+require reconstruct_s
+require edges_per_s
+require max_depth
+# Both oracles (sharded determinism, forensic reconstruction) must have
+# held when the record was written, and the at-scale row must really be
+# at scale.
+if [ "$(grep -c '"matches": true' "$file")" -lt 2 ]; then
+  echo "check-bench-keys: $file sharded/forensics oracles did not both hold (need two \"matches\": true)"
   status=1
 fi
 if ! grep -A2 '"at_scale"' "$file" | grep -qE '"hosts": [0-9]{6,}'; then

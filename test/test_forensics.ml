@@ -1,0 +1,477 @@
+(* Forensics: infection trees reconstructed from provenance-carrying
+   netlogs must match the simulator's ground-truth infection log —
+   exactly on deterministic runs, qcheck'd over random topologies, shard
+   counts, and mid-stream attacks. Plus the netlog provenance and
+   consumed_since/quarantine regressions, the DOT golden rendering, and
+   the merged multi-domain trace with sender→receiver flow events. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+module Fx = Forensics
+module Sh = Sweeper.Defense.Sharded
+module D = Sweeper.Defense
+
+(* ------------------------------------------------------------------ *)
+(* Netlog provenance and the consumed_since/quarantine interplay       *)
+(* ------------------------------------------------------------------ *)
+
+let log_with payloads =
+  let t = Osim.Netlog.create () in
+  List.iteri
+    (fun i p ->
+      match
+        Osim.Netlog.arrive ~src:(100 + i) ~seq:i ~vtime:(float_of_int i) t p
+      with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "message %d filtered by %s" i f)
+    payloads;
+  t
+
+let consume t n =
+  for _ = 1 to n do
+    match Osim.Netlog.next_for_recv t with
+    | Some _ -> ()
+    | None -> Alcotest.fail "netlog blocked with messages pending"
+  done
+
+let consumed_ids t pos =
+  List.map (fun m -> m.Osim.Netlog.m_id) (Osim.Netlog.consumed_since t pos)
+
+let test_provenance_stamps () =
+  let t = Osim.Netlog.create () in
+  (match Osim.Netlog.arrive t "plain" with
+  | Ok id ->
+    check_bool "default stamp is external" true
+      ((Osim.Netlog.message t id).Osim.Netlog.m_prov
+      = Osim.Netlog.external_provenance)
+  | Error _ -> Alcotest.fail "benign message filtered");
+  match Osim.Netlog.arrive ~src:7 ~seq:3 ~vtime:1.5 t "stamped" with
+  | Ok id ->
+    let p = (Osim.Netlog.message t id).Osim.Netlog.m_prov in
+    check_int "src" 7 p.Osim.Netlog.p_src;
+    check_int "seq" 3 p.Osim.Netlog.p_seq;
+    check (Alcotest.float 1e-9) "vtime" 1.5 p.Osim.Netlog.p_vtime
+  | Error _ -> Alcotest.fail "benign message filtered"
+
+let test_consumed_since_cursor_at_zero () =
+  let t = log_with [ "a"; "b" ] in
+  check_bool "nothing consumed yet" true (consumed_ids t 0 = [])
+
+let test_consumed_since_skips_quarantined () =
+  let t = log_with [ "a"; "b"; "c" ] in
+  consume t 3;
+  Osim.Netlog.quarantine t [ 1 ];
+  check_bool "quarantined id excluded" true (consumed_ids t 0 = [ 0; 2 ]);
+  check_bool "is_quarantined" true (Osim.Netlog.is_quarantined t 1);
+  check_bool "quarantined_ids" true (Osim.Netlog.quarantined_ids t = [ 1 ])
+
+let test_consumed_since_all_quarantined () =
+  let t = log_with [ "a"; "b" ] in
+  consume t 2;
+  Osim.Netlog.quarantine t [ 0; 1 ];
+  check_bool "all quarantined -> no suspects" true (consumed_ids t 0 = [])
+
+let test_consumed_since_window_boundaries () =
+  let t = log_with [ "a"; "b"; "c"; "d" ] in
+  consume t 3;
+  check_bool "negative pos clamps to 0" true (consumed_ids t (-5) = [ 0; 1; 2 ]);
+  check_bool "pos at cursor is empty" true (consumed_ids t 3 = []);
+  check_bool "pos beyond cursor is empty" true (consumed_ids t 10 = []);
+  check_bool "mid-window slice" true (consumed_ids t 2 = [ 2 ])
+
+let test_consumed_since_replay_window () =
+  (* Quarantine, then replay the log from the start: the replayed stream
+     and the consumed_since view must agree that the quarantined message
+     was never consumed. *)
+  let t = log_with [ "a"; "b"; "c" ] in
+  consume t 3;
+  Osim.Netlog.quarantine t [ 0 ];
+  Osim.Netlog.set_cursor t 0;
+  Osim.Netlog.set_mode t
+    (Osim.Netlog.Replay { upto = 3; skip = Osim.Netlog.Int_set.empty });
+  let replayed = ref [] in
+  let rec go () =
+    match Osim.Netlog.next_for_recv t with
+    | Some m ->
+      replayed := m.Osim.Netlog.m_id :: !replayed;
+      go ()
+    | None -> ()
+  in
+  go ();
+  check_bool "replay skipped the quarantined id" true
+    (List.rev !replayed = [ 1; 2 ]);
+  check_bool "consumed_since agrees with replay" true
+    (consumed_ids t 0 = [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction over hand-built evidence                             *)
+(* ------------------------------------------------------------------ *)
+
+let s ~host ~msg ~src ~seq ~vtime ~infected =
+  {
+    Fx.su_host = host;
+    su_msg = msg;
+    su_src = src;
+    su_seq = seq;
+    su_vtime = vtime;
+    su_infected = infected;
+  }
+
+(* ext -> 0 -> {1, 2}, 2 -> 3; plus one blocked probe on host 4. *)
+let hand_evidence =
+  {
+    Fx.ev_hosts = 5;
+    ev_suspects =
+      [
+        s ~host:3 ~msg:1 ~src:2 ~seq:0 ~vtime:4.5 ~infected:true;
+        s ~host:0 ~msg:0 ~src:(-1) ~seq:0 ~vtime:1.0 ~infected:true;
+        s ~host:2 ~msg:0 ~src:0 ~seq:1 ~vtime:3.0 ~infected:true;
+        s ~host:4 ~msg:0 ~src:1 ~seq:0 ~vtime:5.0 ~infected:false;
+        s ~host:1 ~msg:0 ~src:0 ~seq:0 ~vtime:2.0 ~infected:true;
+      ];
+  }
+
+let test_reconstruct_exact () =
+  let tree = Fx.reconstruct hand_evidence in
+  check_bool "edges sorted by (vtime, dst)" true
+    (List.map (fun e -> (e.Fx.e_src, e.Fx.e_dst)) tree.Fx.t_edges
+    = [ (-1, 0); (0, 1); (0, 2); (2, 3) ]);
+  check_bool "roots" true (tree.Fx.t_roots = [ 0 ]);
+  check_bool "patient zero" true (tree.Fx.t_patient_zero = Some 0);
+  check_bool "depths" true
+    (tree.Fx.t_depths = [ (0, 0); (1, 1); (2, 1); (3, 2) ]);
+  check_int "max depth" 2 tree.Fx.t_max_depth;
+  check_bool "fanout" true (tree.Fx.t_fanout = [ (0, 2); (2, 1) ]);
+  check_int "attempts" 5 tree.Fx.t_attempts;
+  check_int "blocked" 1 tree.Fx.t_blocked
+
+let test_time_to_infection () =
+  let tree = Fx.reconstruct hand_evidence in
+  let edge dst = List.find (fun e -> e.Fx.e_dst = dst) tree.Fx.t_edges in
+  check (Alcotest.float 1e-9) "external edge: arrival itself" 1.0
+    (Fx.time_to_infection tree (edge 0));
+  check (Alcotest.float 1e-9) "2 -> 3: child minus parent arrival" 1.5
+    (Fx.time_to_infection tree (edge 3))
+
+let test_reconstruct_cycle_guard () =
+  (* Inconsistent evidence (0 infected 1, 1 infected 0, nothing external)
+     must terminate with defined depths, no roots, no patient zero. *)
+  let ev =
+    {
+      Fx.ev_hosts = 2;
+      ev_suspects =
+        [
+          s ~host:0 ~msg:0 ~src:1 ~seq:0 ~vtime:1.0 ~infected:true;
+          s ~host:1 ~msg:0 ~src:0 ~seq:0 ~vtime:2.0 ~infected:true;
+        ];
+    }
+  in
+  let tree = Fx.reconstruct ev in
+  check_int "both edges kept" 2 (List.length tree.Fx.t_edges);
+  check_bool "no roots" true (tree.Fx.t_roots = []);
+  check_bool "no patient zero" true (tree.Fx.t_patient_zero = None);
+  check_int "depths defined for both" 2 (List.length tree.Fx.t_depths)
+
+let test_check_reports_divergence () =
+  let tree = Fx.reconstruct hand_evidence in
+  check_bool "identical edge lists agree" true
+    (Fx.check tree tree.Fx.t_edges = Ok ());
+  (match tree.Fx.t_edges with
+  | first :: rest -> (
+    match Fx.check tree ({ first with Fx.e_seq = 99 } :: rest) with
+    | Error msg ->
+      check_bool "names the first divergent edge" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "edge 0")
+    | Ok () -> Alcotest.fail "expected a divergence")
+  | [] -> Alcotest.fail "no edges");
+  match Fx.check tree (tree.Fx.t_edges @ [ List.hd tree.Fx.t_edges ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected a missing-edge divergence"
+
+let dot_golden =
+  "digraph infection {\n" ^ "  rankdir=TB;\n"
+  ^ "  node [shape=box, fontname=\"monospace\"];\n"
+  ^ "  ext [label=\"external\", shape=ellipse, style=dashed];\n"
+  ^ "  h0 [label=\"host 0\", peripheries=2];\n"
+  ^ "  h1 [label=\"host 1\"];\n" ^ "  h2 [label=\"host 2\"];\n"
+  ^ "  h3 [label=\"host 3\"];\n" ^ "  ext -> h0 [label=\"1.000ms\"];\n"
+  ^ "  h0 -> h1 [label=\"2.000ms\"];\n" ^ "  h0 -> h2 [label=\"3.000ms\"];\n"
+  ^ "  h2 -> h3 [label=\"4.500ms\"];\n" ^ "}\n"
+
+let test_dot_golden () =
+  check_str "deterministic DOT rendering" dot_golden
+    (Fx.to_dot (Fx.reconstruct hand_evidence))
+
+let test_json_report () =
+  let tree = Fx.reconstruct hand_evidence in
+  let j = Fx.to_json ~app:"apache1" tree in
+  check_bool "patient_zero" true
+    (Obs.Json.member "patient_zero" j = Some (Obs.Json.Int 0));
+  check_bool "attempts" true
+    (Obs.Json.member "attempts" j = Some (Obs.Json.Int 5));
+  match Option.bind (Obs.Json.member "edges" j) Obs.Json.to_list with
+  | Some edges -> check_int "all edges serialized" 4 (List.length edges)
+  | None -> Alcotest.fail "edges array missing"
+
+let test_register_metrics () =
+  let reg = Obs.Metrics.create () in
+  Fx.register_metrics (Fx.reconstruct hand_evidence) reg;
+  let samples = Obs.Metrics.snapshot reg in
+  let value name =
+    match
+      List.find_opt (fun s -> s.Obs.Metrics.s_name = name) samples
+    with
+    | Some { Obs.Metrics.s_value = Obs.Metrics.Sample_gauge v; _ } -> v
+    | _ -> Alcotest.failf "gauge %s missing" name
+  in
+  check (Alcotest.float 1e-9) "edges gauge" 4. (value "sweeper_forensics_edges");
+  check (Alcotest.float 1e-9) "max depth gauge" 2.
+    (value "sweeper_forensics_max_depth");
+  check (Alcotest.float 1e-9) "patient zero gauge" 0.
+    (value "sweeper_forensics_patient_zero");
+  check_bool "depth histogram observed every victim" true
+    (List.exists
+       (fun sm ->
+         sm.Obs.Metrics.s_name = "sweeper_forensics_depth"
+         &&
+         match sm.Obs.Metrics.s_value with
+         | Obs.Metrics.Sample_histogram (_, _, count) -> count = 4
+         | _ -> false)
+       samples)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a real provenance-tracked spread over Defense.Sharded   *)
+(* ------------------------------------------------------------------ *)
+
+let compiled = lazy ((Apps.Registry.find "apache1").r_compile ())
+
+(* An exploit aimed with the victim's true layout: lands unless an
+   antibody (or a producer's heavyweight monitor) stops it. *)
+let aimed (dst : D.host) =
+  let proc = dst.D.h_proc in
+  (Apps.Exploits.apache1_against
+     ~system_guess:(Osim.Process.system_addr proc)
+     ~reqbuf_addr:(Hashtbl.find proc.Osim.Process.data_symbols "reqbuf")
+     ())
+    .Apps.Exploits.x_messages
+
+let wild rng =
+  let guess = 0x4f770000 + (Random.State.int rng 4096 * 4096) + 0x15a0 in
+  (Apps.Exploits.apache1_against ~system_guess:guess ~reqbuf_addr:0x08100000
+     ())
+    .Apps.Exploits.x_messages
+
+(* The worm spread of `sweeperctl forensics`, compact: round 1 seeds one
+   aimed probe on a consumer (spliced mid-stream into benign traffic);
+   afterwards every infected host probes two targets per round, aimed
+   with probability 0.7. Pure in (seed, host, round), so every domain
+   count replays the identical outbreak. *)
+let spread c ~seed ~rounds =
+  let host_arr = Array.of_list (Sh.hosts c) in
+  let n = Array.length host_arr in
+  for round = 1 to rounds do
+    let attempts = Hashtbl.create 32 in
+    let add dst pair =
+      Hashtbl.replace attempts dst
+        (pair :: Option.value ~default:[] (Hashtbl.find_opt attempts dst))
+    in
+    if round = 1 then begin
+      let rng = Random.State.make [| seed; 0x5EED |] in
+      let dst = host_arr.(1 + Random.State.int rng (n - 1)) in
+      let benign = Apps.Registry.workload "apache1" 1 in
+      List.iter
+        (fun m -> add dst.D.h_id (-1, m))
+        (benign @ aimed dst @ benign)
+    end
+    else
+      Array.iter
+        (fun (src : D.host) ->
+          if src.D.h_infected then begin
+            let rng =
+              Random.State.make [| seed; 0x3072; src.D.h_id; round |]
+            in
+            for _k = 1 to 2 do
+              let dst = host_arr.(Random.State.int rng n) in
+              let accurate = Random.State.float rng 1.0 < 0.7 in
+              if dst.D.h_id <> src.D.h_id then
+                let msgs = if accurate then aimed dst else wild rng in
+                List.iter
+                  (fun m -> add dst.D.h_id (src.D.h_id, m))
+                  msgs
+            done
+          end)
+        host_arr;
+    Sh.post_traffic_from c ~traffic:(fun h ->
+        List.rev
+          (Option.value ~default:[] (Hashtbl.find_opt attempts h.D.h_id)));
+    ignore (Sh.run_round c)
+  done
+
+let run_spread ~domains ~shards ~topology ~n ~producers ~seed ~rounds () =
+  let c =
+    Sh.create ~domains ~shards ~topology ~app:"apache1"
+      ~compile:(fun () -> Lazy.force compiled)
+      ~n ~producers ~seed ()
+  in
+  spread c ~seed ~rounds;
+  c
+
+let test_e2e_reconstruction_matches_ground_truth () =
+  (* The acceptance run: 8 hosts on 2 domains, subnet placement. The
+     netlog reconstruction must equal the ground-truth infection log,
+     and the whole report must be byte-identical to a single-domain run
+     of the same spread. *)
+  let go domains =
+    run_spread ~domains ~shards:2 ~topology:(Osim.Cluster.Subnet 4) ~n:8
+      ~producers:1 ~seed:4242 ~rounds:3 ()
+  in
+  let c2 = go 2 in
+  let tree2 = Fx.reconstruct (Fx.of_sharded c2) in
+  check_bool "the worm actually spread" true
+    (List.length tree2.Fx.t_edges >= 2);
+  check_bool "patient zero recovered" true (tree2.Fx.t_patient_zero <> None);
+  (match Fx.check tree2 (Fx.ground_truth c2) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "reconstruction diverged: %s" msg);
+  let c1 = go 1 in
+  let tree1 = Fx.reconstruct (Fx.of_sharded c1) in
+  check_bool "trees identical across domain counts" true (tree1 = tree2);
+  check_str "byte-identical DOT" (Fx.to_dot tree1) (Fx.to_dot tree2);
+  check_str "byte-identical JSON"
+    (Obs.Json.to_string (Fx.to_json tree1))
+    (Obs.Json.to_string (Fx.to_json tree2));
+  check_bool "DOT names patient zero" true
+    (let dot = Fx.to_dot tree2 in
+     let needle = "peripheries=2" in
+     let rec find i =
+       if i + String.length needle > String.length dot then false
+       else String.sub dot i (String.length needle) = needle || find (i + 1)
+     in
+     find 0)
+
+let test_evidence_is_netlog_only () =
+  (* of_hosts must mine exactly the quarantined ids plus the infected
+     hosts' in-flight messages — one infected suspect per victim. *)
+  let c =
+    run_spread ~domains:2 ~shards:2 ~topology:(Osim.Cluster.Subnet 4) ~n:8
+      ~producers:1 ~seed:4242 ~rounds:3 ()
+  in
+  let ev = Fx.of_sharded c in
+  check_int "population size" 8 ev.Fx.ev_hosts;
+  let infected =
+    List.filter (fun (h : D.host) -> h.D.h_infected) (Sh.hosts c)
+  in
+  check_int "one infected suspect per victim"
+    (List.length infected)
+    (List.length (List.filter (fun su -> su.Fx.su_infected) ev.Fx.ev_suspects))
+
+let prop_reconstruction_matches_ground_truth =
+  QCheck.Test.make ~count:4
+    ~name:
+      "netlog reconstruction = ground truth over random topologies and \
+       shard counts"
+    QCheck.(
+      quad (int_range 5 8) (int_range 0 2) (int_range 1 2)
+        (int_range 0 1_000_000))
+    (fun (n, topo_idx, shards, seed) ->
+      let topology =
+        match topo_idx with
+        | 0 -> Osim.Cluster.Uniform
+        | 1 -> Osim.Cluster.Subnet 2
+        | _ -> Osim.Cluster.Overlay 3
+      in
+      let c =
+        run_spread ~domains:2 ~shards ~topology ~n ~producers:1 ~seed
+          ~rounds:2 ()
+      in
+      Fx.check (Fx.reconstruct (Fx.of_sharded c)) (Fx.ground_truth c) = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* The merged multi-domain trace (windows, barriers, message flows)    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_trace_merged () =
+  Obs.Trace.enable ();
+  Obs.Trace.clear ();
+  let c =
+    run_spread ~domains:2 ~shards:2 ~topology:(Osim.Cluster.Subnet 4) ~n:8
+      ~producers:1 ~seed:4242 ~rounds:3 ()
+  in
+  Obs.Trace.disable ();
+  check_bool "the traced spread infected someone" true
+    (Sh.infected_count c > 0);
+  let evs = Obs.Trace.events () in
+  let windows = List.filter (fun e -> e.Obs.Trace.ev_name = "window") evs in
+  let lanes =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.Trace.ev_pid) windows)
+  in
+  check_bool "window spans from both shard lanes" true (lanes = [ 0; 1 ]);
+  check_bool "barrier spans present" true
+    (List.exists (fun e -> e.Obs.Trace.ev_name = "barrier") evs);
+  let starts = List.filter (fun e -> e.Obs.Trace.ev_ph = "s") evs in
+  let finishes = List.filter (fun e -> e.Obs.Trace.ev_ph = "f") evs in
+  check_bool "worm traffic opened flows" true (starts <> []);
+  check_bool "some flows completed at the receiver" true (finishes <> []);
+  let start_ids = List.map (fun e -> e.Obs.Trace.ev_flow_id) starts in
+  check_bool "every flow finish pairs with a start" true
+    (List.for_all
+       (fun e -> List.mem e.Obs.Trace.ev_flow_id start_ids)
+       finishes);
+  (* The merged JSON is one well-formed Chrome trace. *)
+  match
+    Option.bind
+      (Obs.Json.member "traceEvents"
+         (Obs.Json.parse_exn (Obs.Trace.to_chrome_json ())))
+      Obs.Json.to_list
+  with
+  | Some l -> check_int "every event serialized" (List.length evs) (List.length l)
+  | None -> Alcotest.fail "merged trace has no traceEvents array"
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "forensics"
+    [
+      ( "netlog",
+        [
+          Alcotest.test_case "provenance stamps" `Quick test_provenance_stamps;
+          Alcotest.test_case "consumed_since: cursor at 0" `Quick
+            test_consumed_since_cursor_at_zero;
+          Alcotest.test_case "consumed_since: skips quarantined" `Quick
+            test_consumed_since_skips_quarantined;
+          Alcotest.test_case "consumed_since: all quarantined" `Quick
+            test_consumed_since_all_quarantined;
+          Alcotest.test_case "consumed_since: window boundaries" `Quick
+            test_consumed_since_window_boundaries;
+          Alcotest.test_case "consumed_since: replay window" `Quick
+            test_consumed_since_replay_window;
+        ] );
+      ( "reconstruct",
+        [
+          Alcotest.test_case "exact tree from hand evidence" `Quick
+            test_reconstruct_exact;
+          Alcotest.test_case "time to infection" `Quick test_time_to_infection;
+          Alcotest.test_case "cycle guard" `Quick test_reconstruct_cycle_guard;
+          Alcotest.test_case "check names divergences" `Quick
+            test_check_reports_divergence;
+          Alcotest.test_case "DOT golden" `Quick test_dot_golden;
+          Alcotest.test_case "JSON report" `Quick test_json_report;
+          Alcotest.test_case "metrics registration" `Quick
+            test_register_metrics;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "2-domain subnet outbreak reconstructs" `Quick
+            test_e2e_reconstruction_matches_ground_truth;
+          Alcotest.test_case "evidence is netlog-only" `Quick
+            test_evidence_is_netlog_only;
+          Alcotest.test_case "merged multi-domain trace" `Quick
+            test_sharded_trace_merged;
+        ] );
+      qsuite "qcheck" [ prop_reconstruction_matches_ground_truth ];
+    ]
