@@ -304,7 +304,16 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the analysis summary as JSON.")
   in
-  let run app seed cfg_out json =
+  let absint =
+    Arg.(
+      value & flag
+      & info [ "absint" ]
+          ~doc:
+            "Also report the interval abstract interpretation: the \
+             proven/possible/oob/unreachable partition of every memory \
+             access, per function.")
+  in
+  let run app seed cfg_out json absint =
     let entry = Apps.Registry.find app in
     let proc = Osim.Process.load ~seed (entry.r_compile ()) in
     let code = proc.Osim.Process.cpu.Vm.Cpu.code in
@@ -319,6 +328,47 @@ let analyze_cmd =
     in
     let total = Static_an.Staint.total sa in
     let reduction_pct = 100. *. Static_an.Staint.reduction sa in
+    (* Per-function interval summaries: partition the access pcs by the
+       function symbol ranges of both images (assembler-internal ".L"
+       labels are not function boundaries). *)
+    let ai = proc.Osim.Process.absint in
+    let funcs () =
+      let syms = ref [] in
+      List.iter
+        (fun (img : Vm.Asm.image) ->
+          Hashtbl.iter
+            (fun name addr ->
+              if String.length name < 2 || String.sub name 0 2 <> ".L" then
+                syms := (addr, name) :: !syms)
+            img.Vm.Asm.symbols)
+        (Osim.Process.images proc);
+      let syms = List.sort compare !syms in
+      let arr = Array.of_list syms in
+      let stats = Array.map (fun (a, n) -> (n, a, Array.make 4 0)) arr in
+      Static_an.Absint.iter_accesses ai (fun pc cls ->
+          (* index of the last symbol at or below pc *)
+          let rec bsearch lo hi =
+            if lo >= hi then lo - 1
+            else
+              let mid = (lo + hi) / 2 in
+              if fst arr.(mid) <= pc then bsearch (mid + 1) hi
+              else bsearch lo mid
+          in
+          let i = bsearch 0 (Array.length arr) in
+          if i >= 0 then begin
+            let _, _, counts = stats.(i) in
+            let k =
+              match cls with
+              | Static_an.Absint.Proven _ -> 0
+              | Static_an.Absint.Possible -> 1
+              | Static_an.Absint.Oob -> 2
+              | Static_an.Absint.Unreachable -> 3
+            in
+            counts.(k) <- counts.(k) + 1
+          end);
+      Array.to_list stats
+      |> List.filter (fun (_, _, c) -> Array.exists (fun v -> v > 0) c)
+    in
     (match cfg_out with
     | Some path ->
       let oc = open_out path in
@@ -330,18 +380,59 @@ let analyze_cmd =
       print_endline
         (Obs.Json.to_string
            (Obs.Json.Obj
-              [
-                ("app", Obs.Json.Str app);
-                ("instructions", Obs.Json.Int total);
-                ("cfg_blocks", Obs.Json.Int (Array.length blocks));
-                ("cfg_edges", Obs.Json.Int edges);
-                ( "max_stack_depth_bytes",
-                  Obs.Json.Int (Static_an.Dataflow.max_stack_depth cfg) );
-                ("taint_prop_pcs", Obs.Json.Int (Static_an.Staint.prop_count sa));
-                ("taint_hook_pcs", Obs.Json.Int (Static_an.Staint.hook_count sa));
-                ("hook_reduction_pct", Obs.Json.Float reduction_pct);
-                ("analysis_ms", Obs.Json.Float (Static_an.Staint.analysis_ms sa));
-              ]))
+              ([
+                 ("app", Obs.Json.Str app);
+                 ("instructions", Obs.Json.Int total);
+                 ("cfg_blocks", Obs.Json.Int (Array.length blocks));
+                 ("cfg_edges", Obs.Json.Int edges);
+                 ( "max_stack_depth_bytes",
+                   Obs.Json.Int (Static_an.Dataflow.max_stack_depth cfg) );
+                 ( "taint_prop_pcs",
+                   Obs.Json.Int (Static_an.Staint.prop_count sa) );
+                 ( "taint_hook_pcs",
+                   Obs.Json.Int (Static_an.Staint.hook_count sa) );
+                 ("hook_reduction_pct", Obs.Json.Float reduction_pct);
+                 ( "analysis_ms",
+                   Obs.Json.Float (Static_an.Staint.analysis_ms sa) );
+               ]
+              @
+              if not absint then []
+              else
+                [
+                  ( "absint",
+                    Obs.Json.Obj
+                      [
+                        ( "instructions",
+                          Obs.Json.Int (Static_an.Absint.instructions ai) );
+                        ( "accesses",
+                          Obs.Json.Int (Static_an.Absint.accesses ai) );
+                        ("proven", Obs.Json.Int (Static_an.Absint.proven ai));
+                        ( "possible",
+                          Obs.Json.Int (Static_an.Absint.possible ai) );
+                        ("oob", Obs.Json.Int (Static_an.Absint.oob ai));
+                        ( "unreachable",
+                          Obs.Json.Int (Static_an.Absint.unreachable ai) );
+                        ( "proven_pct",
+                          Obs.Json.Float
+                            (100. *. Static_an.Absint.proven_pct ai) );
+                        ( "analysis_ms",
+                          Obs.Json.Float (Static_an.Absint.analysis_ms ai) );
+                        ( "functions",
+                          Obs.Json.List
+                            (List.map
+                               (fun (name, base, c) ->
+                                 Obs.Json.Obj
+                                   [
+                                     ("name", Obs.Json.Str name);
+                                     ("base", Obs.Json.Int base);
+                                     ("proven", Obs.Json.Int c.(0));
+                                     ("possible", Obs.Json.Int c.(1));
+                                     ("oob", Obs.Json.Int c.(2));
+                                     ("unreachable", Obs.Json.Int c.(3));
+                                   ])
+                               (funcs ())) );
+                      ] );
+                ])))
     else begin
       Printf.printf "static analysis of %s (%d decoded instructions)\n" app
         total;
@@ -360,15 +451,38 @@ let analyze_cmd =
         "  hook reduction: %.1f%% of instrumentation points pruned\n"
         reduction_pct;
       Printf.printf "  analysis time: %.2f ms\n"
-        (Static_an.Staint.analysis_ms sa)
+        (Static_an.Staint.analysis_ms sa);
+      if absint then begin
+        Printf.printf
+          "interval abstract interpretation (%d instructions, %d accesses)\n"
+          (Static_an.Absint.instructions ai)
+          (Static_an.Absint.accesses ai);
+        Printf.printf
+          "  proven safe: %d (%.1f%%)  possible: %d  proven-oob: %d  \
+           unreachable: %d\n"
+          (Static_an.Absint.proven ai)
+          (100. *. Static_an.Absint.proven_pct ai)
+          (Static_an.Absint.possible ai)
+          (Static_an.Absint.oob ai)
+          (Static_an.Absint.unreachable ai);
+        Printf.printf "  analysis time: %.2f ms\n"
+          (Static_an.Absint.analysis_ms ai);
+        Printf.printf "  %-24s %7s %8s %5s %11s\n" "function" "proven"
+          "possible" "oob" "unreachable";
+        List.iter
+          (fun (name, _, c) ->
+            Printf.printf "  %-24s %7d %8d %5d %11d\n" name c.(0) c.(1) c.(2)
+              c.(3))
+          (funcs ())
+      end
     end
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Static CFG recovery and taint reachability over an application's \
-          loaded code")
-    Term.(const run $ app_arg $ seed_arg $ cfg_out $ json)
+         "Static CFG recovery, taint reachability, and (with $(b,--absint)) \
+          interval abstract interpretation over an application's loaded code")
+    Term.(const run $ app_arg $ seed_arg $ cfg_out $ json $ absint)
 
 let epidemic_cmd =
   let beta =

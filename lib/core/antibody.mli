@@ -34,12 +34,27 @@ val complete :
   unit ->
   t
 
+val validate_feasible :
+  Osim.Process.t -> Static_an.Absint.t -> t -> (string * int list) list
+(** Check every [Heap_bounds]/[Store_guard] against the interval
+    analysis: the guarded pc must be a statically feasible unsafe write
+    ({!Static_an.Absint.feasible_unsafe_write}). Dynamically-derived
+    VSEFs provably pass; a non-empty result means the bundle asks
+    consumers to monitor a store no CFG-following execution can overflow
+    at — fabricated or corrupted. *)
+
 val validate_static :
-  Osim.Process.t -> Static_an.Staint.t -> t -> (string * int list) list
+  ?absint:Static_an.Absint.t ->
+  Osim.Process.t ->
+  Static_an.Staint.t ->
+  t ->
+  (string * int list) list
 (** Check every taint filter's propagation locations against the static
-    may-propagate set of [proc]'s code. Dynamically-generated filters
-    provably pass; a non-empty result (as [(vsef name, offending pcs)])
-    means the bundle is stale or corrupted. *)
+    may-propagate set of [proc]'s code, plus — when [absint] is given —
+    {!validate_feasible}'s interval bar on the overflow checks.
+    Dynamically-generated filters provably pass; a non-empty result (as
+    [(vsef name, offending pcs)]) means the bundle is stale or
+    corrupted. *)
 
 val deploy : ?static:Static_an.Staint.t -> Osim.Process.t -> t -> Vsef.installed list
 (** Install the VSEFs on the process and the input signature at its

@@ -84,6 +84,12 @@ type t = {
       (** ground-truth infection log, newest first *)
   mutable ab_origin : ab_origin option;
       (** provenance of the first antibody (local analysis or adopted) *)
+  mutable statics : (Osim.Process.t * Static_an.Staint.t) option;
+      (** lazily-built reference copy of the application plus its static
+          taint analysis, for validating published antibodies (the
+          process carries its interval analysis in
+          [Osim.Process.absint]). Loaded with a fixed seed so every
+          shard reaches identical verdicts. *)
 }
 
 (* Stamp out the community's hosts from a pool of templates: the full
@@ -122,32 +128,89 @@ let fresh_stats () =
     from [seed] — one template per distinct seed, instantiated by COW
     copy, which is what keeps community creation O(n) page-table copies
     instead of O(n) compiler runs. *)
+(* The rejection-reason label values of [sweeper_antibody_rejected_total],
+   pre-registered at community creation so merged samples expose explicit
+   zeros. Ordered by when the bar applies: static checks first, the
+   (optional) replay last. *)
+let reject_reasons = [ "static-infeasible"; "pcs-outside-S"; "replay-failed" ]
+
+let rejected_counter t reason =
+  Obs.Metrics.counter ~registry:t.metrics
+    ~help:"antibody bundles rejected at publication, by reason"
+    ~labels:[ ("reason", reason) ]
+    "sweeper_antibody_rejected_total"
+
+let preregister_rejections t =
+  List.iter (fun r -> ignore (rejected_counter t r)) reject_reasons
+
 let create ?(verify_before_deploy = false) ?(metrics = Obs.Metrics.default)
     ?(template_pool = 64) ~app ~(compile : unit -> Minic.Codegen.compiled)
     ~n ~producers ~seed () =
   let compiled = compile () in
-  {
-    app;
-    compile;
-    hosts = make_hosts ~template_pool ~n ~producers ~seed compiled;
-    antibody = None;
-    generation = 0;
-    corpus = [];
-    verify_before_deploy;
-    stats = fresh_stats ();
-    metrics;
-    infections = [];
-    ab_origin = None;
-  }
-
-(** Publish an antibody to the community. Consumers that distrust the
-    producer verify it against their own copy of the application first —
-    the deferred-verification option of Section 3.3. *)
-let publish t antibody =
-  let accept =
-    (not t.verify_before_deploy) || Antibody.verify antibody ~compile:t.compile
+  let t =
+    {
+      app;
+      compile;
+      hosts = make_hosts ~template_pool ~n ~producers ~seed compiled;
+      antibody = None;
+      generation = 0;
+      corpus = [];
+      verify_before_deploy;
+      stats = fresh_stats ();
+      metrics;
+      infections = [];
+      ab_origin = None;
+      statics = None;
+    }
   in
-  if accept then begin
+  preregister_rejections t;
+  t
+
+(* The reference statics every published bundle is validated against:
+   one fixed-seed copy of the application (its loader already ran the
+   interval analysis) plus the static taint analysis of its code. Built
+   on first publication, cached for the community's lifetime. *)
+let statics_of t =
+  match t.statics with
+  | Some s -> s
+  | None ->
+    let proc = Osim.Process.load ~aslr:true ~seed:97 (t.compile ()) in
+    let s = (proc, Static_an.Staint.analyze proc.Osim.Process.cpu.Vm.Cpu.code) in
+    t.statics <- Some s;
+    s
+
+(* Why a bundle must not be adopted, or [None] when it passes: the
+   always-on static bars (every guarded overflow pc must be a statically
+   feasible unsafe write; every taint-filter pc must lie in S), then the
+   opt-in exploit replay. *)
+let rejection t antibody =
+  let proc, staint = statics_of t in
+  let absint = proc.Osim.Process.absint in
+  if Antibody.validate_feasible proc absint antibody <> [] then
+    Some "static-infeasible"
+  else if Antibody.validate_static proc staint antibody <> [] then
+    Some "pcs-outside-S"
+  else if
+    t.verify_before_deploy
+    && not (Antibody.verify antibody ~compile:t.compile)
+  then Some "replay-failed"
+  else None
+
+(** Publish an antibody to the community — after validation: the static
+    feasibility and taint bars always apply, and consumers that distrust
+    the producer additionally verify the bundle against their own copy of
+    the application (the deferred-verification option of Section 3.3).
+    Returns whether the bundle was accepted; rejections count in
+    [sweeper_antibody_rejected_total] by reason. *)
+let publish t antibody =
+  match rejection t antibody with
+  | Some reason ->
+    Obs.Metrics.inc (rejected_counter t reason);
+    Obs.Trace.instant ~cat:"community"
+      ~args:[ ("reason", reason) ]
+      "antibody-rejected";
+    false
+  | None ->
     t.generation <- t.generation + 1;
     t.antibody <- Some (t.generation, antibody);
     Obs.Metrics.inc
@@ -156,9 +219,8 @@ let publish t antibody =
          "sweeper_antibodies_published_total");
     Obs.Trace.instant ~cat:"community"
       ~args:[ ("generation", string_of_int t.generation) ]
-      "antibody-published"
-  end;
-  accept
+      "antibody-published";
+    true
 
 (* Make sure [host] runs the latest antibody generation, replacing any
    previously installed one. *)
@@ -511,19 +573,24 @@ module Sharded = struct
     done
 
   (* Apply one inbound envelope at window start. Neither branch ever
-     re-emits — see the module doc's loop-freedom argument. *)
+     re-emits — see the module doc's loop-freedom argument. Adoption
+     bookkeeping happens only when [publish] accepts the bundle: a
+     statically infeasible (fabricated) antibody is rejected — counted
+     and recorded — and leaves the shard open to a later legitimate
+     publication. *)
   let apply_envelope sh (e : msg Osim.Cluster.envelope) =
     match e.Osim.Cluster.env_msg with
     | Antibody_pub (ab, origin) ->
-      if sh.sh_dfn.antibody = None then begin
-        ignore (publish sh.sh_dfn ab);
-        if sh.sh_dfn.ab_origin = None then sh.sh_dfn.ab_origin <- origin;
-        sh.sh_ab_prov <-
-          Some
-            ( e.Osim.Cluster.env_vtime, e.Osim.Cluster.env_src,
-              e.Osim.Cluster.env_seq );
-        record_event sh e.Osim.Cluster.env_vtime (-1) "antibody-adopted"
-      end
+      if sh.sh_dfn.antibody = None then
+        if publish sh.sh_dfn ab then begin
+          if sh.sh_dfn.ab_origin = None then sh.sh_dfn.ab_origin <- origin;
+          sh.sh_ab_prov <-
+            Some
+              ( e.Osim.Cluster.env_vtime, e.Osim.Cluster.env_src,
+                e.Osim.Cluster.env_seq );
+          record_event sh e.Osim.Cluster.env_vtime (-1) "antibody-adopted"
+        end
+        else record_event sh e.Osim.Cluster.env_vtime (-1) "antibody-rejected"
     | Sample s -> record_exploit_sample sh.sh_dfn s
 
   (* The shard-local reaction to one reified scheduler effect: the same
@@ -620,8 +687,10 @@ module Sharded = struct
           metrics;
           infections = [];
           ab_origin = None;
+          statics = None;
         }
       in
+      preregister_rejections dfn;
       let sched = Osim.Sched.create ?quantum () in
       Osim.Sched.register_metrics sched metrics;
       register_metrics dfn metrics;
@@ -721,6 +790,21 @@ module Sharded = struct
   let post_traffic c ~(traffic : host -> string list) =
     post_traffic_from c ~traffic:(fun host ->
         List.map (fun payload -> (-1, payload)) (traffic host))
+
+  (** Offer an antibody bundle to every shard, as if a broadcast arrived
+      from outside the community ([src = -1]) — the supply-chain surface
+      a malicious producer would use. Each shard runs the full
+      publication validation: a fabricated bundle is rejected on every
+      shard (counted in [sweeper_antibody_rejected_total]) while a
+      legitimate one is adopted. Runs on the calling domain, between
+      cluster rounds. *)
+  let inject_antibody ?(vtime = 0.) c ab =
+    Array.iter
+      (fun sh ->
+        apply_envelope sh
+          { Osim.Cluster.env_vtime = vtime; env_src = -1; env_seq = 0;
+            env_dst = sh.sh_id; env_msg = Antibody_pub (ab, None) })
+      c.c_shards
 
   (* Merge every shard's registry into the community-level sample list —
      runs on the calling domain while the workers are parked at the

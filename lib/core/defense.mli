@@ -75,6 +75,11 @@ type t = {
       (** ground-truth infection log, newest first *)
   mutable ab_origin : ab_origin option;
       (** provenance of the first antibody (local analysis or adopted) *)
+  mutable statics : (Osim.Process.t * Static_an.Staint.t) option;
+      (** lazily-built reference copy of the application plus its static
+          taint analysis, for validating published antibodies (the
+          process carries its interval analysis in
+          [Osim.Process.absint]); fixed-seed, so all shards agree *)
 }
 
 val create :
@@ -96,8 +101,15 @@ val create :
     flat at large [n] while matching the per-seed load exactly. *)
 
 val publish : t -> Antibody.t -> bool
-(** Publish an antibody; with [verify_before_deploy] it is sandbox-verified
-    first. Returns acceptance. *)
+(** Publish an antibody — after validation. Two static bars always
+    apply: every [Heap_bounds]/[Store_guard] pc must be a statically
+    feasible unsafe write ({!Antibody.validate_feasible}) and every
+    taint-filter pc must lie in the static may-propagate set
+    ({!Antibody.validate_static}); with [verify_before_deploy] the
+    bundle is additionally sandbox-verified by exploit replay. Returns
+    acceptance; rejections count in [sweeper_antibody_rejected_total]
+    with a [reason] label (["static-infeasible"], ["pcs-outside-S"],
+    ["replay-failed"]). *)
 
 val record_exploit_sample : t -> string -> unit
 (** Record a confirmed exploit payload (the original crash input or a
@@ -201,6 +213,14 @@ module Sharded : sig
       ([-1] for external traffic). Per-source sequence numbers are
       stamped deterministically on the calling domain, so provenance is
       identical across domain counts. *)
+
+  val inject_antibody : ?vtime:float -> community -> Antibody.t -> unit
+  (** Offer a bundle to every shard as an externally-sourced broadcast —
+      the supply-chain surface a malicious producer would use. Each
+      shard runs the full publication validation: fabricated bundles
+      are rejected everywhere (a per-shard "antibody-rejected" event
+      plus the [sweeper_antibody_rejected_total] counter), legitimate
+      ones are adopted. Call between rounds, on the calling domain. *)
 
   val run_round : community -> Osim.Cluster.stats
   (** Run the cluster barrier loop until every shard is quiescent and no

@@ -12,6 +12,10 @@ type t = {
   lib_image : Vm.Asm.image;
   net : Netlog.t;
   data_symbols : (string, int) Hashtbl.t;
+  absint : Static_an.Absint.t;
+      (** interval abstract interpretation of the loaded code, computed
+          once per load/template: feeds bounds-proof elision in the block
+          tier and static antibody feasibility checks *)
   mutable compromised : string option;
       (** [Some cmd] once the exploit reached [system]/[exec] *)
   mutable exit_code : int option;
@@ -213,13 +217,24 @@ let load ?(aslr = true) ?(seed = 0) (app : Minic.Codegen.compiled) =
   (* The CPU's code store: both images' dense segments. *)
   let code = Vm.Program.merge [ lib_image.Vm.Asm.code; app_image.Vm.Asm.code ] in
   let cpu = Vm.Cpu.create ~mem ~layout ~code in
+  let entry = Vm.Asm.symbol app_image "_start" in
+  (* Interval abstract interpretation over the whole code store, seeded
+     at the process entry point with the initial stack pointer. Its
+     proven-safe access facts drive bounds-check elision in the block
+     tier below and static antibody feasibility checks later. *)
+  let absint =
+    Static_an.Absint.analyze ~entries:[ entry ]
+      ~init_sp:(layout.Vm.Layout.stack_top - 16) ~layout code
+  in
   (* Engage the block-superinstruction tier: recover the CFG once at
      load time and compile every basic block. Hooked or invalidated
      blocks demote themselves to the per-instruction tiers, so this is
      transparent to every analysis attached later. *)
-  Vm.Block_compile.install cpu
+  Vm.Block_compile.install
+    ~safe_of:(Static_an.Absint.safe_range absint)
+    cpu
     (Static_an.Cfg.block_bounds (Static_an.Cfg.build code));
-  cpu.Vm.Cpu.pc <- Vm.Asm.symbol app_image "_start";
+  cpu.Vm.Cpu.pc <- entry;
   Vm.Cpu.set_reg cpu Vm.Isa.SP (layout.Vm.Layout.stack_top - 16);
   let p =
     {
@@ -230,6 +245,7 @@ let load ?(aslr = true) ?(seed = 0) (app : Minic.Codegen.compiled) =
       lib_image;
       net = Netlog.create ();
       data_symbols;
+      absint;
       compromised = None;
       exit_code = None;
       outputs = [];
@@ -292,7 +308,9 @@ let instantiate tpl =
   let layout = Vm.Layout.copy src.layout in
   let cpu = Vm.Cpu.create ~mem ~layout ~code:src.cpu.Vm.Cpu.code in
   Vm.Cpu.restore_regs cpu tpl.tpl_regs;
-  Vm.Block_compile.install cpu tpl.tpl_bounds;
+  Vm.Block_compile.install
+    ~safe_of:(Static_an.Absint.safe_range src.absint)
+    cpu tpl.tpl_bounds;
   let p =
     {
       cpu;
@@ -302,6 +320,7 @@ let instantiate tpl =
       lib_image = src.lib_image;
       net = Netlog.create ();
       data_symbols = src.data_symbols;
+      absint = src.absint;
       compromised = None;
       exit_code = None;
       outputs = [];

@@ -12,6 +12,10 @@ type t = {
   lib_image : Vm.Asm.image;
   net : Netlog.t;
   data_symbols : (string, int) Hashtbl.t;
+  absint : Static_an.Absint.t;
+      (** interval abstract interpretation of the loaded code, computed
+          once per load/template: feeds bounds-proof elision in the block
+          tier and static antibody feasibility checks *)
   mutable compromised : string option;
       (** [Some cmd] once an exploit reached [system]/[exec] *)
   mutable exit_code : int option;

@@ -34,9 +34,14 @@ let um = Isa.word_mask
 
 (* Compile one instruction at [pc] (position [idx] inside its block) into
    a closure. Non-terminators tail-call [next]; terminators set the final
-   pc and return [idx + 1]; declines restore [pc] and return [idx]. *)
-let compile_one ~pc ~idx ~(next : Cpu.t -> int) (instr : Isa.instr) :
-    Cpu.t -> int =
+   pc and return [idx + 1]; declines restore [pc] and return [idx].
+   [safe] carries the statically proven constant address range of a
+   memory access, when there is one: the access then range-checks against
+   the baked-in bounds instead of walking [Layout.valid_data], and a
+   violation (hijacked control flow, or a wrong proof) trips the
+   elision tripwire before declining. *)
+let compile_one ~pc ~idx ~(safe : (int * int) option)
+    ~(next : Cpu.t -> int) (instr : Isa.instr) : Cpu.t -> int =
   let open Isa in
   let done_ = idx + 1 in
   let decline (cpu : Cpu.t) =
@@ -197,42 +202,94 @@ let compile_one ~pc ~idx ~(next : Cpu.t -> int) (instr : Isa.instr) :
       let r = cpu.Cpu.regs in
       Array.unsafe_set r d (-Array.unsafe_get r d land um);
       next cpu
-  | Load (rd, rs, off) ->
+  | Load (rd, rs, off) -> (
     let d = reg_index rd and s = reg_index rs in
-    fun cpu ->
-      let addr = (Array.unsafe_get cpu.Cpu.regs s + off) land um in
-      if Layout.valid_data cpu.Cpu.layout addr then begin
-        Array.unsafe_set cpu.Cpu.regs d (Memory.load_word cpu.Cpu.mem addr);
-        next cpu
-      end
-      else decline cpu
-  | Loadb (rd, rs, off) ->
+    match safe with
+    | Some (rlo, rhi) ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs s + off) land um in
+        if rlo <= addr && addr < rhi then begin
+          Array.unsafe_set cpu.Cpu.regs d (Memory.load_word cpu.Cpu.mem addr);
+          next cpu
+        end
+        else begin
+          Cpu.elision_trip cpu ~pc;
+          decline cpu
+        end
+    | None ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs s + off) land um in
+        if Layout.valid_data cpu.Cpu.layout addr then begin
+          Array.unsafe_set cpu.Cpu.regs d (Memory.load_word cpu.Cpu.mem addr);
+          next cpu
+        end
+        else decline cpu)
+  | Loadb (rd, rs, off) -> (
     let d = reg_index rd and s = reg_index rs in
-    fun cpu ->
-      let addr = (Array.unsafe_get cpu.Cpu.regs s + off) land um in
-      if Layout.valid_data cpu.Cpu.layout addr then begin
-        Array.unsafe_set cpu.Cpu.regs d (Memory.load_byte cpu.Cpu.mem addr);
-        next cpu
-      end
-      else decline cpu
-  | Store (rbase, off, rs) ->
+    match safe with
+    | Some (rlo, rhi) ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs s + off) land um in
+        if rlo <= addr && addr < rhi then begin
+          Array.unsafe_set cpu.Cpu.regs d (Memory.load_byte cpu.Cpu.mem addr);
+          next cpu
+        end
+        else begin
+          Cpu.elision_trip cpu ~pc;
+          decline cpu
+        end
+    | None ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs s + off) land um in
+        if Layout.valid_data cpu.Cpu.layout addr then begin
+          Array.unsafe_set cpu.Cpu.regs d (Memory.load_byte cpu.Cpu.mem addr);
+          next cpu
+        end
+        else decline cpu)
+  | Store (rbase, off, rs) -> (
     let b = reg_index rbase and s = reg_index rs in
-    fun cpu ->
-      let addr = (Array.unsafe_get cpu.Cpu.regs b + off) land um in
-      if Layout.valid_data cpu.Cpu.layout addr then begin
-        Memory.store_word cpu.Cpu.mem addr (Array.unsafe_get cpu.Cpu.regs s);
-        next cpu
-      end
-      else decline cpu
-  | Storeb (rbase, off, rs) ->
+    match safe with
+    | Some (rlo, rhi) ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs b + off) land um in
+        if rlo <= addr && addr < rhi then begin
+          Memory.store_word cpu.Cpu.mem addr (Array.unsafe_get cpu.Cpu.regs s);
+          next cpu
+        end
+        else begin
+          Cpu.elision_trip cpu ~pc;
+          decline cpu
+        end
+    | None ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs b + off) land um in
+        if Layout.valid_data cpu.Cpu.layout addr then begin
+          Memory.store_word cpu.Cpu.mem addr (Array.unsafe_get cpu.Cpu.regs s);
+          next cpu
+        end
+        else decline cpu)
+  | Storeb (rbase, off, rs) -> (
     let b = reg_index rbase and s = reg_index rs in
-    fun cpu ->
-      let addr = (Array.unsafe_get cpu.Cpu.regs b + off) land um in
-      if Layout.valid_data cpu.Cpu.layout addr then begin
-        Memory.store_byte cpu.Cpu.mem addr (Array.unsafe_get cpu.Cpu.regs s);
-        next cpu
-      end
-      else decline cpu
+    match safe with
+    | Some (rlo, rhi) ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs b + off) land um in
+        if rlo <= addr && addr < rhi then begin
+          Memory.store_byte cpu.Cpu.mem addr (Array.unsafe_get cpu.Cpu.regs s);
+          next cpu
+        end
+        else begin
+          Cpu.elision_trip cpu ~pc;
+          decline cpu
+        end
+    | None ->
+      fun cpu ->
+        let addr = (Array.unsafe_get cpu.Cpu.regs b + off) land um in
+        if Layout.valid_data cpu.Cpu.layout addr then begin
+          Memory.store_byte cpu.Cpu.mem addr (Array.unsafe_get cpu.Cpu.regs s);
+          next cpu
+        end
+        else decline cpu)
   | Push (Imm v) ->
     let v = to_u32 v in
     fun cpu ->
@@ -391,7 +448,8 @@ let compile_one ~pc ~idx ~(next : Cpu.t -> int) (instr : Isa.instr) :
     captures its successor; a block that ends without a terminator (its
     successor is a branch target) gets a synthetic tail that materializes
     the fall-through pc. *)
-let compile (code : Program.t) ~entry_pc ~len : Cpu.t -> int =
+let compile ?(safe_of = fun (_ : int) -> None) (code : Program.t) ~entry_pc
+    ~len : Cpu.t -> int =
   match Program.locate code entry_pc with
   | None -> invalid_arg "Block_compile.compile: entry pc outside code"
   | Some (si, ii) ->
@@ -406,10 +464,9 @@ let compile (code : Program.t) ~entry_pc ~len : Cpu.t -> int =
     let rec build k next =
       if k < 0 then next
       else
+        let pc = entry_pc + (k * Isa.instr_size) in
         build (k - 1)
-          (compile_one
-             ~pc:(entry_pc + (k * Isa.instr_size))
-             ~idx:k ~next
+          (compile_one ~pc ~idx:k ~safe:(safe_of pc) ~next
              s.Program.seg_instrs.(ii + k))
     in
     build (len - 1) fin
@@ -417,9 +474,9 @@ let compile (code : Program.t) ~entry_pc ~len : Cpu.t -> int =
 (** Compile and install every block of [bounds] — [(entry_pc, length)]
     pairs, typically [Static_an.Cfg.block_bounds] — into the CPU's block
     table, engaging the tier for all subsequent {!Cpu.run} calls. *)
-let install cpu (bounds : (int * int) array) =
+let install ?safe_of cpu (bounds : (int * int) array) =
   let code = cpu.Cpu.code in
   Cpu.install_blocks cpu
     (Array.map
-       (fun (entry_pc, len) -> (entry_pc, len, compile code ~entry_pc ~len))
+       (fun (entry_pc, len) -> (entry_pc, len, compile ?safe_of code ~entry_pc ~len))
        bounds)

@@ -60,6 +60,10 @@ type t = {
       (** instructions retired inside compiled basic-block
           superinstructions (tier 3). Batched per block. Monotonic. *)
   mutable fault_count : int;  (** machine faults surfaced by {!run} *)
+  mutable elision_trips : int;
+      (** times a bounds-elided block closure saw an address outside its
+          statically proven range — each trip permanently demotes the
+          block to the fully guarded tiers (see {!Block_compile}) *)
   hooks : hooks;
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: byte [i] is non-zero iff some per-pc
@@ -124,6 +128,7 @@ let create ~mem ~layout ~code =
     slow_retired = 0;
     block_retired = 0;
     fault_count = 0;
+    elision_trips = 0;
     hooks =
       { pre_all = []; post_all = []; n_pre_all = 0; n_post_all = 0;
         pre_at = Hashtbl.create 16; post_at = Hashtbl.create 16;
@@ -350,6 +355,15 @@ let invalidate_block cpu ~pc =
         Bytes.set bt.bt_valid bid '\000';
         sync_block_ok bt bid
       end)
+
+(** A bounds-elided closure caught an address outside its statically
+    proven range: count the trip and permanently re-enable the full
+    guards for that block. The caller then declines, so the access
+    re-executes under the instrumented tier's validity check —
+    observable state stays byte-identical to a never-elided run. *)
+let elision_trip cpu ~pc =
+  cpu.elision_trips <- cpu.elision_trips + 1;
+  invalidate_block cpu ~pc
 
 (** Number of compiled blocks installed (0 when the tier is off). *)
 let block_count cpu =

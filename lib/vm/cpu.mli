@@ -51,6 +51,10 @@ type t = {
           [block_retired + fast_retired + slow_retired] equals the
           instructions ever executed, in every configuration. *)
   mutable fault_count : int;  (** machine faults surfaced by {!run} *)
+  mutable elision_trips : int;
+      (** times a bounds-elided block closure saw an address outside its
+          statically proven range; each trip permanently demotes the
+          block to the fully guarded tiers *)
   hooks : hooks;
   pc_hook_mask : Bytes.t array;
       (** parallel to [code.segments]: non-zero bytes mark pcs with per-pc
@@ -157,6 +161,12 @@ val clear_blocks : t -> unit
 val invalidate_block : t -> pc:int -> unit
 (** Permanently demote the block containing [pc] to per-instruction
     execution (takes effect no later than the next block entry). *)
+
+val elision_trip : t -> pc:int -> unit
+(** The soundness tripwire of bounds-check elision: count a proven-safe
+    access caught outside its static range and {!invalidate_block} the
+    block containing [pc]. Called by elided {!Block_compile} closures
+    just before they decline. *)
 
 val block_count : t -> int
 (** Compiled blocks installed (0 when the tier is off). *)

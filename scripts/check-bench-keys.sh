@@ -64,6 +64,19 @@ require exec_uninstrumented_pct
 require ns_per_instr_taint_global
 require ns_per_instr_taint_pruned
 require taint_pruned_delta_ns_per_instr
+# Interval abstract interpretation: elision ns/instr plus per-app
+# partition rows.
+require absint
+require ns_per_instr_block_guarded
+require ns_per_instr_block_elided
+require elision_speedup_x
+require analysis_ms
+require accesses
+require proven
+require possible
+require oob
+require unreachable
+require proven_pct
 # Table 3 stage timings.
 require table3_stage_ms
 require time_to_first_vsef

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Every library must compile with warnings promoted to errors: each
+# lib/*/dune must carry `-warn-error +a` in its flags. Catches a new
+# library stanza that silently drops the flag (warnings-as-errors is how
+# the repo keeps dead code and fragile matches out of the analysis
+# layers). Run from the repository root (or a sandbox copy of it).
+set -e
+status=0
+found=0
+for f in lib/*/dune; do
+  [ -f "$f" ] || continue
+  found=1
+  # The flag may be split across lines by formatting; strip newlines
+  # before matching.
+  if ! tr '\n' ' ' < "$f" | grep -q -- '-warn-error +a'; then
+    echo "check-warnerror: $f lacks -warn-error +a"
+    status=1
+  fi
+done
+if [ $found -eq 0 ]; then
+  echo "check-warnerror: no lib/*/dune files found (run from the repo root)"
+  exit 1
+fi
+if [ $status -eq 0 ]; then
+  echo "check-warnerror: every lib/*/dune promotes warnings to errors"
+fi
+exit $status

@@ -432,7 +432,17 @@ let test_sharded_trace_merged () =
 
 (* ------------------------------------------------------------------ *)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+(* Deterministic qcheck runs by default; QCHECK_SEED overrides. *)
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> 0x5EED)
+    | None -> 0x5EED
+  in
+  Random.State.make [| seed |]
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())) tests)
 
 let () =
   Alcotest.run "forensics"

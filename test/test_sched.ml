@@ -271,8 +271,99 @@ let test_backpressure_and_mailbox_bounds () =
   check_bool "run reached quiescence with bounds" true (tight.Sh.sm_windows > 0);
   check_bool "oracle holds under tight bounds" true (oracle_agrees tight (go 2))
 
+(* The supply-chain surface: a malicious producer broadcasts a
+   fabricated antibody whose Store_guard points at a statically
+   proven-safe store — no CFG-following execution can overflow there, so
+   every shard's publication validation must reject it (the
+   static-infeasible bar), counted and logged per shard; a legitimately
+   analyzed bundle from real attack traffic must still be adopted. *)
+let test_malicious_antibody_round () =
+  let entry = Apps.Registry.find "apache1" in
+  let c =
+    Sh.create ~domains:1 ~shards:2 ~topology:Osim.Cluster.Uniform
+      ~app:"apache1" ~compile:entry.r_compile ~n:6 ~producers:1 ~seed:4242 ()
+  in
+  (* Fabricate against a reference copy: pick the first proven-safe
+     access, the one kind of pc an honest overflow analysis can never
+     emit a store guard for. *)
+  let proc = Osim.Process.load ~aslr:true ~seed:97 (entry.r_compile ()) in
+  let ai = proc.Osim.Process.absint in
+  let safe_pc = ref None in
+  Static_an.Absint.iter_accesses ai (fun pc cls ->
+      match (cls, !safe_pc) with
+      | Static_an.Absint.Proven _, None -> safe_pc := Some pc
+      | _ -> ());
+  let safe_pc =
+    match !safe_pc with
+    | Some pc -> pc
+    | None -> Alcotest.fail "no proven-safe access in apache1"
+  in
+  let fake =
+    {
+      Sweeper.Antibody.ab_app = "apache1";
+      ab_stage = Sweeper.Antibody.Refined;
+      ab_vsefs =
+        [
+          {
+            Sweeper.Vsef.v_name = "fabricated-store-guard";
+            v_app = "apache1";
+            v_check =
+              Sweeper.Vsef.Store_guard
+                { store = Sweeper.Vsef.loc_of_pc proc safe_pc };
+            v_origin = Sweeper.Vsef.From_membug;
+          };
+        ];
+      ab_signature = None;
+      ab_exploit_input = None;
+    }
+  in
+  Sh.inject_antibody c fake;
+  ignore (Sh.run_round c);
+  let s = Sh.summary c in
+  let rejections =
+    List.filter (fun (_, _, kind) -> kind = "antibody-rejected") s.Sh.sm_events
+  in
+  check_int "rejected on every shard" 2 (List.length rejections);
+  check_bool "no shard adopted the fabrication" true (s.Sh.sm_adoptions = []);
+  check_bool "no antibody installed anywhere" true
+    (s.Sh.sm_first_antibody_vtime_ms = None);
+  let infeasible =
+    List.find_map
+      (fun (m : Obs.Metrics.sample) ->
+        if
+          m.Obs.Metrics.s_name = "sweeper_antibody_rejected_total"
+          && m.Obs.Metrics.s_labels = [ ("reason", "static-infeasible") ]
+        then
+          match m.Obs.Metrics.s_value with
+          | Obs.Metrics.Sample_counter n -> Some n
+          | _ -> None
+        else None)
+      (Sh.merged_metrics c)
+  in
+  check_bool "static-infeasible counter = one per shard" true
+    (infeasible = Some 2);
+  (* A real attack round on the same community must still mint and adopt
+     a legitimate antibody — the rejection bar is not a denial of
+     service. *)
+  Sh.post_traffic c ~traffic:(fun h ->
+      workload 2 @ attack_for ~seed:4242 ~round:1 h @ workload 1);
+  ignore (Sh.run_round c);
+  let s2 = Sh.summary c in
+  check_bool "legitimate antibody published" true
+    (s2.Sh.sm_first_antibody_vtime_ms <> None);
+  check_bool "another shard adopted it" true (s2.Sh.sm_adoptions <> [])
+
+(* Deterministic qcheck runs by default; QCHECK_SEED overrides. *)
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> 0x5EED)
+    | None -> 0x5EED
+  in
+  Random.State.make [| seed |]
+
 let () =
-  let qt = QCheck_alcotest.to_alcotest in
+  let qt = QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) in
   Alcotest.run "sched"
     [
       ( "equivalence",
@@ -294,6 +385,8 @@ let () =
             test_sharded_matches_single_domain;
           Alcotest.test_case "bounded mailboxes and outbox backpressure" `Quick
             test_backpressure_and_mailbox_bounds;
+          Alcotest.test_case "malicious antibody rejected, legitimate adopted"
+            `Quick test_malicious_antibody_round;
           qt prop_sharded_oracle;
         ] );
     ]

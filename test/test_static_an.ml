@@ -12,7 +12,19 @@
    - a whole pipeline run with the static-prefilter stage must render
      the exact same Table 2 as one without it.
 
-   Plus the MiniC overflow linter: unit rules and the cross-check that
+   Plus the interval abstract interpretation ([Absint]) and everything
+   hanging off it:
+
+   - containment: on clean runs, every dynamically observed register
+     value and effective address lies inside the static interval at its
+     pc;
+   - bounds-check elision is invisible across clean and hijack recipes,
+     and its residual-range tripwire demotes a block the moment a
+     "proven" fact is violated;
+   - the antibody feasibility bar accepts dynamically derived bundles
+     and rejects fabricated ones;
+
+   plus the MiniC overflow linter: unit rules and the cross-check that
    the statically flagged apps are exactly those where the dynamic
    membug detector attributes an overflow-class store to the app image. *)
 
@@ -314,6 +326,173 @@ let test_registry_soundness key () =
     (St.reduction sa >= 0.30)
 
 (* ------------------------------------------------------------------ *)
+(* Interval abstract interpretation                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Ab = Static_an.Absint
+
+(* Degenerate segments: the fixpoint analyses must cope with an empty
+   block list, a one-instruction segment, and a segment whose only
+   control flow goes through the unknown-target sink. *)
+let degenerate_layout = Vm.Layout.create ~aslr:false ()
+
+let test_degenerate_empty_segment () =
+  let prog =
+    Vm.Program.of_segments [ Vm.Program.make_segment ~base:0x1000 [||] ]
+  in
+  let sa = St.analyze prog in
+  check_int "staint: nothing propagates" 0 (St.prop_count sa);
+  check_int "staint: nothing to hook" 0 (St.hook_count sa);
+  let ai = Ab.analyze ~layout:degenerate_layout prog in
+  check_int "absint: no instructions" 0 (Ab.instructions ai);
+  check_int "absint: no accesses" 0 (Ab.accesses ai);
+  check_bool "absint: pct defined on empty" true (Ab.proven_pct ai = 0.)
+
+let test_degenerate_single_instruction () =
+  let prog = Vm.Program.of_instrs ~base:0x1000 [| Halt |] in
+  let cfg = Cfg.build prog in
+  check_int "one block" 1 (Array.length (Cfg.blocks cfg));
+  let sa = St.analyze prog in
+  check_int "staint: nothing propagates" 0 (St.prop_count sa);
+  let ai = Ab.analyze ~layout:degenerate_layout prog in
+  check_int "absint: one instruction" 1 (Ab.instructions ai);
+  check_int "absint: no accesses" 0 (Ab.accesses ai);
+  check_bool "absint: not an access pc" true (Ab.classify ai 0x1000 = None)
+
+let test_degenerate_unknown_sink_only () =
+  (* The segment's only control transfer resolves to nothing: the store
+     behind the indirect call is reachable only through the sink, so no
+     access may be proven and nothing crashes. *)
+  let prog =
+    Vm.Program.of_instrs ~base:0x1000 [| CallInd R0; Store (R1, 0, R2); Halt |]
+  in
+  let sa = St.analyze prog in
+  check_bool "staint: analysis completes" true (St.total sa > 0);
+  let ai = Ab.analyze ~layout:degenerate_layout prog in
+  check_int "absint: one access" 1 (Ab.accesses ai);
+  check_int "absint: nothing proven through the sink" 0 (Ab.proven ai);
+  check_bool "absint: no elidable range" true (Ab.safe_range ai 0x1004 = None)
+
+(* The soundness contract, tested end to end: on clean runs (the only
+   ones that follow the CFG) every dynamically observed register value
+   must lie inside the static interval at its pc, and every effective
+   address of a proven access must lie inside its proven range. A global
+   pre-hook forces the instrumented path, whose pre-commit state is
+   exactly the in-state the analysis speaks about. *)
+let containment_qcheck =
+  QCheck.Test.make
+    ~name:"dynamic registers and addresses within static intervals"
+    ~count:15
+    (QCheck.make ~print:print_recipe gen_recipe)
+    (fun r ->
+      let r = { r with vuln = 0 } in
+      let app = Minic.Driver.compile_app ~name:"aiprog" (source_of r) in
+      let proc = Osim.Process.load ~aslr:true ~seed:17 app in
+      let ai = proc.Osim.Process.absint in
+      let cpu = proc.Osim.Process.cpu in
+      let ok = ref true in
+      let nregs = Array.length cpu.Vm.Cpu.regs in
+      let witness (e : Vm.Event.effect_) =
+        let pc = e.Vm.Event.e_pc in
+        for reg = 0 to nregs - 1 do
+          match Ab.interval_at ai ~pc ~reg with
+          | Some iv ->
+            let v = cpu.Vm.Cpu.regs.(reg) in
+            if not (iv.Ab.lo <= v && v <= iv.Ab.hi) then ok := false
+          | None -> ok := false (* dynamically reached, statically dead *)
+        done;
+        match Ab.classify ai pc with
+        | Some (Ab.Proven (lo, hi)) ->
+          List.iter
+            (fun (a : Vm.Event.access) ->
+              if not (lo <= a.Vm.Event.a_addr && a.Vm.Event.a_addr < hi) then
+                ok := false)
+            (e.Vm.Event.e_mem_reads @ e.Vm.Event.e_mem_writes)
+        | _ -> ()
+      in
+      let id = Vm.Cpu.add_pre_hook cpu witness in
+      ignore (Osim.Process.run proc);
+      ignore (Osim.Process.send_message proc (message_of r));
+      Vm.Cpu.remove_hook cpu id;
+      !ok)
+
+(* Elision must be invisible on every recipe — including the smashing and
+   hijacking ones, where only the tripwire keeps the facts honest. The
+   default load elides proven accesses; the control run reinstalls the
+   block tier with no [safe_of], i.e. every guard in place. *)
+let elision_differential_qcheck =
+  QCheck.Test.make
+    ~name:"bounds-check elision invisible across clean and hijack runs"
+    ~count:15
+    (QCheck.make ~print:print_recipe gen_recipe)
+    (fun r ->
+      let app = Minic.Driver.compile_app ~name:"elprog" (source_of r) in
+      let msg = message_of r in
+      let run_one ~elide =
+        let proc = Osim.Process.load ~aslr:true ~seed:17 app in
+        let cpu = proc.Osim.Process.cpu in
+        if not elide then
+          Vm.Block_compile.install cpu
+            (Cfg.block_bounds (Cfg.build cpu.Vm.Cpu.code));
+        ignore (Osim.Process.run proc);
+        ignore (Osim.Process.send_message proc msg);
+        ( proc.Osim.Process.compromised,
+          Osim.Process.committed_outputs proc,
+          cpu.Vm.Cpu.icount )
+      in
+      run_one ~elide:true = run_one ~elide:false)
+
+(* The elision tripwire, deterministically: a store proven safe for
+   CFG-following runs is installed with a deliberately wrong proven
+   range — the state a hijack could smuggle past a CFG-only fact. The
+   residual check must trip exactly once, demote the block, and let the
+   fully guarded tier commit the store, leaving behavior byte-identical
+   to a run with no elision at all. *)
+let elision_app () =
+  let items =
+    [
+      Vm.Asm.Label "main";
+      Vm.Asm.Ins (Bin (Sub, SP, Imm 16));
+      Vm.Asm.Ins (Mov (R1, Imm 0xAB));
+      Vm.Asm.Label "thestore";
+      Vm.Asm.Ins (Store (SP, 0, R1));
+      Vm.Asm.Ins (Load (R2, SP, 0));
+      Vm.Asm.Ins (Bin (Add, SP, Imm 16));
+      Vm.Asm.Ins Ret;
+    ]
+  in
+  {
+    Minic.Codegen.unit_ = Vm.Asm.make_unit "elision" items;
+    data = [];
+    funcs = [ "main" ];
+  }
+
+let test_elision_tripwire () =
+  let app = elision_app () in
+  let proc = Osim.Process.load ~aslr:false ~seed:5 app in
+  let cpu = proc.Osim.Process.cpu in
+  let ai = proc.Osim.Process.absint in
+  let store_pc = Vm.Asm.symbol proc.Osim.Process.app_image "thestore" in
+  check_bool "the store is proven safe" true (Ab.proven_safe ai store_pc);
+  Vm.Block_compile.install
+    ~safe_of:(fun pc ->
+      if pc = store_pc then Some (0x10, 0x20) else Ab.safe_range ai pc)
+    cpu
+    (Cfg.block_bounds (Cfg.build cpu.Vm.Cpu.code));
+  ignore (Osim.Process.run proc);
+  check_int "exactly one trip" 1 cpu.Vm.Cpu.elision_trips;
+  check_bool "halted normally" true cpu.Vm.Cpu.halted;
+  check_int "store committed via the guarded tier" 0xAB
+    (Vm.Cpu.get_reg cpu Vm.Isa.R2);
+  let proc2 = Osim.Process.load ~aslr:false ~seed:5 app in
+  let cpu2 = proc2.Osim.Process.cpu in
+  Vm.Block_compile.install cpu2 (Cfg.block_bounds (Cfg.build cpu2.Vm.Cpu.code));
+  ignore (Osim.Process.run proc2);
+  check_int "same icount as the unelided run" cpu2.Vm.Cpu.icount
+    cpu.Vm.Cpu.icount;
+  check_int "no trips without elision" 0 cpu2.Vm.Cpu.elision_trips
+
+(* ------------------------------------------------------------------ *)
 (* The return tripwire                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -427,6 +606,51 @@ let test_antibody_validates_statically () =
   check_bool "taint-filter pcs all inside S" true
     (Sweeper.Antibody.validate_static proc sa r.O.a_antibody = [])
 
+(* The interval bar on antibody verification: a legitimately analyzed
+   bundle's overflow checks sit at statically feasible unsafe writes and
+   pass; a fabricated Store_guard at a proven-safe store — a pc no
+   honest analysis can emit — is rejected, through [validate_feasible]
+   directly and through the [?absint] path of [validate_static]. *)
+let test_validate_feasible_accept_reject () =
+  let proc, server, fault = crash_server "apache1" in
+  let r = O.handle_attack ~app:"apache1" server fault in
+  let ai = proc.Osim.Process.absint in
+  let sa = St.analyze proc.Osim.Process.cpu.Vm.Cpu.code in
+  check_bool "legitimate bundle clears the interval bar" true
+    (Sweeper.Antibody.validate_static ~absint:ai proc sa r.O.a_antibody = []);
+  let safe_pc = ref None in
+  Static_an.Absint.iter_accesses ai (fun pc cls ->
+      match (cls, !safe_pc) with
+      | Static_an.Absint.Proven _, None -> safe_pc := Some pc
+      | _ -> ());
+  let safe_pc =
+    match !safe_pc with
+    | Some pc -> pc
+    | None -> Alcotest.fail "no proven-safe access in apache1"
+  in
+  let fake =
+    {
+      r.O.a_antibody with
+      Sweeper.Antibody.ab_vsefs =
+        [
+          {
+            Sweeper.Vsef.v_name = "fabricated-store-guard";
+            v_app = "apache1";
+            v_check =
+              Sweeper.Vsef.Store_guard
+                { store = Sweeper.Vsef.loc_of_pc proc safe_pc };
+            v_origin = Sweeper.Vsef.From_membug;
+          };
+        ];
+    }
+  in
+  (match Sweeper.Antibody.validate_feasible proc ai fake with
+  | [ (name, _) ] -> check_str "names the fabricated vsef"
+                       "fabricated-store-guard" name
+  | _ -> Alcotest.fail "expected exactly one feasibility violation");
+  check_bool "validate_static rejects it too" true
+    (Sweeper.Antibody.validate_static ~absint:ai proc sa fake <> [])
+
 (* ------------------------------------------------------------------ *)
 (* The MiniC overflow linter                                           *)
 (* ------------------------------------------------------------------ *)
@@ -438,7 +662,7 @@ let rules lints = List.map (fun l -> l.Minic.Sema.l_rule) lints
 let test_lint_const_oob () =
   let ls = lint "int a[4]; int main() { a[5] = 1; return a[3]; }" in
   check_bool "a[5] flagged" true
-    (rules ls = [ Minic.Sema.lint_rule_oob ]);
+    (rules ls = [ Minic.Sema.lint_rule_proven ]);
   check_int "in-bounds access clean" 0
     (List.length (lint "int a[4]; int main() { a[3] = 1; return a[0]; }"))
 
@@ -454,7 +678,7 @@ let test_lint_unbounded_copy () =
   |}
   in
   check_bool "unbounded copy flagged" true
-    (rules (lint unbounded) = [ Minic.Sema.lint_rule_copy ])
+    (rules (lint unbounded) = [ Minic.Sema.lint_rule_possible ])
 
 let test_lint_bounded_copy_clean () =
   let bounded =
@@ -481,7 +705,7 @@ let test_lint_bound_exceeds_buffer () =
   |}
   in
   check_bool "constant bound past the buffer still flagged" true
-    (rules (lint off_by_lots) = [ Minic.Sema.lint_rule_copy ])
+    (rules (lint off_by_lots) = [ Minic.Sema.lint_rule_possible ])
 
 let test_lint_constant_stores_clean () =
   (* itoa-style digit loop: the stored value derives from arithmetic, not
@@ -585,6 +809,22 @@ let () =
           Alcotest.test_case "stack depth of a balanced call" `Quick
             test_max_stack_depth_balanced_call;
         ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "empty segment" `Quick
+            test_degenerate_empty_segment;
+          Alcotest.test_case "single-instruction segment" `Quick
+            test_degenerate_single_instruction;
+          Alcotest.test_case "unknown-sink-only segment" `Quick
+            test_degenerate_unknown_sink_only;
+        ] );
+      ( "absint",
+        [
+          qt containment_qcheck;
+          qt elision_differential_qcheck;
+          Alcotest.test_case "elision tripwire demotes the block" `Quick
+            test_elision_tripwire;
+        ] );
       ( "soundness",
         [
           qt soundness_qcheck;
@@ -604,6 +844,8 @@ let () =
             (test_pipeline_table2_identical "cvs");
           Alcotest.test_case "antibody validates against S" `Quick
             test_antibody_validates_statically;
+          Alcotest.test_case "interval bar accepts real, rejects fabricated"
+            `Quick test_validate_feasible_accept_reject;
         ] );
       ( "lint",
         [
